@@ -1,0 +1,76 @@
+// Windowed views, temporal motif counting, journalled persistence for
+// the dynamic store, and the HTTP query handler — the analytics and
+// service layer over the core library (DESIGN.md §7).
+
+package evolving
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/dynadj"
+	"repro/internal/motif"
+	"repro/internal/server"
+	"repro/internal/window"
+)
+
+// Window is the evolving subgraph induced by a contiguous stamp range.
+type Window = window.Window
+
+// WindowStats summarises one sliding-window position.
+type WindowStats = window.Stats
+
+// CutWindow returns the window of g covering stamps [lo, hi] inclusive.
+func CutWindow(g *Graph, lo, hi int) (*Window, error) { return window.Cut(g, lo, hi) }
+
+// RollWindows slides a width-stamp window across g and reports edge,
+// activity, and (for root ≥ 0) windowed-reach statistics per position.
+func RollWindows(g *Graph, width int, root int32) ([]WindowStats, error) {
+	return window.Roll(g, width, root)
+}
+
+// MotifCounts2 is the 2-edge temporal motif census (path, ping-pong,
+// fan-out, fan-in, repeat).
+type MotifCounts2 = motif.Counts2
+
+// MotifCounts3 is the triangle motif census (feed-forward, cycle).
+type MotifCounts3 = motif.Counts3
+
+// CountMotifs2 counts 2-edge temporal motifs with stamp window delta.
+func CountMotifs2(g *Graph, delta int) (MotifCounts2, error) { return motif.Count2(g, delta) }
+
+// CountTriangleMotifs counts feed-forward and cyclic temporal triangles
+// with stamp window delta.
+func CountTriangleMotifs(g *Graph, delta int) (MotifCounts3, error) {
+	return motif.CountTriangles(g, delta)
+}
+
+// MotifProfile runs the 2-edge census for every delta in 1..maxDelta.
+func MotifProfile(g *Graph, maxDelta int) ([]MotifCounts2, error) {
+	return motif.Profile(g, maxDelta)
+}
+
+// LoggedStore pairs a DynamicStore with a write-ahead journal: every
+// batch is logged before it is applied.
+type LoggedStore = dynadj.Logged
+
+// ErrTruncatedJournal reports a torn journal tail; the store returned
+// with it holds every batch before the damage.
+var ErrTruncatedJournal = dynadj.ErrTruncatedJournal
+
+// NewLoggedStore creates a journalled dynamic store writing its log to w.
+func NewLoggedStore(w io.Writer, numNodes int, times []int64, directed bool) (*LoggedStore, error) {
+	return dynadj.NewLogged(w, numNodes, times, directed)
+}
+
+// ReplayJournal reconstructs a dynamic store from a journal, recovering
+// the longest clean prefix of batches on a torn tail.
+func ReplayJournal(r io.Reader) (store *DynamicStore, batches int, err error) {
+	return dynadj.Replay(r)
+}
+
+// HTTPHandler serves g as a JSON query API (/stats, /bfs, /path,
+// /reach, /neighbors, /criteria — see internal/server). The graph must
+// not be mutated while served; Graph values are immutable, so any graph
+// built through this package qualifies.
+func HTTPHandler(g *Graph) http.Handler { return server.Handler(g) }

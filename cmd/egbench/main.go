@@ -1,0 +1,143 @@
+// Command egbench regenerates the paper's Figure 5: wall-clock time of
+// Algorithm 1 against the number of static edges |Ẽ| on random evolving
+// graphs, plus a least-squares check of the linear shape (Theorem 2).
+//
+// The paper's run used 10⁵ active nodes, 10 stamps and |Ẽ| from ~1×10⁸
+// to ~5×10⁸ on one core of a 1 TB Xeon box. Defaults here are laptop
+// sized; raise -edges to approach the paper's scale if you have the RAM.
+//
+// Usage:
+//
+//	egbench [-nodes 100000] [-stamps 10] [-edges 500000,1000000,...]
+//	        [-seed 2016] [-reps 3] [-parallel]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	evolving "repro"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 10_000, "node-id space (paper: 1e5 at ~1000 edges/node; default shrunk to stay supercritical at laptop edge counts)")
+		stamps   = flag.Int("stamps", 10, "time stamps (paper: 10)")
+		edgeList = flag.String("edges", "500000,1000000,2000000,3000000,4000000",
+			"comma-separated |E~| sweep (paper: 1e8..5e8)")
+		seed     = flag.Int64("seed", 2016, "generator seed")
+		reps     = flag.Int("reps", 3, "timing repetitions per size (min is reported)")
+		parallel = flag.Bool("parallel", false, "time the parallel BFS instead")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	counts, err := parseCounts(*edgeList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("# Figure 5 harness: %d nodes, %d stamps, seed %d, %d reps (min reported)\n",
+		*nodes, *stamps, *seed, *reps)
+	if *parallel {
+		fmt.Printf("# parallel BFS, workers=%d\n", *workers)
+	}
+	fmt.Printf("%14s %14s %14s %12s %14s\n", "|E~| requested", "|E~| built", "|E| unfolded", "time", "ns/|E~|")
+
+	series := evolving.RandomSeries(*nodes, *stamps, counts, true, *seed)
+	xs := make([]float64, 0, len(series))
+	ys := make([]float64, 0, len(series))
+	for i, g := range series {
+		root := evolving.TemporalNode{Node: int32(g.ActiveNodes(0).NextSet(0)), Stamp: 0}
+		best := time.Duration(math.MaxInt64)
+		var reached int
+		for r := 0; r < *reps; r++ {
+			start := time.Now()
+			var res *evolving.Result
+			var err error
+			if *parallel {
+				res, err = evolving.ParallelBFS(g, root, evolving.ParallelOptions{Workers: *workers})
+			} else {
+				res, err = evolving.BFS(g, root, evolving.Options{})
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "egbench: BFS: %v\n", err)
+				os.Exit(1)
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+			reached = res.NumReached()
+		}
+		built := g.StaticEdgeCount()
+		unfolded := g.EdgeCount(evolving.CausalAllPairs)
+		fmt.Printf("%14d %14d %14d %12s %14.2f   # reached %d\n",
+			counts[i], built, unfolded, best.Round(time.Microsecond),
+			float64(best.Nanoseconds())/float64(built), reached)
+		xs = append(xs, float64(built))
+		ys = append(ys, float64(best.Nanoseconds()))
+	}
+
+	slope, intercept, r2 := leastSquares(xs, ys)
+	fmt.Println()
+	fmt.Printf("least-squares fit: time ≈ %.3f ns/edge · |E~| + %.2f ms   (R² = %.4f)\n",
+		slope, intercept/1e6, r2)
+	if r2 > 0.95 {
+		fmt.Println("VERDICT: linear scaling in |E~| (the shape of the paper's Figure 5) HOLDS")
+	} else {
+		fmt.Println("VERDICT: linear fit is poor — investigate (R² ≤ 0.95)")
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	counts := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad edge count %q", p)
+		}
+		counts = append(counts, n)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			return nil, fmt.Errorf("edge counts must be non-decreasing")
+		}
+	}
+	return counts, nil
+}
+
+// leastSquares fits y = a·x + b and returns (a, b, R²).
+func leastSquares(xs, ys []float64) (a, b, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n, 0
+	}
+	a = (n*sxy - sx*sy) / den
+	b = (sy - a*sx) / n
+	mean := sy / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		ssTot += (ys[i] - mean) * (ys[i] - mean)
+		pred := a*xs[i] + b
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+	}
+	if ssTot == 0 {
+		return a, b, 1
+	}
+	return a, b, 1 - ssRes/ssTot
+}

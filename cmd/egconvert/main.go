@@ -1,0 +1,85 @@
+// Command egconvert converts evolving graphs between the three on-disk
+// formats (text edge list, JSON document, compact binary) and can emit
+// Graphviz DOT for visualisation.
+//
+// Usage:
+//
+//	egconvert -from text -to binary -i g.txt -o g.bin [-undirected]
+//	egconvert -from binary -to dot -i g.bin | dot -Tsvg > g.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	evolving "repro"
+)
+
+func main() {
+	var (
+		from       = flag.String("from", "text", "input format: text | json | binary")
+		to         = flag.String("to", "binary", "output format: text | json | binary | dot")
+		in         = flag.String("i", "", "input file (default stdin)")
+		out        = flag.String("o", "", "output file (default stdout)")
+		undirected = flag.Bool("undirected", false, "text input: treat edges as undirected")
+		inactive   = flag.Bool("inactive", false, "dot output: draw inactive temporal nodes too")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail("open: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var g *evolving.Graph
+	var err error
+	switch *from {
+	case "text":
+		g, err = evolving.ReadEdgeList(r, !*undirected)
+	case "json":
+		g, err = evolving.ReadJSON(r)
+	case "binary":
+		g, err = evolving.ReadBinary(r)
+	default:
+		fail("unknown input format %q", *from)
+	}
+	if err != nil {
+		fail("read: %v", err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("create: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *to {
+	case "text":
+		err = evolving.WriteEdgeList(w, g)
+	case "json":
+		err = evolving.WriteJSON(w, g)
+	case "binary":
+		err = evolving.WriteBinary(w, g)
+	case "dot":
+		err = evolving.WriteDOT(w, g, evolving.DOTOptions{IncludeInactive: *inactive})
+	default:
+		fail("unknown output format %q", *to)
+	}
+	if err != nil {
+		fail("write: %v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "egconvert: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Algebraic: reproduces the paper's Sec. III worked example on the
+// Figure 1 graph — the naïve adjacency-product path sum (Eq. 2)
+// miscounts temporal paths, while power iteration of the block adjacency
+// matrix A_nᵀ counts them correctly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	evolving "repro"
+)
+
+func main() {
+	g := evolving.Figure1Graph()
+	from := evolving.TemporalNode{Node: 0, Stamp: 0} // (1,t1)
+	to := evolving.TemporalNode{Node: 2, Stamp: 2}   // (3,t3)
+
+	fmt.Println("== Figure 1 graph: 1→2@t1, 1→3@t2, 2→3@t3 ==")
+	fmt.Println()
+
+	// Ground truth by explicit enumeration (Fig. 2).
+	paths, err := evolving.EnumeratePaths(g, from, to, evolving.CausalAllPairs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Temporal paths from (1,t1) to (3,t3): %d\n", len(paths))
+	for _, p := range paths {
+		fmt.Printf("  %v\n", p)
+	}
+	fmt.Println()
+
+	// The naïve Eq. 2 sum undercounts.
+	s3 := evolving.NaivePathSum(g, 2)
+	fmt.Printf("Naive path sum (Eq. 2): (S[t3])_13 = %g   <-- WRONG, misses the causal-edge path\n", s3.At(0, 2))
+	fmt.Println()
+
+	// The block matrix with causal edges counts correctly.
+	walks, err := evolving.CountWalks(g, from, to, evolving.CausalAllPairs, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Block power iteration: ((A3^T)^3 e1)_(3,t3) = %d   <-- matches the enumeration\n", walks)
+	fmt.Println()
+
+	// Show the full A3 matrix of the paper (active temporal nodes only).
+	an, order := evolving.BlockMatrix(g, evolving.CausalAllPairs).CompactActive()
+	fmt.Println("A3 over active temporal nodes (stamp-major order):")
+	fmt.Print("  order:")
+	for _, p := range order {
+		fmt.Printf(" (%d,t%d)", p[1]+1, p[0]+1)
+	}
+	fmt.Println()
+	fmt.Println(an)
+
+	// And the algebraic BFS agrees with Algorithm 1.
+	reached, err := evolving.ABFS(g, from, evolving.CausalAllPairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := evolving.BFS(g, from, evolving.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Algorithm 2 (algebraic) reached %d temporal nodes; Algorithm 1 reached %d. dist((3,t3)) = %d = %d\n",
+		len(reached), res.NumReached(), reached[to], res.Dist(to))
+}

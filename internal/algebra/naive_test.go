@@ -1,0 +1,105 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/egraph"
+)
+
+// The paper's central counterexample (Sec. III-A): on the Fig. 1 graph,
+// (S[t3])₁₃ = (A[t1]A[t2]A[t3] + A[t1]A[t3])₁₃ = 1, yet there are two
+// temporal paths from (1,t1) to (3,t3).
+func TestNaivePathSumMiscount(t *testing.T) {
+	g := egraph.Figure1Graph()
+	s3 := NaivePathSum(g, 2)
+	if got := s3.At(0, 2); got != 1 {
+		t.Fatalf("(S[t3])₁₃ = %g, want the paper's miscounted 1", got)
+	}
+	truth, err := core.CountWalks(g, tn(0, 0), tn(2, 2), egraph.CausalAllPairs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth != 2 {
+		t.Fatalf("true count = %d, want 2", truth)
+	}
+	if int64(s3.At(0, 2)) == truth {
+		t.Fatal("naive sum should disagree with the true count")
+	}
+}
+
+// Sec. III-A: S[t2] = A[t1]A[t2] vanishes entirely, yet the temporal
+// path ⟨(1,t1),(1,t2),(3,t2)⟩ exists.
+func TestNaivePathSumMissesCausalPath(t *testing.T) {
+	g := egraph.Figure1Graph()
+	s2 := NaivePathSum(g, 1)
+	// S[t2] restricted to chains through ≥1 edge at t1 then t2 = A1·A2;
+	// plus the bare... Eq. 2's S[t2] has the single term A[t1]A[t2].
+	if got := s2.At(0, 2); got != 0 {
+		t.Fatalf("(S[t2])₁₃ = %g, want 0 (the naive sum misses the causal path)", got)
+	}
+	truth, err := core.CountWalks(g, tn(0, 0), tn(2, 1), egraph.CausalAllPairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth != 1 {
+		t.Fatalf("true 2-hop count = %d, want 1 (path ⟨(1,t1),(1,t2),(3,t2)⟩)", truth)
+	}
+}
+
+func TestNaivePathSumSingleStamp(t *testing.T) {
+	g := egraph.Figure1Graph()
+	s1 := NaivePathSum(g, 0)
+	if s1.At(0, 1) != 1 || s1.NNZ() != 1 {
+		t.Fatalf("S[t1] should equal A[t1]:\n%v", s1)
+	}
+}
+
+// The attempted amendment — ones on the diagonal — is still wrong: it
+// "counts paths with subsequences ⟨(3,t1),(3,t2)⟩". Node 3 is inactive
+// at t1, so no temporal path starts at (3,t1); yet the self-loop product
+// reports a walk from 3 to 3.
+func TestSelfLoopPathSumStillWrong(t *testing.T) {
+	g := egraph.Figure1Graph()
+	p := SelfLoopPathSum(g, 2)
+	if got := p.At(2, 2); got < 1 {
+		t.Fatalf("self-loop product (3,3) entry = %g, want ≥ 1 (the spurious walk)", got)
+	}
+	// Ground truth: (3,t1) is inactive, so the BFS refuses it as a root
+	// and the set of temporal paths from it is empty.
+	if _, err := core.BFS(g, tn(2, 0), core.Options{}); err == nil {
+		t.Fatal("(3,t1) must be an invalid root")
+	}
+}
+
+// The self-loop product also conflates distinct causal structures: it
+// counts a walk through the *inactive* (2,t2) as if it were the skip
+// causal edge (2,t1)→(2,t3). The aggregate (1,3) count accidentally
+// matches on Fig. 1; this test documents the coincidence so nobody
+// mistakes it for correctness.
+func TestSelfLoopPathSumAccidentalAgreement(t *testing.T) {
+	g := egraph.Figure1Graph()
+	p := SelfLoopPathSum(g, 2)
+	if got := p.At(0, 2); got != 2 {
+		t.Fatalf("self-loop product (1,3) = %g; the documented coincidence is 2", got)
+	}
+}
+
+func TestSnapshotsDenseUndirected(t *testing.T) {
+	b := egraph.NewBuilder(false)
+	b.AddEdge(0, 1, 1)
+	g := b.Build()
+	s := NaivePathSum(g, 0)
+	if s.At(0, 1) != 1 || s.At(1, 0) != 1 {
+		t.Fatalf("undirected adjacency not symmetric:\n%v", s)
+	}
+}
+
+func TestNaivePathSumOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NaivePathSum(egraph.Figure1Graph(), 5)
+}

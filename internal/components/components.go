@@ -1,0 +1,241 @@
+// Package components computes connectivity structure over evolving
+// graphs via the Theorem 1 unfolding:
+//
+//   - weakly connected temporal components (edge direction and time
+//     ignored): the coarsest "who ever touches whom" partition;
+//   - strongly connected temporal components: because causal edges only
+//     ever point forward in time, every directed cycle of the unfolded
+//     graph lies within a single stamp, so SCCs are per-snapshot
+//     objects — a small structure theorem this package both exploits
+//     and property-tests;
+//   - out-components (Def. 7 reachability sets) and their size
+//     distribution, the building block of Sec. V influence analysis.
+package components
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ds"
+	"repro/internal/egraph"
+)
+
+// Component is a set of temporal nodes.
+type Component []egraph.TemporalNode
+
+// Weak returns the weakly connected components of the evolving graph's
+// unfolding: temporal nodes joined by static or causal edges in either
+// direction. Components are sorted by decreasing size (ties: by first
+// member); members are in stamp-major order.
+func Weak(g *egraph.IntEvolvingGraph, mode egraph.CausalMode) []Component {
+	u := g.Unfold(mode)
+	n := u.Graph.NumNodes()
+	uf := ds.NewUnionFind(n)
+	for v := 0; v < n; v++ {
+		for _, w := range u.Graph.Neighbors(int32(v)) {
+			uf.Union(v, int(w))
+		}
+	}
+	groups := make(map[int][]int, uf.Sets())
+	for v := 0; v < n; v++ {
+		r := uf.Find(v)
+		groups[r] = append(groups[r], v)
+	}
+	out := make([]Component, 0, len(groups))
+	for _, ids := range groups {
+		comp := make(Component, len(ids))
+		for i, id := range ids {
+			comp[i] = u.Order[id]
+		}
+		out = append(out, comp)
+	}
+	sortComponents(out)
+	return out
+}
+
+// Strong returns the strongly connected components of the unfolding with
+// at least minSize members. Because the unfolded graph's cross-stamp
+// edges are acyclic, this runs Tarjan's algorithm independently on each
+// snapshot's active subgraph; TestStrongMatchesGenericTarjan verifies the
+// shortcut against a direct Tarjan on the whole unfolding.
+func Strong(g *egraph.IntEvolvingGraph, minSize int) []Component {
+	if minSize < 1 {
+		minSize = 1
+	}
+	var out []Component
+	for t := 0; t < g.NumStamps(); t++ {
+		act := g.ActiveNodes(t)
+		// Dense id remap for this snapshot's active nodes.
+		ids := make([]int32, 0, act.Count())
+		index := make(map[int32]int32)
+		for v := act.NextSet(0); v >= 0; v = act.NextSet(v + 1) {
+			index[int32(v)] = int32(len(ids))
+			ids = append(ids, int32(v))
+		}
+		adj := make([][]int32, len(ids))
+		for i, v := range ids {
+			for _, w := range g.OutNeighbors(v, int32(t)) {
+				adj[i] = append(adj[i], index[w])
+			}
+		}
+		for _, scc := range tarjan(adj) {
+			if len(scc) < minSize {
+				continue
+			}
+			comp := make(Component, len(scc))
+			for i, li := range scc {
+				comp[i] = egraph.TemporalNode{Node: ids[li], Stamp: int32(t)}
+			}
+			sort.Slice(comp, func(a, b int) bool { return comp[a].Node < comp[b].Node })
+			out = append(out, comp)
+		}
+	}
+	sortComponents(out)
+	return out
+}
+
+// OutComponent returns the reachability set of an active temporal node
+// (Def. 7) as a Component, root included.
+func OutComponent(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, mode egraph.CausalMode) (Component, error) {
+	res, err := core.BFS(g, root, core.Options{Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	comp := make(Component, 0, res.NumReached())
+	res.Visit(func(tn egraph.TemporalNode, _ int) bool {
+		comp = append(comp, tn)
+		return true
+	})
+	sort.Slice(comp, func(a, b int) bool {
+		if comp[a].Stamp != comp[b].Stamp {
+			return comp[a].Stamp < comp[b].Stamp
+		}
+		return comp[a].Node < comp[b].Node
+	})
+	return comp, nil
+}
+
+// SizeDistribution returns the multiset of out-component sizes over all
+// active temporal nodes, sorted descending — the influence profile of
+// the graph. Cost is one BFS per active temporal node.
+func SizeDistribution(g *egraph.IntEvolvingGraph, mode egraph.CausalMode) []int {
+	u := g.Unfold(mode)
+	sizes := make([]int, 0, len(u.Order))
+	for _, root := range u.Order {
+		res, err := core.BFS(g, root, core.Options{Mode: mode})
+		if err != nil {
+			continue
+		}
+		sizes = append(sizes, res.NumReached())
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+// sortComponents orders by decreasing size, then by first member.
+func sortComponents(cs []Component) {
+	for _, c := range cs {
+		sort.Slice(c, func(a, b int) bool {
+			if c[a].Stamp != c[b].Stamp {
+				return c[a].Stamp < c[b].Stamp
+			}
+			return c[a].Node < c[b].Node
+		})
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if len(cs[i]) != len(cs[j]) {
+			return len(cs[i]) > len(cs[j])
+		}
+		a, b := cs[i][0], cs[j][0]
+		if a.Stamp != b.Stamp {
+			return a.Stamp < b.Stamp
+		}
+		return a.Node < b.Node
+	})
+}
+
+// tarjan computes strongly connected components of a digraph given as
+// adjacency lists, iteratively (no recursion, safe for deep graphs).
+// Components are emitted in reverse topological order.
+func tarjan(adj [][]int32) [][]int32 {
+	n := len(adj)
+	const unset = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unset
+	}
+	var (
+		stack   []int32 // Tarjan stack
+		sccs    [][]int32
+		counter int32
+	)
+	type frame struct {
+		v  int32
+		ei int // next edge index to explore
+	}
+	var call []frame
+	for s := 0; s < n; s++ {
+		if index[s] != unset {
+			continue
+		}
+		call = append(call[:0], frame{v: int32(s)})
+		index[s] = counter
+		low[s] = counter
+		counter++
+		stack = append(stack, int32(s))
+		onStack[s] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == unset {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order: pop the frame, emit an SCC if v is a root.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// TarjanStatic exposes the generic Tarjan over an unfolded static graph,
+// used by tests to validate the per-snapshot shortcut of Strong.
+func TarjanStatic(g *egraph.StaticGraph) [][]int32 {
+	adj := make([][]int32, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		adj[v] = g.Neighbors(int32(v))
+	}
+	return tarjan(adj)
+}

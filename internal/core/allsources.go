@@ -1,0 +1,112 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/egraph"
+)
+
+// SourceStats summarises one source's BFS for the all-sources sweep.
+type SourceStats struct {
+	Root         egraph.TemporalNode
+	Reached      int     // temporal nodes reached, root included
+	Eccentricity int     // largest finite distance
+	Closeness    float64 // Σ 1/d over reached nodes at d > 0
+}
+
+// AllSourcesBFS runs one BFS from every active temporal node, fanned out
+// over a worker pool, and returns per-source statistics in unfolding
+// order. It is the building block for diameters, closeness rankings and
+// reachability profiles at analysis scale; workers ≤ 0 means GOMAXPROCS.
+//
+// Each worker owns its BFS scratch state; the graph is read-only and
+// safe to share.
+func AllSourcesBFS(g *egraph.IntEvolvingGraph, mode egraph.CausalMode, workers int) []SourceStats {
+	u := g.Unfold(mode)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]SourceStats, len(u.Order))
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(len(u.Order)) {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				root := u.Order[i]
+				res, err := BFS(g, root, Options{Mode: mode})
+				if err != nil {
+					out[i] = SourceStats{Root: root}
+					continue
+				}
+				st := SourceStats{
+					Root:         root,
+					Reached:      res.NumReached(),
+					Eccentricity: res.MaxDist(),
+				}
+				res.Visit(func(_ egraph.TemporalNode, d int) bool {
+					if d > 0 {
+						st.Closeness += 1 / float64(d)
+					}
+					return true
+				})
+				out[i] = st
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ParallelTemporalDiameter computes the temporal diameter with the
+// all-sources worker pool.
+func ParallelTemporalDiameter(g *egraph.IntEvolvingGraph, mode egraph.CausalMode, workers int) int {
+	diam := 0
+	for _, st := range AllSourcesBFS(g, mode, workers) {
+		if st.Eccentricity > diam {
+			diam = st.Eccentricity
+		}
+	}
+	return diam
+}
+
+// EarliestArrival returns, for every node w, the earliest stamp index at
+// which information leaving root can reach w — the classic
+// earliest-arrival semantics of temporal reachability, derived from one
+// Algorithm 1 run by taking the minimum stamp over w's reached temporal
+// nodes. Unreachable nodes map to -1; root's own node maps to its
+// starting stamp.
+func EarliestArrival(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, mode egraph.CausalMode) ([]int32, error) {
+	res, err := BFS(g, root, Options{Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	arrival := make([]int32, g.NumNodes())
+	for i := range arrival {
+		arrival[i] = -1
+	}
+	res.Visit(func(tn egraph.TemporalNode, _ int) bool {
+		if cur := arrival[tn.Node]; cur < 0 || tn.Stamp < cur {
+			arrival[tn.Node] = tn.Stamp
+		}
+		return true
+	})
+	return arrival, nil
+}

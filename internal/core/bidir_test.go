@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/egraph"
+)
+
+func TestBidirectionalFigure1(t *testing.T) {
+	g := egraph.Figure1Graph()
+	path, ok, err := BidirectionalShortestPath(g, tn(0, 0), tn(2, 2), egraph.CausalAllPairs)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// The paper's Fig. 2: distance 3 from (1,t1) to (3,t3).
+	if path.Hops() != 3 {
+		t.Fatalf("hops = %d, want 3 (path %v)", path.Hops(), path)
+	}
+	if path[0] != tn(0, 0) || path[len(path)-1] != tn(2, 2) {
+		t.Fatalf("endpoints wrong: %v", path)
+	}
+	if !path.IsValid(g, egraph.CausalAllPairs) {
+		t.Fatalf("invalid path %v", path)
+	}
+}
+
+func TestBidirectionalUnreachableAndDegenerate(t *testing.T) {
+	g := egraph.Figure1Graph()
+	// (3,t2) cannot reach (1,t1): time only moves forward.
+	if _, ok, err := BidirectionalShortestPath(g, tn(2, 1), tn(0, 0), egraph.CausalAllPairs); ok || err != nil {
+		t.Fatalf("backward-in-time query: ok=%v err=%v", ok, err)
+	}
+	// Inactive endpoints are unreachable by Def. 4, not an error.
+	if _, ok, err := BidirectionalShortestPath(g, tn(2, 0), tn(2, 2), egraph.CausalAllPairs); ok || err != nil {
+		t.Fatalf("inactive source: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := BidirectionalShortestPath(g, tn(0, 0), tn(1, 1), egraph.CausalAllPairs); ok || err != nil {
+		t.Fatalf("inactive target: ok=%v err=%v", ok, err)
+	}
+	// Identical endpoints: the trivial path.
+	path, ok, err := BidirectionalShortestPath(g, tn(0, 0), tn(0, 0), egraph.CausalAllPairs)
+	if err != nil || !ok || len(path) != 1 || path.Hops() != 0 {
+		t.Fatalf("self query = %v, %v, %v", path, ok, err)
+	}
+}
+
+// The bidirectional distance must equal the unidirectional BFS distance
+// for every reachable pair, and the returned path must be a valid
+// temporal path of that length — over random graphs, both causal modes,
+// both orientations.
+func TestBidirectionalMatchesBFS(t *testing.T) {
+	for _, mode := range []egraph.CausalMode{egraph.CausalAllPairs, egraph.CausalConsecutive} {
+		f := func(seed int64, directed bool) bool {
+			rng := rand.New(rand.NewSource(seed))
+			g := randomGraph(rng, directed)
+			u := g.Unfold(mode)
+			// One forward BFS per source gives the oracle distances.
+			for _, from := range u.Order {
+				res, err := BFS(g, from, Options{Mode: mode})
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				for _, to := range u.Order {
+					want := res.Dist(to)
+					path, ok, err := BidirectionalShortestPath(g, from, to, mode)
+					if err != nil {
+						t.Log(err)
+						return false
+					}
+					if (want >= 0) != ok {
+						t.Logf("seed %d mode %v %v→%v: ok=%v, oracle dist %d", seed, mode, from, to, ok, want)
+						return false
+					}
+					if !ok {
+						continue
+					}
+					if path.Hops() != want {
+						t.Logf("seed %d mode %v %v→%v: hops %d, oracle %d (path %v)",
+							seed, mode, from, to, path.Hops(), want, path)
+						return false
+					}
+					if path[0] != from || path[len(path)-1] != to {
+						t.Logf("seed %d: endpoints wrong: %v", seed, path)
+						return false
+					}
+					if !path.IsValid(g, mode) {
+						t.Logf("seed %d mode %v: invalid path %v", seed, mode, path)
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+}

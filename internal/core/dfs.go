@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/egraph"
+)
+
+// DFSEvent labels the callbacks of the temporal depth-first search.
+type DFSEvent int
+
+const (
+	// Discover fires when a temporal node is first visited.
+	Discover DFSEvent = iota
+	// Finish fires when a temporal node's subtree is exhausted.
+	Finish
+)
+
+// DFS runs a depth-first traversal over the forward-neighbour relation
+// from root, invoking visit for Discover and Finish events. Returning
+// false from visit aborts the walk. The traversal is iterative, so deep
+// temporal graphs cannot overflow the goroutine stack.
+func DFS(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, opts Options,
+	visit func(tn egraph.TemporalNode, ev DFSEvent) bool) error {
+	if err := checkRoot(g, root); err != nil {
+		return err
+	}
+	size := g.NumNodes() * g.NumStamps()
+	seen := make([]bool, size)
+
+	type frame struct {
+		id  int32
+		nbs []egraph.TemporalNode
+		i   int
+	}
+	push := func(stack []frame, tn egraph.TemporalNode) []frame {
+		id := g.TemporalNodeID(tn)
+		seen[id] = true
+		return append(stack, frame{id: int32(id), nbs: neighborsOf(g, tn, opts)})
+	}
+	if !visit(root, Discover) {
+		return nil
+	}
+	stack := push(nil, root)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(f.nbs) {
+			nb := f.nbs[f.i]
+			f.i++
+			if !seen[g.TemporalNodeID(nb)] {
+				if !visit(nb, Discover) {
+					return nil
+				}
+				stack = push(stack, nb)
+			}
+			continue
+		}
+		tn := g.TemporalNodeFromID(int(f.id))
+		stack = stack[:len(stack)-1]
+		if !visit(tn, Finish) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func neighborsOf(g *egraph.IntEvolvingGraph, tn egraph.TemporalNode, opts Options) []egraph.TemporalNode {
+	var out []egraph.TemporalNode
+	visitNeighborsOpts(g, tn, opts, func(nb egraph.TemporalNode) bool {
+		out = append(out, nb)
+		return true
+	})
+	return out
+}
+
+// ErrCyclic is returned by TopologicalOrder when some snapshot contains
+// a directed cycle (the unfolded graph is a DAG iff every snapshot is
+// acyclic — the graph-side reading of Lemma 1).
+var ErrCyclic = errors.New("core: evolving graph has a cyclic snapshot")
+
+// TopologicalOrder returns all active temporal nodes in a topological
+// order of the unfolded graph G = (V, E): every static and causal edge
+// points from an earlier to a later position. It fails with ErrCyclic if
+// any snapshot has a directed cycle.
+//
+// The stamp-major structure does half the work (causal and cross-stamp
+// edges always point to later stamps); within each stamp a Kahn pass
+// orders the snapshot's active subgraph.
+func TopologicalOrder(g *egraph.IntEvolvingGraph, mode egraph.CausalMode) ([]egraph.TemporalNode, error) {
+	var order []egraph.TemporalNode
+	for t := 0; t < g.NumStamps(); t++ {
+		act := g.ActiveNodes(t)
+		// In-degrees within the snapshot.
+		indeg := make(map[int32]int)
+		for vi := act.NextSet(0); vi >= 0; vi = act.NextSet(vi + 1) {
+			v := int32(vi)
+			if _, ok := indeg[v]; !ok {
+				indeg[v] = 0
+			}
+			for _, w := range g.OutNeighbors(v, int32(t)) {
+				indeg[w]++
+			}
+		}
+		// Kahn: repeatedly emit zero-in-degree nodes, ascending id for
+		// determinism.
+		var queue []int32
+		for vi := act.NextSet(0); vi >= 0; vi = act.NextSet(vi + 1) {
+			if indeg[int32(vi)] == 0 {
+				queue = append(queue, int32(vi))
+			}
+		}
+		emitted := 0
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, egraph.TemporalNode{Node: v, Stamp: int32(t)})
+			emitted++
+			for _, w := range g.OutNeighbors(v, int32(t)) {
+				indeg[w]--
+				if indeg[w] == 0 {
+					queue = append(queue, w)
+				}
+			}
+		}
+		if emitted != act.Count() {
+			return nil, ErrCyclic
+		}
+	}
+	_ = mode // the order is valid for both causal modes: causal edges go to later stamps
+	return order, nil
+}
+
+// IsTemporalDAG reports whether every snapshot is acyclic, i.e. the
+// unfolded graph is a DAG and A_n is nilpotent (Lemma 1).
+func IsTemporalDAG(g *egraph.IntEvolvingGraph) bool {
+	_, err := TopologicalOrder(g, egraph.CausalAllPairs)
+	return err == nil
+}

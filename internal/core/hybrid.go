@@ -1,0 +1,149 @@
+package core
+
+import (
+	"repro/internal/ds"
+	"repro/internal/egraph"
+)
+
+// HybridOptions configures the direction-optimizing BFS. Alpha tunes the
+// switch into bottom-up mode (larger = later switch); Beta the switch
+// back. Zero values select the classic defaults (14, 24) of
+// direction-optimizing BFS.
+type HybridOptions struct {
+	Options
+	Alpha int
+	Beta  int
+}
+
+// HybridBFS is a direction-optimizing variant of Algorithm 1 (in the
+// style of Beamer's top-down/bottom-up BFS, adapted to temporal graphs).
+// When the frontier is small it expands top-down like the plain BFS;
+// when the frontier grows past |unvisited|/Alpha it flips to bottom-up:
+// every still-unvisited active temporal node scans its *backward*
+// neighbours — static in-edges at its own stamp and causal in-edges from
+// the node's earlier active stamps — and claims itself if any parent is
+// on the frontier. On low-diameter evolving graphs (the Fig. 5 random
+// workload saturates within a few levels) bottom-up skips the bulk of
+// edge re-scans.
+//
+// The distance labelling is identical to BFS; only parent choice within
+// a level may differ.
+func HybridBFS(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, opts HybridOptions) (*Result, error) {
+	if err := checkRoot(g, root); err != nil {
+		return nil, err
+	}
+	alpha := opts.Alpha
+	if alpha <= 0 {
+		alpha = 14
+	}
+	beta := opts.Beta
+	if beta <= 0 {
+		beta = 24
+	}
+	r := newResult(g, root, opts.Options)
+	n := g.NumNodes()
+	size := n * g.NumStamps()
+
+	// Unvisited active temporal nodes, compacted per level.
+	unvisited := make([]int32, 0, g.NumActiveNodes())
+	for t := 0; t < g.NumStamps(); t++ {
+		act := g.ActiveNodes(t)
+		for v := act.NextSet(0); v >= 0; v = act.NextSet(v + 1) {
+			unvisited = append(unvisited, int32(t*n+v))
+		}
+	}
+
+	rootID := g.TemporalNodeID(root)
+	r.dist[rootID] = 0
+	r.reached = 1
+	r.levels = []int{1}
+	frontier := []int32{int32(rootID)}
+	frontierSet := ds.NewBitSet(size)
+	frontierSet.Set(rootID)
+
+	k := int32(1)
+	for len(frontier) > 0 {
+		if opts.MaxDepth > 0 && int(k) > opts.MaxDepth {
+			break
+		}
+		// Compact the unvisited list (drop anything claimed last level).
+		live := unvisited[:0]
+		for _, id := range unvisited {
+			if r.dist[id] < 0 {
+				live = append(live, id)
+			}
+		}
+		unvisited = live
+
+		var next []int32
+		if len(frontier)*alpha > len(unvisited) && len(frontier) > beta {
+			next = bottomUpStep(g, r, opts.Options, frontierSet, unvisited, k)
+		} else {
+			next = topDownStep(g, r, opts.Options, frontier, k)
+		}
+		if len(next) > 0 {
+			r.levels = append(r.levels, len(next))
+			r.reached += len(next)
+		}
+		frontierSet.Reset()
+		for _, id := range next {
+			frontierSet.Set(int(id))
+		}
+		frontier = next
+		k++
+	}
+	return r, nil
+}
+
+func topDownStep(g *egraph.IntEvolvingGraph, r *Result, opts Options, frontier []int32, k int32) []int32 {
+	var next []int32
+	for _, id := range frontier {
+		tn := g.TemporalNodeFromID(int(id))
+		visitNeighborsOpts(g, tn, opts, func(nb egraph.TemporalNode) bool {
+			nbID := g.TemporalNodeID(nb)
+			if r.dist[nbID] < 0 {
+				r.dist[nbID] = k
+				if r.parent != nil {
+					r.parent[nbID] = id
+				}
+				next = append(next, int32(nbID))
+			}
+			return true
+		})
+	}
+	return next
+}
+
+// bottomUpStep claims every unvisited active temporal node with a
+// frontier member among its backward neighbours.
+func bottomUpStep(g *egraph.IntEvolvingGraph, r *Result, opts Options,
+	frontierSet *ds.BitSet, unvisited []int32, k int32) []int32 {
+
+	n := g.NumNodes()
+	var next []int32
+	back := Options{Mode: opts.Mode, Direction: Backward, ReverseEdges: opts.ReverseEdges}
+	if opts.Direction == Backward {
+		back.Direction = Forward
+	}
+	_ = n
+	for _, id := range unvisited {
+		tn := g.TemporalNodeFromID(int(id))
+		claimed := false
+		visitNeighborsOpts(g, tn, back, func(nb egraph.TemporalNode) bool {
+			nbID := g.TemporalNodeID(nb)
+			if frontierSet.Get(nbID) {
+				r.dist[id] = k
+				if r.parent != nil {
+					r.parent[id] = int32(nbID)
+				}
+				claimed = true
+				return false // one parent suffices
+			}
+			return true
+		})
+		if claimed {
+			next = append(next, id)
+		}
+	}
+	return next
+}

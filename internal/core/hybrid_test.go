@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/egraph"
+)
+
+func TestHybridBFSFigure1(t *testing.T) {
+	g := egraph.Figure1Graph()
+	res, err := HybridBFS(g, tn(0, 0), HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumReached() != 6 || res.Dist(tn(2, 2)) != 3 {
+		t.Fatalf("hybrid BFS wrong: reached=%d dist=%d", res.NumReached(), res.Dist(tn(2, 2)))
+	}
+}
+
+func TestHybridBFSInactiveRoot(t *testing.T) {
+	g := egraph.Figure1Graph()
+	if _, err := HybridBFS(g, tn(2, 0), HybridOptions{}); err == nil {
+		t.Fatal("inactive root should fail")
+	}
+}
+
+// Force the bottom-up path with aggressive switching and verify the
+// distance labelling still matches plain BFS, all modes and directions.
+func TestHybridBFSMatchesSequential(t *testing.T) {
+	f := func(seed int64, directed, consecutive, backward bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, directed)
+		mode := egraph.CausalAllPairs
+		if consecutive {
+			mode = egraph.CausalConsecutive
+		}
+		opts := Options{Mode: mode}
+		if backward {
+			opts.Direction = Backward
+		}
+		u := g.Unfold(mode)
+		for _, root := range u.Order {
+			ref, err := BFS(g, root, opts)
+			if err != nil {
+				return false
+			}
+			// Alpha/Beta = 1 forces bottom-up almost immediately.
+			hyb, err := HybridBFS(g, root, HybridOptions{Options: opts, Alpha: 1, Beta: 1})
+			if err != nil {
+				return false
+			}
+			if hyb.NumReached() != ref.NumReached() || hyb.MaxDist() != ref.MaxDist() {
+				return false
+			}
+			ok := true
+			ref.Visit(func(n egraph.TemporalNode, d int) bool {
+				if hyb.Dist(n) != d {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Default switching thresholds on a dense low-diameter graph: result must
+// match, regardless of which steps ran bottom-up.
+func TestHybridBFSDenseGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	b := egraph.NewBuilder(true)
+	const n, stamps = 150, 4
+	for e := 0; e < 6000; e++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), int64(1+rng.Intn(stamps)))
+	}
+	g := b.Build()
+	root := tn(int32(g.ActiveNodes(0).NextSet(0)), 0)
+	ref, err := BFS(g, root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := HybridBFS(g, root, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb.NumReached() != ref.NumReached() {
+		t.Fatalf("hybrid reached %d, want %d", hyb.NumReached(), ref.NumReached())
+	}
+	ref.Visit(func(n egraph.TemporalNode, d int) bool {
+		if hyb.Dist(n) != d {
+			t.Fatalf("dist(%v) = %d, want %d", n, hyb.Dist(n), d)
+		}
+		return true
+	})
+}
+
+// Parent tracking in bottom-up mode still yields valid shortest paths.
+func TestHybridBFSParents(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomGraph(rng, true)
+	u := g.Unfold(egraph.CausalAllPairs)
+	root := u.Order[0]
+	hyb, err := HybridBFS(g, root, HybridOptions{
+		Options: Options{TrackParents: true}, Alpha: 1, Beta: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb.Visit(func(n egraph.TemporalNode, d int) bool {
+		p := TemporalPath(hyb.PathTo(n))
+		if p.Hops() != d || !p.IsValid(g, egraph.CausalAllPairs) {
+			t.Fatalf("hybrid parent path to %v invalid: %v (dist %d)", n, p, d)
+		}
+		return true
+	})
+}
+
+func TestHybridBFSMaxDepth(t *testing.T) {
+	g := egraph.Figure1Graph()
+	res, err := HybridBFS(g, tn(0, 0), HybridOptions{Options: Options{MaxDepth: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumReached() != 3 {
+		t.Fatalf("NumReached = %d, want 3", res.NumReached())
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/egraph"
+)
+
+func TestParallelBFSFigure1(t *testing.T) {
+	g := egraph.Figure1Graph()
+	res, err := ParallelBFS(g, tn(0, 0), ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumReached() != 6 || res.Dist(tn(2, 2)) != 3 {
+		t.Fatalf("parallel BFS wrong: reached=%d dist=%d", res.NumReached(), res.Dist(tn(2, 2)))
+	}
+}
+
+func TestParallelBFSInactiveRoot(t *testing.T) {
+	g := egraph.Figure1Graph()
+	if _, err := ParallelBFS(g, tn(2, 0), ParallelOptions{}); err == nil {
+		t.Fatal("inactive root should fail")
+	}
+}
+
+// Property: parallel BFS produces the same distance labelling as
+// sequential BFS for every active root, any worker count, both modes.
+func TestParallelBFSMatchesSequential(t *testing.T) {
+	f := func(seed int64, directed, consecutive bool, workerSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, directed)
+		mode := egraph.CausalAllPairs
+		if consecutive {
+			mode = egraph.CausalConsecutive
+		}
+		workers := 1 + int(workerSel%8)
+		u := g.Unfold(mode)
+		for _, root := range u.Order {
+			seq, err := BFS(g, root, Options{Mode: mode})
+			if err != nil {
+				return false
+			}
+			par, err := ParallelBFS(g, root, ParallelOptions{
+				Options: Options{Mode: mode},
+				Workers: workers,
+			})
+			if err != nil {
+				return false
+			}
+			if seq.NumReached() != par.NumReached() || seq.MaxDist() != par.MaxDist() {
+				return false
+			}
+			ok := true
+			seq.Visit(func(n egraph.TemporalNode, d int) bool {
+				if par.Dist(n) != d {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A denser graph exercises real contention between workers (run with
+// -race to check the claim protocol).
+func TestParallelBFSDenseGraphRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := egraph.NewBuilder(true)
+	const n, stamps = 200, 6
+	for e := 0; e < 4000; e++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), int64(1+rng.Intn(stamps)))
+	}
+	g := b.Build()
+	root := tn(int32(g.ActiveNodes(0).NextSet(0)), 0)
+	seq, err := BFS(g, root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		par, err := ParallelBFS(g, root, ParallelOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.NumReached() != seq.NumReached() {
+			t.Fatalf("workers=%d reached %d, want %d", workers, par.NumReached(), seq.NumReached())
+		}
+		seq.Visit(func(n egraph.TemporalNode, d int) bool {
+			if par.Dist(n) != d {
+				t.Fatalf("workers=%d dist(%v) = %d, want %d", workers, n, par.Dist(n), d)
+			}
+			return true
+		})
+	}
+}
+
+// Parallel BFS with TrackParents must produce a parent tree whose paths
+// are valid and as short as the sequential distances.
+func TestParallelBFSParents(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, true)
+	u := g.Unfold(egraph.CausalAllPairs)
+	root := u.Order[0]
+	par, err := ParallelBFS(g, root, ParallelOptions{
+		Options: Options{TrackParents: true},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Visit(func(n egraph.TemporalNode, d int) bool {
+		p := TemporalPath(par.PathTo(n))
+		if p.Hops() != d || !p.IsValid(g, egraph.CausalAllPairs) {
+			t.Fatalf("parallel parent path to %v invalid: %v (dist %d)", n, p, d)
+		}
+		return true
+	})
+}
+
+func TestParallelBFSMaxDepth(t *testing.T) {
+	g := egraph.Figure1Graph()
+	res, err := ParallelBFS(g, tn(0, 0), ParallelOptions{
+		Options: Options{MaxDepth: 1}, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumReached() != 3 {
+		t.Fatalf("NumReached = %d, want 3", res.NumReached())
+	}
+}
+
+func TestParallelBFSDefaultWorkers(t *testing.T) {
+	g := egraph.Figure1Graph()
+	res, err := ParallelBFS(g, tn(0, 0), ParallelOptions{}) // Workers = 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumReached() != 6 {
+		t.Fatalf("NumReached = %d, want 6", res.NumReached())
+	}
+}
+
+// Regression: a worker that fills its buffer on one level and then goes
+// idle (the frontier shrank below workers·chunk) must not leak that
+// buffer back into later frontiers — the stale, already-visited nodes
+// would then re-enter the frontier forever and the search live-locks.
+//
+// The trigger, with 2 workers: level ⟨(1,t1),(2,t1)⟩ splits one node per
+// worker; worker 1 discovers the causal hop (2,t1)→(2,t2) into its
+// buffer. The next frontier ⟨(2,t2)⟩ has width 1, so worker 1 idles with
+// its stale buffer while worker 0 expands (2,t2) into nothing — and the
+// stale ⟨(2,t2)⟩ must not resurrect the frontier.
+func TestParallelBFSStaleBufferTerminates(t *testing.T) {
+	b := egraph.NewBuilder(true)
+	b.AddEdge(0, 1, 1) // frontier filler for worker 0
+	b.AddEdge(0, 2, 1) // node 2's first activity
+	b.AddEdge(4, 2, 2) // activates (2,t2) with no out-edges
+	g := b.Build()
+	root := egraph.TemporalNode{Node: 0, Stamp: 0}
+
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := ParallelBFS(g, root, ParallelOptions{Workers: 2})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	select {
+	case res := <-done:
+		seq, err := BFS(g, root, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumReached() != seq.NumReached() || res.MaxDist() != seq.MaxDist() {
+			t.Fatalf("parallel (reached %d, max %d) ≠ sequential (reached %d, max %d)",
+				res.NumReached(), res.MaxDist(), seq.NumReached(), seq.MaxDist())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ParallelBFS did not terminate (stale worker buffer re-entered the frontier?)")
+	}
+}

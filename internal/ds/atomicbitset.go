@@ -1,0 +1,76 @@
+package ds
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// AtomicBitSet is a fixed-capacity bitset safe for concurrent Set /
+// TestAndSet / Get from multiple goroutines. It backs the shared
+// "visited" map of the parallel BFS, where many workers race to claim
+// newly discovered temporal nodes.
+type AtomicBitSet struct {
+	words []atomic.Uint64
+	n     int
+}
+
+// NewAtomicBitSet returns an AtomicBitSet able to hold bits [0, n).
+func NewAtomicBitSet(n int) *AtomicBitSet {
+	if n < 0 {
+		panic("ds: negative AtomicBitSet size")
+	}
+	return &AtomicBitSet{words: make([]atomic.Uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity in bits.
+func (b *AtomicBitSet) Len() int { return b.n }
+
+// Set atomically sets bit i.
+func (b *AtomicBitSet) Set(i int) {
+	mask := uint64(1) << (uint(i) % wordBits)
+	w := &b.words[i/wordBits]
+	for {
+		old := w.Load()
+		if old&mask != 0 || w.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
+
+// Get reports whether bit i is set.
+func (b *AtomicBitSet) Get(i int) bool {
+	return b.words[i/wordBits].Load()&(1<<(uint(i)%wordBits)) != 0
+}
+
+// TestAndSet atomically sets bit i and reports whether it was already
+// set. Exactly one concurrent caller observes false for a given bit.
+func (b *AtomicBitSet) TestAndSet(i int) bool {
+	mask := uint64(1) << (uint(i) % wordBits)
+	w := &b.words[i/wordBits]
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return true
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			return false
+		}
+	}
+}
+
+// Count returns the number of set bits. It is only meaningful once
+// concurrent writers have quiesced.
+func (b *AtomicBitSet) Count() int {
+	c := 0
+	for i := range b.words {
+		c += bits.OnesCount64(b.words[i].Load())
+	}
+	return c
+}
+
+// Reset clears all bits. Not safe to call concurrently with writers.
+func (b *AtomicBitSet) Reset() {
+	for i := range b.words {
+		b.words[i].Store(0)
+	}
+}

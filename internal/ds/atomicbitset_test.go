@@ -1,0 +1,96 @@
+package ds
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAtomicBitSetBasic(t *testing.T) {
+	b := NewAtomicBitSet(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	for _, i := range []int{0, 64, 129} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) {
+		t.Fatal("bit 1 unexpectedly set")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestAtomicBitSetSetIdempotent(t *testing.T) {
+	b := NewAtomicBitSet(64)
+	b.Set(7)
+	b.Set(7)
+	if b.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", b.Count())
+	}
+}
+
+// Exactly one of many concurrent TestAndSet callers must win each bit.
+func TestAtomicBitSetTestAndSetRace(t *testing.T) {
+	const bits, workers = 1024, 8
+	b := NewAtomicBitSet(bits)
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < bits; i++ {
+				if !b.TestAndSet(i) {
+					wins.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != bits {
+		t.Fatalf("winners = %d, want %d", wins.Load(), bits)
+	}
+	if b.Count() != bits {
+		t.Fatalf("Count = %d, want %d", b.Count(), bits)
+	}
+}
+
+func TestAtomicBitSetConcurrentSet(t *testing.T) {
+	const n = 4096
+	b := NewAtomicBitSet(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				b.Set(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Count() != n {
+		t.Fatalf("Count = %d, want %d", b.Count(), n)
+	}
+}
+
+func TestAtomicBitSetNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAtomicBitSet(-1)
+}

@@ -1,0 +1,187 @@
+// Package ds provides the low-level data structures shared by the
+// evolving-graph traversal code: bitsets (plain and atomic), ring-buffer
+// queues, sparse sets and binary heaps. Everything is allocation-conscious;
+// these types sit on the hot path of every BFS in the repository.
+package ds
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// BitSet is a fixed-capacity dense bitset. The zero value is an empty set
+// of capacity zero; use NewBitSet to allocate capacity up front.
+type BitSet struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitSet returns a BitSet able to hold bits [0, n).
+func NewBitSet(n int) *BitSet {
+	if n < 0 {
+		panic("ds: negative BitSet size")
+	}
+	return &BitSet{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity in bits.
+func (b *BitSet) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *BitSet) Set(i int) {
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (b *BitSet) Clear(i int) {
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set.
+func (b *BitSet) Get(i int) bool {
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// TestAndSet sets bit i and reports whether it was already set.
+func (b *BitSet) TestAndSet(i int) bool {
+	w := &b.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	old := *w&mask != 0
+	*w |= mask
+	return old
+}
+
+// Count returns the number of set bits.
+func (b *BitSet) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears every bit without reallocating.
+func (b *BitSet) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Any reports whether at least one bit is set.
+func (b *BitSet) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none. It allows iteration:
+//
+//	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) { ... }
+func (b *BitSet) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := b.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		r := i + bits.TrailingZeros64(w)
+		if r >= b.n {
+			return -1
+		}
+		return r
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			r := wi*wordBits + bits.TrailingZeros64(b.words[wi])
+			if r >= b.n {
+				return -1
+			}
+			return r
+		}
+	}
+	return -1
+}
+
+// Or sets b to the union of b and other. The sets must have equal capacity.
+func (b *BitSet) Or(other *BitSet) {
+	if b.n != other.n {
+		panic("ds: BitSet size mismatch in Or")
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// And sets b to the intersection of b and other.
+func (b *BitSet) And(other *BitSet) {
+	if b.n != other.n {
+		panic("ds: BitSet size mismatch in And")
+	}
+	for i, w := range other.words {
+		b.words[i] &= w
+	}
+}
+
+// AndNot clears every bit of b that is set in other.
+func (b *BitSet) AndNot(other *BitSet) {
+	if b.n != other.n {
+		panic("ds: BitSet size mismatch in AndNot")
+	}
+	for i, w := range other.words {
+		b.words[i] &^= w
+	}
+}
+
+// Clone returns an independent copy.
+func (b *BitSet) Clone() *BitSet {
+	c := &BitSet{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// Equal reports whether b and other hold the same bits and capacity.
+func (b *BitSet) Equal(other *BitSet) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Slice appends the indices of all set bits to dst and returns it.
+func (b *BitSet) Slice(dst []int) []int {
+	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// String renders the set as {i, j, ...} for debugging.
+func (b *BitSet) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,213 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBasic(t *testing.T) {
+	b := NewBitSet(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	if b.Any() {
+		t.Fatal("new set should be empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestBitSetTestAndSet(t *testing.T) {
+	b := NewBitSet(10)
+	if b.TestAndSet(3) {
+		t.Fatal("first TestAndSet returned true")
+	}
+	if !b.TestAndSet(3) {
+		t.Fatal("second TestAndSet returned false")
+	}
+	if !b.Get(3) {
+		t.Fatal("bit not set")
+	}
+}
+
+func TestBitSetNextSet(t *testing.T) {
+	b := NewBitSet(200)
+	want := []int{3, 64, 65, 150, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterated %v, want %v", got, want)
+		}
+	}
+	if b.NextSet(200) != -1 {
+		t.Fatal("NextSet past capacity should be -1")
+	}
+	if b.NextSet(-5) != 3 {
+		t.Fatal("NextSet with negative start should clamp to 0")
+	}
+}
+
+func TestBitSetNextSetEmpty(t *testing.T) {
+	b := NewBitSet(100)
+	if b.NextSet(0) != -1 {
+		t.Fatal("NextSet on empty set should be -1")
+	}
+}
+
+func TestBitSetSetOps(t *testing.T) {
+	a := NewBitSet(100)
+	b := NewBitSet(100)
+	a.Set(1)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+
+	u := a.Clone()
+	u.Or(b)
+	if u.Count() != 3 || !u.Get(1) || !u.Get(70) || !u.Get(99) {
+		t.Fatalf("union wrong: %v", u)
+	}
+
+	i := a.Clone()
+	i.And(b)
+	if i.Count() != 1 || !i.Get(70) {
+		t.Fatalf("intersection wrong: %v", i)
+	}
+
+	d := a.Clone()
+	d.AndNot(b)
+	if d.Count() != 1 || !d.Get(1) {
+		t.Fatalf("difference wrong: %v", d)
+	}
+}
+
+func TestBitSetCloneIndependence(t *testing.T) {
+	a := NewBitSet(64)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(6)
+	if a.Get(6) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.Equal(c.Clone()) {
+		t.Fatal("clone not Equal to itself")
+	}
+	if a.Equal(c) {
+		t.Fatal("different sets reported Equal")
+	}
+}
+
+func TestBitSetEqualDifferentSizes(t *testing.T) {
+	if NewBitSet(10).Equal(NewBitSet(20)) {
+		t.Fatal("sets of different capacity reported Equal")
+	}
+}
+
+func TestBitSetReset(t *testing.T) {
+	b := NewBitSet(100)
+	b.Set(10)
+	b.Set(90)
+	b.Reset()
+	if b.Any() || b.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestBitSetSliceAndString(t *testing.T) {
+	b := NewBitSet(20)
+	b.Set(2)
+	b.Set(17)
+	s := b.Slice(nil)
+	if len(s) != 2 || s[0] != 2 || s[1] != 17 {
+		t.Fatalf("Slice = %v", s)
+	}
+	if got := b.String(); got != "{2, 17}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := NewBitSet(4).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// Property: a BitSet agrees with a map[int]bool model under a random
+// operation sequence.
+func TestBitSetMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		b := NewBitSet(n)
+		model := make(map[int]bool)
+		for op := 0; op < 500; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(i)
+				model[i] = true
+			case 1:
+				b.Clear(i)
+				delete(model, i)
+			case 2:
+				if b.Get(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+			if !model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitSetNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBitSet(-1)
+}
+
+func TestBitSetMismatchedOrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBitSet(10).Or(NewBitSet(20))
+}

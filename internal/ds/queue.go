@@ -1,0 +1,78 @@
+package ds
+
+// IntQueue is a FIFO queue of ints backed by a growable ring buffer.
+// The zero value is an empty queue ready to use. It avoids the per-element
+// allocation of container/list and the slice-shift cost of naive queues;
+// BFS frontiers push and pop millions of entries through it.
+type IntQueue struct {
+	buf        []int
+	head, tail int // head = next pop, tail = next push
+	size       int
+}
+
+// NewIntQueue returns a queue with capacity pre-allocated for n elements.
+func NewIntQueue(n int) *IntQueue {
+	if n < 1 {
+		n = 1
+	}
+	return &IntQueue{buf: make([]int, n)}
+}
+
+// Len returns the number of queued elements.
+func (q *IntQueue) Len() int { return q.size }
+
+// Empty reports whether the queue has no elements.
+func (q *IntQueue) Empty() bool { return q.size == 0 }
+
+// Push appends v to the back of the queue.
+func (q *IntQueue) Push(v int) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail] = v
+	q.tail++
+	if q.tail == len(q.buf) {
+		q.tail = 0
+	}
+	q.size++
+}
+
+// Pop removes and returns the front element. It panics on an empty queue;
+// callers are expected to guard with Empty or Len.
+func (q *IntQueue) Pop() int {
+	if q.size == 0 {
+		panic("ds: Pop from empty IntQueue")
+	}
+	v := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.size--
+	return v
+}
+
+// Peek returns the front element without removing it.
+func (q *IntQueue) Peek() int {
+	if q.size == 0 {
+		panic("ds: Peek on empty IntQueue")
+	}
+	return q.buf[q.head]
+}
+
+// Reset empties the queue, retaining capacity.
+func (q *IntQueue) Reset() {
+	q.head, q.tail, q.size = 0, 0, 0
+}
+
+func (q *IntQueue) grow() {
+	nb := make([]int, 2*len(q.buf))
+	if q.buf == nil {
+		nb = make([]int, 4)
+	}
+	n := copy(nb, q.buf[q.head:])
+	copy(nb[n:], q.buf[:q.head])
+	q.buf = nb
+	q.head = 0
+	q.tail = q.size
+}

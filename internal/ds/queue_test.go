@@ -1,0 +1,123 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntQueueFIFO(t *testing.T) {
+	q := NewIntQueue(2)
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestIntQueueWrapAround(t *testing.T) {
+	q := NewIntQueue(4)
+	// Interleave pushes and pops so head/tail wrap the ring repeatedly.
+	next, expect := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if got := q.Pop(); got != expect {
+				t.Fatalf("Pop = %d, want %d", got, expect)
+			}
+			expect++
+		}
+	}
+	for !q.Empty() {
+		if got := q.Pop(); got != expect {
+			t.Fatalf("drain Pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d items, pushed %d", expect, next)
+	}
+}
+
+func TestIntQueueZeroValue(t *testing.T) {
+	var q IntQueue
+	q.Push(42)
+	if q.Peek() != 42 {
+		t.Fatalf("Peek = %d, want 42", q.Peek())
+	}
+	if q.Pop() != 42 {
+		t.Fatal("Pop != 42")
+	}
+}
+
+func TestIntQueueReset(t *testing.T) {
+	q := NewIntQueue(4)
+	q.Push(1)
+	q.Push(2)
+	q.Reset()
+	if !q.Empty() {
+		t.Fatal("Reset did not empty queue")
+	}
+	q.Push(3)
+	if q.Pop() != 3 {
+		t.Fatal("queue broken after Reset")
+	}
+}
+
+func TestIntQueuePopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIntQueue(1).Pop()
+}
+
+func TestIntQueuePeekEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIntQueue(1).Peek()
+}
+
+// Property: IntQueue behaves like a slice-backed FIFO model.
+func TestIntQueueMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewIntQueue(1)
+		var model []int
+		for op := 0; op < 1000; op++ {
+			if rng.Intn(2) == 0 || len(model) == 0 {
+				v := rng.Int()
+				q.Push(v)
+				model = append(model, v)
+			} else {
+				if q.Pop() != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package ds
+
+// SparseSet is a set over a dense integer universe [0, n) with O(1)
+// insert, membership test, and clear, and iteration proportional to the
+// number of members (Briggs–Torczon). It backs BFS frontiers where a
+// level must be iterated in insertion order and then discarded wholesale.
+type SparseSet struct {
+	dense  []int // members, in insertion order
+	sparse []int // sparse[v] = index of v in dense, if member
+}
+
+// NewSparseSet returns a set over the universe [0, n).
+func NewSparseSet(n int) *SparseSet {
+	return &SparseSet{dense: make([]int, 0, 16), sparse: make([]int, n)}
+}
+
+// Len returns the number of members.
+func (s *SparseSet) Len() int { return len(s.dense) }
+
+// Contains reports whether v is a member.
+func (s *SparseSet) Contains(v int) bool {
+	i := s.sparse[v]
+	return i < len(s.dense) && s.dense[i] == v
+}
+
+// Add inserts v; it reports whether v was newly inserted.
+func (s *SparseSet) Add(v int) bool {
+	if s.Contains(v) {
+		return false
+	}
+	s.sparse[v] = len(s.dense)
+	s.dense = append(s.dense, v)
+	return true
+}
+
+// Remove deletes v; it reports whether v was a member. The last-inserted
+// member is swapped into v's slot, so insertion order is not preserved
+// across removals.
+func (s *SparseSet) Remove(v int) bool {
+	if !s.Contains(v) {
+		return false
+	}
+	i := s.sparse[v]
+	last := s.dense[len(s.dense)-1]
+	s.dense[i] = last
+	s.sparse[last] = i
+	s.dense = s.dense[:len(s.dense)-1]
+	return true
+}
+
+// Clear empties the set in O(1) amortised time.
+func (s *SparseSet) Clear() { s.dense = s.dense[:0] }
+
+// Members returns the members in insertion order. The returned slice
+// aliases internal storage and is invalidated by the next mutation.
+func (s *SparseSet) Members() []int { return s.dense }

@@ -1,0 +1,128 @@
+package ds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseSetBasic(t *testing.T) {
+	s := NewSparseSet(10)
+	if s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	if !s.Add(3) || !s.Add(7) {
+		t.Fatal("Add of new element returned false")
+	}
+	if s.Add(3) {
+		t.Fatal("Add of existing element returned true")
+	}
+	if !s.Contains(3) || !s.Contains(7) || s.Contains(5) {
+		t.Fatal("Contains wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestSparseSetInsertionOrder(t *testing.T) {
+	s := NewSparseSet(100)
+	want := []int{42, 7, 99, 0}
+	for _, v := range want {
+		s.Add(v)
+	}
+	got := s.Members()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSparseSetRemove(t *testing.T) {
+	s := NewSparseSet(10)
+	s.Add(1)
+	s.Add(2)
+	s.Add(3)
+	if !s.Remove(2) {
+		t.Fatal("Remove of member returned false")
+	}
+	if s.Remove(2) {
+		t.Fatal("Remove of non-member returned true")
+	}
+	if s.Contains(2) || !s.Contains(1) || !s.Contains(3) {
+		t.Fatal("membership wrong after Remove")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestSparseSetClear(t *testing.T) {
+	s := NewSparseSet(10)
+	s.Add(4)
+	s.Clear()
+	if s.Len() != 0 || s.Contains(4) {
+		t.Fatal("Clear did not empty set")
+	}
+	// Stale sparse entries must not resurrect members.
+	s.Add(5)
+	if s.Contains(4) {
+		t.Fatal("stale member visible after Clear")
+	}
+}
+
+// Property: SparseSet agrees with a map model.
+func TestSparseSetMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		s := NewSparseSet(n)
+		model := make(map[int]bool)
+		for op := 0; op < 500; op++ {
+			v := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0:
+				if s.Add(v) == model[v] {
+					return false
+				}
+				model[v] = true
+			case 1:
+				if s.Remove(v) != model[v] {
+					return false
+				}
+				delete(model, v)
+			case 2:
+				if s.Contains(v) != model[v] {
+					return false
+				}
+			case 3:
+				s.Clear()
+				model = make(map[int]bool)
+			}
+			if s.Len() != len(model) {
+				return false
+			}
+		}
+		got := append([]int(nil), s.Members()...)
+		sort.Ints(got)
+		want := make([]int, 0, len(model))
+		for v := range model {
+			want = append(want, v)
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

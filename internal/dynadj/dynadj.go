@@ -1,0 +1,318 @@
+// Package dynadj provides a dynamic adjacency store for evolving graphs:
+// a mutable edge container that admits concurrent readers while a writer
+// applies batches of insertions and deletions, in the spirit of dynamic-
+// graph frameworks such as STINGER and Aspen.
+//
+// The paper treats an evolving graph as an immutable sequence of
+// snapshots; internal/stream covers the append-only regime where new
+// stamps arrive at the end. This package covers the fully dynamic
+// regime — edges may be inserted into or deleted from any stamp — while
+// still serving consistent reads:
+//
+//   - Writers call Apply with a batch of updates. Only the per-(node,
+//     stamp) adjacency blocks touched by the batch are re-built
+//     (copy-on-write); untouched blocks are shared between versions.
+//   - Readers call Snapshot and get an immutable View pinned to the
+//     version current at that moment. A View never changes, no matter
+//     how many batches land afterwards, and requires no locking to read.
+//   - Freeze converts a View into the package's canonical
+//     IntEvolvingGraph so every algorithm in the repository (BFS,
+//     algebraic BFS, metrics, …) runs on a consistent frozen state.
+//
+// The store is single-writer/multi-reader: Apply calls are serialised by
+// an internal mutex, snapshots are lock-free pointer loads.
+package dynadj
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/egraph"
+)
+
+// Op distinguishes edge insertions from deletions.
+type Op int8
+
+const (
+	// Insert adds the edge; inserting an existing edge is a no-op.
+	Insert Op = iota
+	// Delete removes the edge; deleting a missing edge is a no-op.
+	Delete
+)
+
+func (o Op) String() string {
+	if o == Delete {
+		return "delete"
+	}
+	return "insert"
+}
+
+// Update is one edge mutation: (U → V at stamp index T).
+type Update struct {
+	U, V int32
+	T    int32
+	Op   Op
+}
+
+// Store is the dynamic adjacency container. Construct with NewStore.
+type Store struct {
+	numNodes  int
+	numStamps int
+	directed  bool
+	times     []int64
+
+	mu      sync.Mutex // serialises writers
+	version atomic.Pointer[version]
+}
+
+// version is one immutable state of the store. Adjacency blocks are
+// shared across versions; a batch clones only the blocks it touches.
+type version struct {
+	// out[t*numNodes+v] = sorted out-neighbours of v at stamp t; nil
+	// means empty. For undirected stores each edge appears in both
+	// endpoint blocks.
+	out   []*block
+	edges int   // logical edge count (undirected edges counted once)
+	seq   int64 // monotone version number, 0 for the empty store
+}
+
+// block is an immutable sorted adjacency list.
+type block struct {
+	nbrs []int32
+}
+
+func (b *block) contains(v int32) bool {
+	if b == nil {
+		return false
+	}
+	i := sort.Search(len(b.nbrs), func(i int) bool { return b.nbrs[i] >= v })
+	return i < len(b.nbrs) && b.nbrs[i] == v
+}
+
+// NewStore creates an empty dynamic store over a fixed node universe and
+// stamp axis. times are the user-visible labels of the stamp indices and
+// must be strictly increasing.
+func NewStore(numNodes int, times []int64, directed bool) (*Store, error) {
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("dynadj: numNodes must be positive, got %d", numNodes)
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("dynadj: need at least one stamp")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("dynadj: time labels must be strictly increasing (times[%d]=%d, times[%d]=%d)", i-1, times[i-1], i, times[i])
+		}
+	}
+	s := &Store{
+		numNodes:  numNodes,
+		numStamps: len(times),
+		directed:  directed,
+		times:     append([]int64(nil), times...),
+	}
+	s.version.Store(&version{out: make([]*block, numNodes*len(times))})
+	return s, nil
+}
+
+// NumNodes returns the size of the node universe.
+func (s *Store) NumNodes() int { return s.numNodes }
+
+// NumStamps returns the number of stamps on the time axis.
+func (s *Store) NumStamps() int { return s.numStamps }
+
+// Directed reports the edge orientation of the store.
+func (s *Store) Directed() bool { return s.directed }
+
+// Apply atomically applies a batch of updates and returns the number of
+// updates that changed the graph (inserts of missing edges plus deletes
+// of present edges). Within a batch, updates are applied in order, so an
+// insert followed by a delete of the same edge leaves it absent.
+// Self-loops are rejected: they never activate a node (Def. 3), so the
+// paper's model has no use for them.
+func (s *Store) Apply(batch []Update) (changed int, err error) {
+	if err := s.validate(batch); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	cur := s.version.Load()
+	next := &version{
+		out:   append([]*block(nil), cur.out...),
+		edges: cur.edges,
+		seq:   cur.seq + 1,
+	}
+	// Group mutations per adjacency block so each touched block is
+	// rebuilt exactly once regardless of batch size.
+	type delta struct {
+		add, del map[int32]bool
+	}
+	deltas := make(map[int]*delta)
+	touch := func(slot int) *delta {
+		d := deltas[slot]
+		if d == nil {
+			d = &delta{add: make(map[int32]bool), del: make(map[int32]bool)}
+			deltas[slot] = d
+		}
+		return d
+	}
+	record := func(from, to, t int32, op Op) {
+		d := touch(int(t)*s.numNodes + int(from))
+		if op == Insert {
+			d.add[to] = true
+			delete(d.del, to)
+		} else {
+			d.del[to] = true
+			delete(d.add, to)
+		}
+	}
+	for _, u := range batch {
+		record(u.U, u.V, u.T, u.Op)
+		if !s.directed {
+			record(u.V, u.U, u.T, u.Op)
+		}
+	}
+
+	added, deleted := 0, 0
+	for slot, d := range deltas {
+		old := next.out[slot]
+		var oldN []int32
+		if old != nil {
+			oldN = old.nbrs
+		}
+		merged := make([]int32, 0, len(oldN)+len(d.add))
+		for _, v := range oldN {
+			if d.del[v] {
+				deleted++
+				continue
+			}
+			delete(d.add, v) // already present: insert is a no-op
+			merged = append(merged, v)
+		}
+		for v := range d.add {
+			merged = append(merged, v)
+			added++
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		if len(merged) == 0 {
+			next.out[slot] = nil
+		} else {
+			next.out[slot] = &block{nbrs: merged}
+		}
+	}
+	if !s.directed {
+		// Each logical change was recorded at both endpoint blocks.
+		added /= 2
+		deleted /= 2
+	}
+	next.edges += added - deleted
+	changed = added + deleted
+	s.version.Store(next)
+	return changed, nil
+}
+
+// validate rejects out-of-range endpoints/stamps, unknown ops, and
+// self-loops (which never activate a node, Def. 3).
+func (s *Store) validate(batch []Update) error {
+	for i, u := range batch {
+		if u.U < 0 || int(u.U) >= s.numNodes || u.V < 0 || int(u.V) >= s.numNodes {
+			return fmt.Errorf("dynadj: update %d: node out of range: %+v", i, u)
+		}
+		if u.T < 0 || int(u.T) >= s.numStamps {
+			return fmt.Errorf("dynadj: update %d: stamp out of range: %+v", i, u)
+		}
+		if u.Op != Insert && u.Op != Delete {
+			return fmt.Errorf("dynadj: update %d: unknown op %d", i, u.Op)
+		}
+		if u.U == u.V {
+			return fmt.Errorf("dynadj: update %d: self-loop %d→%d rejected", i, u.U, u.V)
+		}
+	}
+	return nil
+}
+
+// Snapshot returns an immutable view of the current state. The view
+// remains valid and unchanged for its lifetime; concurrent Apply calls
+// produce new versions without disturbing it.
+func (s *Store) Snapshot() *View {
+	return &View{store: s, v: s.version.Load()}
+}
+
+// View is an immutable snapshot of a Store. All methods are safe for
+// concurrent use.
+type View struct {
+	store *Store
+	v     *version
+}
+
+// Seq returns the monotone version number of the snapshot (0 = empty
+// initial state, +1 per applied batch).
+func (w *View) Seq() int64 { return w.v.seq }
+
+// NumEdges returns the logical edge count (undirected edges once).
+func (w *View) NumEdges() int { return w.v.edges }
+
+// HasEdge reports whether u→v exists at stamp t in this snapshot.
+func (w *View) HasEdge(u, v, t int32) bool {
+	if u < 0 || int(u) >= w.store.numNodes || v < 0 || int(v) >= w.store.numNodes ||
+		t < 0 || int(t) >= w.store.numStamps {
+		return false
+	}
+	return w.v.out[int(t)*w.store.numNodes+int(u)].contains(v)
+}
+
+// OutDegree returns the out-degree of v at stamp t.
+func (w *View) OutDegree(v, t int32) int {
+	b := w.v.out[int(t)*w.store.numNodes+int(v)]
+	if b == nil {
+		return 0
+	}
+	return len(b.nbrs)
+}
+
+// OutNeighbors returns the sorted out-neighbours of v at stamp t. The
+// returned slice is shared with the snapshot and must not be modified.
+func (w *View) OutNeighbors(v, t int32) []int32 {
+	b := w.v.out[int(t)*w.store.numNodes+int(v)]
+	if b == nil {
+		return nil
+	}
+	return b.nbrs
+}
+
+// VisitEdges calls fn for every edge at stamp t (each undirected edge is
+// visited once, with u < v). Iteration stops early if fn returns false.
+func (w *View) VisitEdges(t int32, fn func(u, v int32) bool) {
+	for u := int32(0); int(u) < w.store.numNodes; u++ {
+		b := w.v.out[int(t)*w.store.numNodes+int(u)]
+		if b == nil {
+			continue
+		}
+		for _, v := range b.nbrs {
+			if !w.store.directed && v < u {
+				continue
+			}
+			if !fn(u, v) {
+				return
+			}
+		}
+	}
+}
+
+// Freeze materialises the snapshot as an IntEvolvingGraph so the full
+// algorithm suite can run against it. Stamps with no edges carry no
+// active nodes and are dropped from the frozen graph's stamp axis, like
+// a Builder fed the same edges; user-visible time labels are preserved.
+func (w *View) Freeze() *egraph.IntEvolvingGraph {
+	b := egraph.NewBuilder(w.store.directed)
+	for t := int32(0); int(t) < w.store.numStamps; t++ {
+		label := w.store.times[t]
+		w.VisitEdges(t, func(u, v int32) bool {
+			b.AddEdge(u, v, label)
+			return true
+		})
+	}
+	return b.Build()
+}

@@ -1,0 +1,198 @@
+// Journal: a write-ahead log for the dynamic store. Every applied batch
+// is appended as one length-framed, checksummed record; replaying the
+// journal reconstructs the store. A torn tail (crash mid-append) is
+// detected by frame length or checksum and the replay stops cleanly at
+// the last complete batch — the recovery contract of any write-ahead
+// log.
+package dynadj
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// journalMagic identifies journal files and versions the format.
+var journalMagic = [8]byte{'E', 'G', 'D', 'J', '0', '0', '0', '1'}
+
+// ErrTruncatedJournal reports that a replay hit an incomplete or
+// corrupt trailing record. The store returned alongside it reflects
+// every batch before the damage and is safe to use.
+var ErrTruncatedJournal = errors.New("dynadj: journal truncated mid-record")
+
+// maxJournalBatch bounds a single record's update count so a corrupt
+// length field cannot trigger a huge allocation during replay.
+const maxJournalBatch = 1 << 24
+
+// JournalWriter appends store batches to a log. Not safe for concurrent
+// use; serialise through the same discipline as Store.Apply.
+type JournalWriter struct {
+	w      io.Writer
+	headed bool
+	store  *Store
+}
+
+// NewJournalWriter creates a journal for the given store's geometry.
+// The header (node count, stamp labels, orientation) is written on the
+// first Append, so an unused journal stays zero bytes.
+func NewJournalWriter(w io.Writer, store *Store) *JournalWriter {
+	return &JournalWriter{w: w, store: store}
+}
+
+func (jw *JournalWriter) writeHeader() error {
+	s := jw.store
+	buf := make([]byte, 8+4+4+1+8*s.numStamps)
+	copy(buf, journalMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:], uint32(s.numNodes))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(s.numStamps))
+	if s.directed {
+		buf[16] = 1
+	}
+	for i, t := range s.times {
+		binary.LittleEndian.PutUint64(buf[17+8*i:], uint64(t))
+	}
+	if _, err := jw.w.Write(buf); err != nil {
+		return fmt.Errorf("dynadj: journal header: %w", err)
+	}
+	return nil
+}
+
+// Append logs one batch. Call it with exactly the batches passed to
+// Store.Apply, in the same order.
+func (jw *JournalWriter) Append(batch []Update) error {
+	if !jw.headed {
+		if err := jw.writeHeader(); err != nil {
+			return err
+		}
+		jw.headed = true
+	}
+	// Frame: u32 payload length, u32 CRC of payload, payload. Payload:
+	// u32 count, then (u32 u, u32 v, u32 t, u8 op) per update.
+	payload := make([]byte, 4+13*len(batch))
+	binary.LittleEndian.PutUint32(payload, uint32(len(batch)))
+	off := 4
+	for _, u := range batch {
+		binary.LittleEndian.PutUint32(payload[off:], uint32(u.U))
+		binary.LittleEndian.PutUint32(payload[off+4:], uint32(u.V))
+		binary.LittleEndian.PutUint32(payload[off+8:], uint32(u.T))
+		payload[off+12] = byte(u.Op)
+		off += 13
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	if _, err := jw.w.Write(frame[:]); err != nil {
+		return fmt.Errorf("dynadj: journal frame: %w", err)
+	}
+	if _, err := jw.w.Write(payload); err != nil {
+		return fmt.Errorf("dynadj: journal payload: %w", err)
+	}
+	return nil
+}
+
+// Logged wraps a Store and a JournalWriter so every applied batch is
+// durably logged first (write-ahead), then applied.
+type Logged struct {
+	Store   *Store
+	Journal *JournalWriter
+}
+
+// NewLogged pairs a fresh store with a journal writing to w.
+func NewLogged(w io.Writer, numNodes int, times []int64, directed bool) (*Logged, error) {
+	s, err := NewStore(numNodes, times, directed)
+	if err != nil {
+		return nil, err
+	}
+	return &Logged{Store: s, Journal: NewJournalWriter(w, s)}, nil
+}
+
+// Apply logs the batch, then applies it. If logging fails the store is
+// left untouched, so the journal never lags the store.
+func (l *Logged) Apply(batch []Update) (changed int, err error) {
+	// Validate first: a batch the store would reject must not be
+	// journalled, or replay would fail where the original succeeded.
+	if err := l.Store.validate(batch); err != nil {
+		return 0, err
+	}
+	if err := l.Journal.Append(batch); err != nil {
+		return 0, err
+	}
+	return l.Store.Apply(batch)
+}
+
+// Replay reconstructs a store from a journal. On a clean journal the
+// error is nil; a torn or corrupt tail yields the recovered store, the
+// count of complete batches, and ErrTruncatedJournal. Any other format
+// violation (bad magic, impossible geometry) returns a hard error.
+func Replay(r io.Reader) (store *Store, batches int, err error) {
+	var head [17]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, 0, fmt.Errorf("dynadj: journal header: %w", err)
+	}
+	if [8]byte(head[:8]) != journalMagic {
+		return nil, 0, fmt.Errorf("dynadj: not a journal (magic %q)", head[:8])
+	}
+	numNodes := int(binary.LittleEndian.Uint32(head[8:]))
+	numStamps := int(binary.LittleEndian.Uint32(head[12:]))
+	directed := head[16] == 1
+	if numStamps <= 0 || numStamps > 1<<20 {
+		return nil, 0, fmt.Errorf("dynadj: implausible stamp count %d", numStamps)
+	}
+	timesBuf := make([]byte, 8*numStamps)
+	if _, err := io.ReadFull(r, timesBuf); err != nil {
+		return nil, 0, fmt.Errorf("dynadj: journal time labels: %w", err)
+	}
+	times := make([]int64, numStamps)
+	for i := range times {
+		times[i] = int64(binary.LittleEndian.Uint64(timesBuf[8*i:]))
+	}
+	store, err = NewStore(numNodes, times, directed)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	for {
+		var frame [8]byte
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			if err == io.EOF {
+				return store, batches, nil // clean end
+			}
+			return store, batches, ErrTruncatedJournal
+		}
+		length := binary.LittleEndian.Uint32(frame[:4])
+		sum := binary.LittleEndian.Uint32(frame[4:])
+		if length < 4 || length > 4+13*maxJournalBatch {
+			return store, batches, ErrTruncatedJournal
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return store, batches, ErrTruncatedJournal
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return store, batches, ErrTruncatedJournal
+		}
+		count := int(binary.LittleEndian.Uint32(payload))
+		if uint32(4+13*count) != length {
+			return store, batches, ErrTruncatedJournal
+		}
+		batch := make([]Update, count)
+		off := 4
+		for i := range batch {
+			batch[i] = Update{
+				U:  int32(binary.LittleEndian.Uint32(payload[off:])),
+				V:  int32(binary.LittleEndian.Uint32(payload[off+4:])),
+				T:  int32(binary.LittleEndian.Uint32(payload[off+8:])),
+				Op: Op(payload[off+12]),
+			}
+			off += 13
+		}
+		if _, err := store.Apply(batch); err != nil {
+			// The writer validates before logging, so an invalid
+			// logged batch means the record bytes are damaged.
+			return store, batches, ErrTruncatedJournal
+		}
+		batches++
+	}
+}

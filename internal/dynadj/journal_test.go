@@ -1,0 +1,242 @@
+package dynadj
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// viewsEqual compares two snapshots edge-for-edge.
+func viewsEqual(a, b *View, stamps int) bool {
+	if a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for t := int32(0); int(t) < stamps; t++ {
+		equal := true
+		a.VisitEdges(t, func(u, v int32) bool {
+			if !b.HasEdge(u, v, t) {
+				equal = false
+			}
+			return equal
+		})
+		if !equal {
+			return false
+		}
+	}
+	return true
+}
+
+func randomBatches(rng *rand.Rand, nodes, stamps, count int) [][]Update {
+	out := make([][]Update, count)
+	for b := range out {
+		var batch []Update
+		for len(batch) < 1+rng.Intn(10) {
+			u := int32(rng.Intn(nodes))
+			v := int32(rng.Intn(nodes))
+			if u == v {
+				continue
+			}
+			op := Insert
+			if rng.Intn(4) == 0 {
+				op = Delete
+			}
+			batch = append(batch, Update{U: u, V: v, T: int32(rng.Intn(stamps)), Op: op})
+		}
+		out[b] = batch
+	}
+	return out
+}
+
+// A clean journal replays to exactly the final store state.
+func TestJournalRoundTrip(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(10)
+		stamps := 1 + rng.Intn(4)
+		times := make([]int64, stamps)
+		for i := range times {
+			times[i] = int64(10 * (i + 1)) // non-trivial labels
+		}
+		var buf bytes.Buffer
+		logged, err := NewLogged(&buf, nodes, times, directed)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, batch := range randomBatches(rng, nodes, stamps, 5) {
+			if _, err := logged.Apply(batch); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		replayed, batches, err := Replay(&buf)
+		if err != nil {
+			t.Logf("seed %d: replay: %v", seed, err)
+			return false
+		}
+		if batches != 5 {
+			t.Logf("seed %d: replayed %d batches, want 5", seed, batches)
+			return false
+		}
+		if replayed.NumNodes() != nodes || replayed.NumStamps() != stamps || replayed.Directed() != directed {
+			t.Logf("seed %d: geometry mismatch", seed)
+			return false
+		}
+		if !viewsEqual(logged.Store.Snapshot(), replayed.Snapshot(), stamps) {
+			t.Logf("seed %d: replayed state differs", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Truncating the journal at any byte boundary recovers a clean prefix of
+// batches — never an error other than ErrTruncatedJournal, never a
+// partially applied batch.
+func TestJournalTruncationRecoversPrefix(t *testing.T) {
+	times := []int64{1, 2, 3}
+	var buf bytes.Buffer
+	logged, err := NewLogged(&buf, 6, times, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	batches := randomBatches(rng, 6, 3, 6)
+	// Record the store state after each prefix of batches.
+	prefixes := make([]*View, 0, len(batches)+1)
+	prefixes = append(prefixes, logged.Store.Snapshot())
+	offsets := []int{buf.Len()}
+	for _, b := range batches {
+		if _, err := logged.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		prefixes = append(prefixes, logged.Store.Snapshot())
+		offsets = append(offsets, buf.Len())
+	}
+	full := buf.Bytes()
+
+	headerLen := offsets[0] // nothing written until first Append
+	if headerLen != 0 {
+		t.Fatalf("journal wrote %d bytes before any batch", headerLen)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		r := bytes.NewReader(full[:cut])
+		store, n, err := Replay(r)
+		if cut < 17+8*len(times) {
+			// Not even a full header: hard error, no store.
+			if err == nil {
+				t.Fatalf("cut %d: replay of headerless journal succeeded", cut)
+			}
+			continue
+		}
+		if n >= len(offsets) || store == nil {
+			t.Fatalf("cut %d: recovered %d batches", cut, n)
+		}
+		// The recovered batch count must be the largest prefix whose
+		// bytes fit within the cut.
+		want := 0
+		for i := 1; i < len(offsets); i++ {
+			if offsets[i] <= cut {
+				want = i
+			}
+		}
+		if n != want {
+			t.Fatalf("cut %d: recovered %d batches, want %d", cut, n, want)
+		}
+		// Clean iff the cut lands exactly on a record boundary: the
+		// end of the header (an empty journal) or the end of any
+		// complete batch record.
+		boundary := cut == 17+8*len(times)
+		for i := 1; i < len(offsets); i++ {
+			if cut == offsets[i] {
+				boundary = true
+			}
+		}
+		if boundary {
+			if err != nil {
+				t.Fatalf("cut %d: boundary cut returned %v", cut, err)
+			}
+		} else if !errors.Is(err, ErrTruncatedJournal) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncatedJournal", cut, err)
+		}
+		if !viewsEqual(store.Snapshot(), prefixes[n], len(times)) {
+			t.Fatalf("cut %d: recovered state ≠ prefix %d state", cut, n)
+		}
+	}
+}
+
+// Flipping any payload byte must be caught by the CRC.
+func TestJournalDetectsCorruption(t *testing.T) {
+	times := []int64{1, 2}
+	var buf bytes.Buffer
+	logged, err := NewLogged(&buf, 4, times, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := logged.Apply([]Update{{U: 0, V: 1, T: 0, Op: Insert}, {U: 1, V: 2, T: 1, Op: Insert}}); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	headerLen := 17 + 8*len(times)
+	for i := headerLen; i < len(clean); i++ {
+		dirty := append([]byte(nil), clean...)
+		dirty[i] ^= 0x40
+		_, n, err := Replay(bytes.NewReader(dirty))
+		if err == nil && n == 1 {
+			// A flip in the frame's CRC field itself is also caught —
+			// nothing may replay as valid.
+			t.Fatalf("byte %d: corruption went undetected", i)
+		}
+	}
+}
+
+func TestReplayRejectsBadMagic(t *testing.T) {
+	junk := append([]byte("NOTAJRNL"), make([]byte, 64)...)
+	if _, _, err := Replay(bytes.NewReader(junk)); err == nil || errors.Is(err, ErrTruncatedJournal) {
+		t.Fatalf("bad magic: err = %v, want hard error", err)
+	}
+}
+
+func TestLoggedRejectsInvalidWithoutLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logged, err := NewLogged(&buf, 3, []int64{1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := logged.Apply([]Update{{U: 0, V: 0, T: 0, Op: Insert}}); err == nil {
+		t.Fatal("self-loop batch accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("invalid batch was journalled (%d bytes)", buf.Len())
+	}
+	if _, err := logged.Apply([]Update{{U: 0, V: 1, T: 0, Op: Op(9)}}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("unknown-op batch was journalled (%d bytes)", buf.Len())
+	}
+}
+
+// An empty batch is legal, journals cleanly, and replays as a no-op.
+func TestJournalEmptyBatch(t *testing.T) {
+	var buf bytes.Buffer
+	logged, err := NewLogged(&buf, 2, []int64{1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := logged.Apply(nil); err != nil {
+		t.Fatal(err)
+	}
+	store, n, err := Replay(&buf)
+	if err != nil || n != 1 {
+		t.Fatalf("Replay = %d batches, %v", n, err)
+	}
+	if store.Snapshot().NumEdges() != 0 {
+		t.Fatal("empty batch created edges")
+	}
+}

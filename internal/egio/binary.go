@@ -1,0 +1,146 @@
+package egio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/egraph"
+)
+
+// Binary format: a compact varint encoding for large evolving graphs.
+//
+//	magic "EVGR" | version u8 | flags u8 (bit0 directed, bit1 weighted)
+//	numStamps uvarint
+//	per stamp: label varint | edgeCount uvarint |
+//	           edges as (u uvarint, v uvarint[, w float64 bits])
+//
+// Node ids are delta-free (graphs here are small-id dense); weights are
+// IEEE 754 little-endian.
+const (
+	binaryMagic   = "EVGR"
+	binaryVersion = 1
+)
+
+// WriteBinary encodes g in the binary format.
+func WriteBinary(w io.Writer, g *egraph.IntEvolvingGraph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("egio: write magic: %w", err)
+	}
+	flags := byte(0)
+	if g.Directed() {
+		flags |= 1
+	}
+	if g.Weighted() {
+		flags |= 2
+	}
+	bw.WriteByte(binaryVersion)
+	bw.WriteByte(flags)
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) {
+		n := binary.PutUvarint(buf[:], x)
+		bw.Write(buf[:n])
+	}
+	putVarint := func(x int64) {
+		n := binary.PutVarint(buf[:], x)
+		bw.Write(buf[:n])
+	}
+	putUvarint(uint64(g.NumStamps()))
+	for t := 0; t < g.NumStamps(); t++ {
+		putVarint(g.TimeLabel(t))
+		putUvarint(uint64(g.SnapshotEdgeCount(t)))
+		var werr error
+		g.VisitEdges(int32(t), func(u, v int32, wt float64) bool {
+			putUvarint(uint64(u))
+			putUvarint(uint64(v))
+			if g.Weighted() {
+				var wb [8]byte
+				binary.LittleEndian.PutUint64(wb[:], math.Float64bits(wt))
+				if _, err := bw.Write(wb[:]); err != nil {
+					werr = err
+					return false
+				}
+			}
+			return true
+		})
+		if werr != nil {
+			return fmt.Errorf("egio: write edges: %w", werr)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes the binary format.
+func ReadBinary(r io.Reader) (*egraph.IntEvolvingGraph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("egio: read magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("egio: bad magic %q", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("egio: read version: %w", err)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("egio: unsupported version %d", version)
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("egio: read flags: %w", err)
+	}
+	directed := flags&1 != 0
+	weighted := flags&2 != 0
+
+	var b *egraph.Builder
+	if weighted {
+		b = egraph.NewWeightedBuilder(directed)
+	} else {
+		b = egraph.NewBuilder(directed)
+	}
+	stamps, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("egio: read stamp count: %w", err)
+	}
+	if stamps > 1<<32 {
+		return nil, fmt.Errorf("egio: implausible stamp count %d", stamps)
+	}
+	for s := uint64(0); s < stamps; s++ {
+		label, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("egio: stamp %d label: %w", s, err)
+		}
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("egio: stamp %d edge count: %w", s, err)
+		}
+		for e := uint64(0); e < count; e++ {
+			u, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("egio: stamp %d edge %d: %w", s, e, err)
+			}
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("egio: stamp %d edge %d: %w", s, e, err)
+			}
+			if u > math.MaxInt32 || v > math.MaxInt32 {
+				return nil, fmt.Errorf("egio: node id overflow (%d,%d)", u, v)
+			}
+			w := 1.0
+			if weighted {
+				var wb [8]byte
+				if _, err := io.ReadFull(br, wb[:]); err != nil {
+					return nil, fmt.Errorf("egio: stamp %d edge %d weight: %w", s, e, err)
+				}
+				w = math.Float64frombits(binary.LittleEndian.Uint64(wb[:]))
+			}
+			b.AddWeightedEdge(int32(u), int32(v), label, w)
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,131 @@
+package egio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/egraph"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, directed, weighted bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b *egraph.Builder
+		if weighted {
+			b = egraph.NewWeightedBuilder(directed)
+		} else {
+			b = egraph.NewBuilder(directed)
+		}
+		n := 2 + rng.Intn(10)
+		for e := 0; e < rng.Intn(40); e++ {
+			b.AddWeightedEdge(int32(rng.Intn(n)), int32(rng.Intn(n)),
+				int64(rng.Intn(9)-4), rng.Float64()*10) // negative labels too
+		}
+		b.AddWeightedEdge(0, 1, 1, 0.5)
+		g := b.Build()
+
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.Directed() != g.Directed() || g2.Weighted() != g.Weighted() {
+			return false
+		}
+		if !graphsEqual(g, g2) {
+			return false
+		}
+		// Weights preserved bit-exactly.
+		if g.Weighted() {
+			for ts := 0; ts < g.NumStamps(); ts++ {
+				ok := true
+				g.VisitEdges(int32(ts), func(u, v int32, w float64) bool {
+					adj := g2.OutNeighbors(u, int32(ts))
+					ws := g2.OutWeights(u, int32(ts))
+					for i, x := range adj {
+						if x == v && ws[i] != w {
+							ok = false
+							return false
+						}
+					}
+					return true
+				})
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryFigure1(t *testing.T) {
+	g := egraph.Figure1Graph()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Fatal("binary round trip changed graph")
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := ReadBinary(strings.NewReader("NOPE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated header.
+	if _, err := ReadBinary(strings.NewReader("EV")); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+	// Bad version.
+	if _, err := ReadBinary(bytes.NewReader([]byte("EVGR\x09\x00\x00"))); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Truncated body: write a valid graph, chop bytes off the end.
+	g := egraph.Figure1Graph()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full)-6; cut += 3 {
+		if _, err := ReadBinary(bytes.NewReader(full[:len(full)-cut])); err == nil {
+			t.Fatalf("truncation by %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	// Sanity: the binary format should not be wildly larger than text.
+	b := egraph.NewBuilder(true)
+	rng := rand.New(rand.NewSource(3))
+	for e := 0; e < 2000; e++ {
+		b.AddEdge(int32(rng.Intn(500)), int32(rng.Intn(500)), int64(1+rng.Intn(8)))
+	}
+	g := b.Build()
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Fatalf("binary %d bytes not smaller than text %d", bin.Len(), txt.Len())
+	}
+}

@@ -1,0 +1,102 @@
+package egio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/egraph"
+)
+
+// DOTOptions configures Graphviz export.
+type DOTOptions struct {
+	// Mode selects which causal edges to draw.
+	Mode egraph.CausalMode
+	// IncludeInactive also draws inactive temporal nodes (dashed grey),
+	// as in the paper's Fig. 4 which shows both.
+	IncludeInactive bool
+	// Name is the graph name (default "evolving").
+	Name string
+	// Label optionally maps node ids to display labels.
+	Label func(v int32) string
+}
+
+// WriteDOT renders the evolving graph in Graphviz DOT form, mirroring
+// the paper's Fig. 4 layout: one cluster per stamp containing that
+// snapshot's nodes and static edges, causal edges drawn dashed across
+// clusters. Pipe through `dot -Tsvg` to draw.
+func WriteDOT(w io.Writer, g *egraph.IntEvolvingGraph, opts DOTOptions) error {
+	bw := bufio.NewWriter(w)
+	name := opts.Name
+	if name == "" {
+		name = "evolving"
+	}
+	label := opts.Label
+	if label == nil {
+		label = func(v int32) string { return fmt.Sprintf("%d", v) }
+	}
+	edgeOp := "->"
+	graphKind := "digraph"
+	if !g.Directed() {
+		edgeOp = "--"
+		graphKind = "graph"
+	}
+	fmt.Fprintf(bw, "%s %q {\n", graphKind, name)
+	fmt.Fprintf(bw, "\trankdir=LR;\n\tnode [shape=circle];\n")
+
+	id := func(v int32, t int) string { return fmt.Sprintf("n%d_t%d", v, t) }
+	for t := 0; t < g.NumStamps(); t++ {
+		fmt.Fprintf(bw, "\tsubgraph \"cluster_t%d\" {\n", t)
+		fmt.Fprintf(bw, "\t\tlabel=\"t=%d\";\n", g.TimeLabel(t))
+		act := g.ActiveNodes(t)
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			if act.Get(int(v)) {
+				fmt.Fprintf(bw, "\t\t%s [label=%q, style=filled, fillcolor=palegreen];\n",
+					id(v, t), label(v))
+			} else if opts.IncludeInactive {
+				fmt.Fprintf(bw, "\t\t%s [label=%q, style=dashed, color=grey];\n",
+					id(v, t), label(v))
+			}
+		}
+		g.VisitEdges(int32(t), func(u, v int32, wt float64) bool {
+			if g.Weighted() {
+				fmt.Fprintf(bw, "\t\t%s %s %s [label=\"%g\"];\n", id(u, t), edgeOp, id(v, t), wt)
+			} else {
+				fmt.Fprintf(bw, "\t\t%s %s %s;\n", id(u, t), edgeOp, id(v, t))
+			}
+			return true
+		})
+		fmt.Fprintf(bw, "\t}\n")
+	}
+	// Causal edges across clusters (always directed; use -> even for
+	// undirected graphs via explicit dir attribute in graph mode).
+	causal := func(v int32, s, t int32) {
+		if g.Directed() {
+			fmt.Fprintf(bw, "\t%s -> %s [style=dashed, constraint=false];\n",
+				id(v, int(s)), id(v, int(t)))
+		} else {
+			fmt.Fprintf(bw, "\t%s -- %s [style=dashed, constraint=false];\n",
+				id(v, int(s)), id(v, int(t)))
+		}
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		st := g.ActiveStamps(v)
+		switch opts.Mode {
+		case egraph.CausalAllPairs:
+			for i := 0; i < len(st); i++ {
+				for j := i + 1; j < len(st); j++ {
+					causal(v, st[i], st[j])
+				}
+			}
+		case egraph.CausalConsecutive:
+			for i := 0; i+1 < len(st); i++ {
+				causal(v, st[i], st[i+1])
+			}
+		}
+	}
+	fmt.Fprintf(bw, "}\n")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("egio: dot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package egio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/egraph"
+)
+
+func TestWriteDOTFigure1(t *testing.T) {
+	g := egraph.Figure1Graph()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, DOTOptions{IncludeInactive: true}); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{
+		"digraph \"evolving\"",
+		"cluster_t0", "cluster_t1", "cluster_t2",
+		"n0_t0 -> n1_t0;",              // static 1→2@t1
+		"n0_t1 -> n2_t1;",              // static 1→3@t2
+		"n1_t2 -> n2_t2;",              // static 2→3@t3
+		"n0_t0 -> n0_t1 [style=dashed", // causal (1,t1)→(1,t2)
+		"n1_t0 -> n1_t2 [style=dashed", // causal (2,t1)→(2,t3), paper-typo corrected
+		"fillcolor=palegreen",
+		"style=dashed, color=grey", // inactive nodes drawn
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Exactly 3 causal edges in all-pairs mode on Fig. 1.
+	if got := strings.Count(dot, "style=dashed, constraint=false"); got != 3 {
+		t.Fatalf("causal edge count = %d, want 3", got)
+	}
+}
+
+func TestWriteDOTOptions(t *testing.T) {
+	g := egraph.Figure1Graph()
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, DOTOptions{
+		Name:  "fig1",
+		Label: func(v int32) string { return string(rune('A' + v)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	if !strings.Contains(dot, `digraph "fig1"`) {
+		t.Fatal("custom name missing")
+	}
+	if !strings.Contains(dot, `label="A"`) || !strings.Contains(dot, `label="C"`) {
+		t.Fatal("custom labels missing")
+	}
+	if strings.Contains(dot, "color=grey") {
+		t.Fatal("inactive nodes drawn without IncludeInactive")
+	}
+}
+
+func TestWriteDOTUndirectedWeighted(t *testing.T) {
+	b := egraph.NewWeightedBuilder(false)
+	b.AddWeightedEdge(0, 1, 1, 2.5)
+	b.AddWeightedEdge(0, 1, 2, 1)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	if !strings.Contains(dot, "graph \"evolving\"") || strings.Contains(dot, "digraph") {
+		t.Fatal("undirected graph should use graph/-- syntax")
+	}
+	if !strings.Contains(dot, `label="2.5"`) {
+		t.Fatal("weights missing")
+	}
+	if !strings.Contains(dot, "n0_t0 -- n0_t1 [style=dashed") {
+		t.Fatal("undirected causal edge missing")
+	}
+}
+
+func TestWriteDOTConsecutiveMode(t *testing.T) {
+	b := egraph.NewBuilder(true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(0, 1, 3)
+	g := b.Build()
+	var all, cons bytes.Buffer
+	if err := WriteDOT(&all, g, DOTOptions{Mode: egraph.CausalAllPairs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDOT(&cons, g, DOTOptions{Mode: egraph.CausalConsecutive}); err != nil {
+		t.Fatal(err)
+	}
+	ca := strings.Count(all.String(), "constraint=false")
+	cc := strings.Count(cons.String(), "constraint=false")
+	if ca != 6 || cc != 4 { // 2 nodes × C(3,2) vs 2 nodes × 2
+		t.Fatalf("causal edges all=%d cons=%d, want 6 and 4", ca, cc)
+	}
+}

@@ -1,0 +1,177 @@
+// Package egio serialises evolving graphs. Two formats are supported:
+//
+//   - a whitespace edge-list text format, one "u v t [w]" line per static
+//     edge with '#' comments — the lingua franca of graph tooling and the
+//     format cmd/egbfs and cmd/citemine consume;
+//   - a JSON document (Document) for structured interchange.
+//
+// Both round-trip exactly: Read(Write(g)) reproduces the same snapshots,
+// edges, weights and time labels.
+package egio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/egraph"
+)
+
+// ReadEdgeList parses the text edge-list format: each non-empty,
+// non-comment line is "u v t" or "u v t w" with integer node ids and time
+// label, optional float weight. The graph is weighted iff any line
+// carries a weight.
+func ReadEdgeList(r io.Reader, directed bool) (*egraph.IntEvolvingGraph, error) {
+	type edge struct {
+		u, v int32
+		t    int64
+		w    float64
+	}
+	var edges []edge
+	weighted := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("egio: line %d: want 3 or 4 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("egio: line %d: bad source %q: %w", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("egio: line %d: bad target %q: %w", lineNo, fields[1], err)
+		}
+		t, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("egio: line %d: bad time %q: %w", lineNo, fields[2], err)
+		}
+		w := 1.0
+		if len(fields) == 4 {
+			if w, err = strconv.ParseFloat(fields[3], 64); err != nil {
+				return nil, fmt.Errorf("egio: line %d: bad weight %q: %w", lineNo, fields[3], err)
+			}
+			weighted = true
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("egio: line %d: negative node id", lineNo)
+		}
+		edges = append(edges, edge{int32(u), int32(v), t, w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("egio: read: %w", err)
+	}
+	var b *egraph.Builder
+	if weighted {
+		b = egraph.NewWeightedBuilder(directed)
+	} else {
+		b = egraph.NewBuilder(directed)
+	}
+	for _, e := range edges {
+		b.AddWeightedEdge(e.u, e.v, e.t, e.w)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes g in the text edge-list format, one line per
+// static edge in stamp-major order, with weights when g is weighted.
+func WriteEdgeList(w io.Writer, g *egraph.IntEvolvingGraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# evolving graph: %d nodes, %d stamps, %d static edges\n",
+		g.NumNodes(), g.NumStamps(), g.StaticEdgeCount())
+	var err error
+	for t := int32(0); t < int32(g.NumStamps()) && err == nil; t++ {
+		label := g.TimeLabel(int(t))
+		g.VisitEdges(t, func(u, v int32, wt float64) bool {
+			if g.Weighted() {
+				_, err = fmt.Fprintf(bw, "%d %d %d %g\n", u, v, label, wt)
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d %d\n", u, v, label)
+			}
+			return err == nil
+		})
+	}
+	if err != nil {
+		return fmt.Errorf("egio: write: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Document is the JSON interchange form of an evolving graph.
+type Document struct {
+	Directed bool       `json:"directed"`
+	Weighted bool       `json:"weighted,omitempty"`
+	Edges    []EdgeJSON `json:"edges"`
+}
+
+// EdgeJSON is one static edge of a Document.
+type EdgeJSON struct {
+	U int32   `json:"u"`
+	V int32   `json:"v"`
+	T int64   `json:"t"`
+	W float64 `json:"w,omitempty"`
+}
+
+// ToDocument converts a graph to its JSON form.
+func ToDocument(g *egraph.IntEvolvingGraph) *Document {
+	doc := &Document{Directed: g.Directed(), Weighted: g.Weighted()}
+	for t := int32(0); t < int32(g.NumStamps()); t++ {
+		label := g.TimeLabel(int(t))
+		g.VisitEdges(t, func(u, v int32, w float64) bool {
+			e := EdgeJSON{U: u, V: v, T: label}
+			if g.Weighted() {
+				e.W = w
+			}
+			doc.Edges = append(doc.Edges, e)
+			return true
+		})
+	}
+	return doc
+}
+
+// FromDocument rebuilds a graph from its JSON form.
+func FromDocument(doc *Document) (*egraph.IntEvolvingGraph, error) {
+	var b *egraph.Builder
+	if doc.Weighted {
+		b = egraph.NewWeightedBuilder(doc.Directed)
+	} else {
+		b = egraph.NewBuilder(doc.Directed)
+	}
+	for i, e := range doc.Edges {
+		if e.U < 0 || e.V < 0 {
+			return nil, fmt.Errorf("egio: edge %d: negative node id", i)
+		}
+		w := e.W
+		if !doc.Weighted || w == 0 {
+			w = 1
+		}
+		b.AddWeightedEdge(e.U, e.V, e.T, w)
+	}
+	return b.Build(), nil
+}
+
+// WriteJSON encodes g as a JSON Document.
+func WriteJSON(w io.Writer, g *egraph.IntEvolvingGraph) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ToDocument(g))
+}
+
+// ReadJSON decodes a JSON Document into a graph.
+func ReadJSON(r io.Reader) (*egraph.IntEvolvingGraph, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("egio: json: %w", err)
+	}
+	return FromDocument(&doc)
+}

@@ -1,0 +1,107 @@
+package egraph
+
+import (
+	"repro/internal/ds"
+	"repro/internal/matrix"
+)
+
+// BlockMatrix assembles the block upper-triangular adjacency matrix A_n
+// of Sec. III-C: diagonal blocks are the per-stamp one-sided adjacency
+// matrices (Eq. 1), off-diagonal causal blocks act implicitly through the
+// activity sets. Undirected edges appear in both (i,j) and (j,i) of the
+// diagonal blocks, matching the two-arcs-per-edge unfolding of Thm. 1.
+func (g *IntEvolvingGraph) BlockMatrix(mode CausalMode) *matrix.Block {
+	n := g.numNodes
+	diag := make([]*matrix.CSC, g.NumStamps())
+	act := make([]*ds.BitSet, g.NumStamps())
+	for t := 0; t < g.NumStamps(); t++ {
+		coo := matrix.NewCOO(n, n)
+		a := g.snaps[t].active
+		for vi := a.NextSet(0); vi >= 0; vi = a.NextSet(vi + 1) {
+			v := int32(vi)
+			for _, w := range g.OutNeighbors(v, int32(t)) {
+				coo.Add(int(v), int(w), 1)
+			}
+		}
+		diag[t] = coo.ToCSC()
+		act[t] = a.Clone()
+	}
+	blk := matrix.NewBlock(n, diag, act)
+	blk.Consecutive = mode == CausalConsecutive
+	return blk
+}
+
+// TimeReverse returns the evolving graph with time running backwards and
+// every edge reversed: stamp i of the result is stamp n-1-i of g with
+// u→v becoming v→u. A forward BFS on the reversal is exactly the
+// paper's backward-in-time search (Sec. V: "by reversing the time
+// labels, e.g. by the transformation t → −t"), used to compute
+// influencer sets T⁻¹(a, t). Time labels are negated so they remain
+// increasing.
+func (g *IntEvolvingGraph) TimeReverse() *IntEvolvingGraph {
+	var b *Builder
+	if g.weighted {
+		b = NewWeightedBuilder(g.directed)
+	} else {
+		b = NewBuilder(g.directed)
+	}
+	for t := int32(0); t < int32(g.NumStamps()); t++ {
+		label := -g.times[t]
+		g.VisitEdges(t, func(u, v int32, w float64) bool {
+			b.AddWeightedEdge(v, u, label, w)
+			return true
+		})
+	}
+	rg := b.Build()
+	// Preserve the node-id space even if high-numbered nodes only
+	// appear in dropped positions (reversal drops nothing, but an
+	// empty graph must keep its dimensions consistent).
+	if rg.numNodes < g.numNodes {
+		rg = rg.withNumNodes(g.numNodes)
+	}
+	return rg
+}
+
+// withNumNodes widens the node-id space to n (n ≥ current). Used when a
+// derived graph must stay index-compatible with its source.
+func (g *IntEvolvingGraph) withNumNodes(n int) *IntEvolvingGraph {
+	if n <= g.numNodes {
+		return g
+	}
+	ng := &IntEvolvingGraph{
+		directed:  g.directed,
+		weighted:  g.weighted,
+		times:     g.times,
+		snaps:     make([]snapshot, len(g.snaps)),
+		activeAt:  make([][]int32, n),
+		numNodes:  n,
+		numActive: g.numActive,
+	}
+	copy(ng.activeAt, g.activeAt)
+	for i := range g.snaps {
+		s := g.snaps[i]
+		ns := snapshot{
+			outAdj: s.outAdj, outW: s.outW,
+			inAdj: s.inAdj, inW: s.inW,
+			edges:  s.edges,
+			active: ds.NewBitSet(n),
+		}
+		ns.outPtr = widenPtr(s.outPtr, n)
+		ns.inPtr = widenPtr(s.inPtr, n)
+		for v := s.active.NextSet(0); v >= 0; v = s.active.NextSet(v + 1) {
+			ns.active.Set(v)
+		}
+		ng.snaps[i] = ns
+	}
+	return ng
+}
+
+func widenPtr(ptr []int32, n int) []int32 {
+	out := make([]int32, n+1)
+	copy(out, ptr)
+	last := ptr[len(ptr)-1]
+	for i := len(ptr); i <= n; i++ {
+		out[i] = last
+	}
+	return out
+}

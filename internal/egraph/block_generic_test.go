@@ -1,0 +1,154 @@
+package egraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockMatrixFigure1(t *testing.T) {
+	g := Figure1Graph()
+	blk := g.BlockMatrix(CausalAllPairs)
+	if blk.Stamps() != 3 || blk.Nodes() != 3 {
+		t.Fatalf("block dims = (%d,%d)", blk.Stamps(), blk.Nodes())
+	}
+	// Diagonal blocks are the paper's per-stamp adjacency matrices.
+	if blk.Diag(0).At(0, 1) != 1 || blk.Diag(0).NNZ() != 1 {
+		t.Fatal("A[t1] wrong")
+	}
+	if blk.Diag(1).At(0, 2) != 1 || blk.Diag(1).NNZ() != 1 {
+		t.Fatal("A[t2] wrong")
+	}
+	if blk.Diag(2).At(1, 2) != 1 || blk.Diag(2).NNZ() != 1 {
+		t.Fatal("A[t3] wrong")
+	}
+	// Activity propagated.
+	if !blk.IsActive(0, 0) || blk.IsActive(2, 0) {
+		t.Fatal("block activity wrong")
+	}
+}
+
+// Property: the compacted block matrix has exactly EdgeCount nonzeros
+// (each unfolded arc is one entry) over NumActiveNodes rows.
+func TestBlockMatrixMatchesUnfold(t *testing.T) {
+	f := func(seed int64, directed, consecutive bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGraph(rng, directed)
+		mode := CausalAllPairs
+		if consecutive {
+			mode = CausalConsecutive
+		}
+		dense, order := g.BlockMatrix(mode).CompactActive()
+		if len(order) != g.NumActiveNodes() {
+			return false
+		}
+		return dense.NNZ() == g.EdgeCount(mode)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeReverse(t *testing.T) {
+	g := Figure1Graph()
+	r := g.TimeReverse()
+	if r.NumStamps() != 3 || r.NumNodes() != 3 {
+		t.Fatalf("reversed dims = (%d,%d)", r.NumNodes(), r.NumStamps())
+	}
+	// Reversed stamp 0 is original stamp 2 with edges flipped: 3→2.
+	if !r.HasEdge(2, 1, 0) {
+		t.Fatal("reversed graph missing 3→2 at first stamp")
+	}
+	if !r.HasEdge(2, 0, 1) {
+		t.Fatal("reversed graph missing 3→1 at middle stamp")
+	}
+	if !r.HasEdge(1, 0, 2) {
+		t.Fatal("reversed graph missing 2→1 at last stamp")
+	}
+	// Activity is preserved under reversal (edge endpoints unchanged).
+	if r.NumActiveNodes() != g.NumActiveNodes() {
+		t.Fatal("reversal changed |V|")
+	}
+}
+
+// Property: time reversal is an involution on edge structure.
+func TestTimeReverseInvolution(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGraph(rng, directed)
+		rr := g.TimeReverse().TimeReverse()
+		if rr.NumStamps() != g.NumStamps() || rr.StaticEdgeCount() != g.StaticEdgeCount() {
+			return false
+		}
+		for ts := int32(0); ts < int32(g.NumStamps()); ts++ {
+			ok := true
+			g.VisitEdges(ts, func(u, v int32, w float64) bool {
+				if !rr.HasEdge(u, v, ts) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenericEvolvingGraph(t *testing.T) {
+	g := NewEvolvingGraph[string](true)
+	g.AddEdge("alice", "bob", 2001)
+	g.AddEdge("bob", "carol", 2003)
+	ig := g.Freeze()
+	if ig.NumNodes() != 3 || ig.NumStamps() != 2 {
+		t.Fatalf("dims = (%d,%d)", ig.NumNodes(), ig.NumStamps())
+	}
+	a, ok := g.IDOf("alice")
+	if !ok {
+		t.Fatal("alice not interned")
+	}
+	if g.Label(a) != "alice" {
+		t.Fatal("label round trip failed")
+	}
+	if _, ok := g.IDOf("dave"); ok {
+		t.Fatal("unknown label reported present")
+	}
+	if g.NumLabels() != 3 {
+		t.Fatalf("NumLabels = %d, want 3", g.NumLabels())
+	}
+	// Freeze is idempotent.
+	if g.Freeze() != ig || g.Graph() != ig {
+		t.Fatal("Freeze not idempotent")
+	}
+}
+
+func TestGenericInternOnlyLabelKeepsIDSpace(t *testing.T) {
+	g := NewEvolvingGraph[string](true)
+	g.AddEdge("a", "b", 1)
+	g.Intern("loner") // never on an edge
+	ig := g.Freeze()
+	if ig.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3 (loner included)", ig.NumNodes())
+	}
+	id, _ := g.IDOf("loner")
+	if len(ig.ActiveStamps(id)) != 0 {
+		t.Fatal("loner should have no active stamps")
+	}
+}
+
+func TestGenericAddAfterFreezePanics(t *testing.T) {
+	g := NewEvolvingGraph[int](true)
+	g.AddEdge(1, 2, 1)
+	g.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddEdge(3, 4, 2)
+}

@@ -1,0 +1,214 @@
+package egraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ds"
+)
+
+// Builder accumulates time-stamped edges and assembles an immutable
+// IntEvolvingGraph. Edges may be added in any time order; stamps are
+// sorted and de-duplicated at Build time. Duplicate (u,v,t) edges
+// collapse to one (for weighted graphs the last weight wins).
+type Builder struct {
+	directed bool
+	weighted bool
+	edges    []rawEdge
+	maxNode  int32
+	selfDrop int
+}
+
+type rawEdge struct {
+	u, v int32
+	t    int64
+	w    float64
+}
+
+// NewBuilder returns a Builder for a directed or undirected, unweighted
+// evolving graph.
+func NewBuilder(directed bool) *Builder {
+	return &Builder{directed: directed, maxNode: -1}
+}
+
+// NewWeightedBuilder returns a Builder whose edges carry float64 weights.
+func NewWeightedBuilder(directed bool) *Builder {
+	return &Builder{directed: directed, weighted: true, maxNode: -1}
+}
+
+// AddEdge records the edge u→v (u—v if undirected) at time label t with
+// weight 1. Self-loops are dropped (Def. 3: they activate nothing and can
+// appear in no temporal path); DroppedSelfLoops counts them.
+func (b *Builder) AddEdge(u, v int32, t int64) { b.AddWeightedEdge(u, v, t, 1) }
+
+// AddWeightedEdge records the edge u→v at time label t with weight w.
+func (b *Builder) AddWeightedEdge(u, v int32, t int64, w float64) {
+	if u < 0 || v < 0 {
+		panic(fmt.Sprintf("egraph: negative node id (%d,%d)", u, v))
+	}
+	if u == v {
+		b.selfDrop++
+		return
+	}
+	if u > b.maxNode {
+		b.maxNode = u
+	}
+	if v > b.maxNode {
+		b.maxNode = v
+	}
+	b.edges = append(b.edges, rawEdge{u: u, v: v, t: t, w: w})
+}
+
+// DroppedSelfLoops returns how many self-loop edges were discarded.
+func (b *Builder) DroppedSelfLoops() int { return b.selfDrop }
+
+// NumEdges returns the number of edges recorded so far (before dedup).
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build assembles the immutable graph. The Builder may be reused
+// afterwards (its edge list is not consumed).
+func (b *Builder) Build() *IntEvolvingGraph {
+	n := int(b.maxNode) + 1
+
+	// Collect and index the distinct time labels.
+	labelSet := make(map[int64]struct{}, 16)
+	for i := range b.edges {
+		labelSet[b.edges[i].t] = struct{}{}
+	}
+	times := make([]int64, 0, len(labelSet))
+	for t := range labelSet {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	stampOf := make(map[int64]int32, len(times))
+	for i, t := range times {
+		stampOf[t] = int32(i)
+	}
+
+	g := &IntEvolvingGraph{
+		directed: b.directed,
+		weighted: b.weighted,
+		times:    times,
+		snaps:    make([]snapshot, len(times)),
+		numNodes: n,
+	}
+
+	// Bucket edges per stamp, de-duplicating (u,v) within a stamp.
+	perStamp := make([]map[edgeKey]float64, len(times))
+	for i := range perStamp {
+		perStamp[i] = make(map[edgeKey]float64)
+	}
+	for i := range b.edges {
+		e := &b.edges[i]
+		s := stampOf[e.t]
+		k := edgeKey{e.u, e.v}
+		if !b.directed && k.u > k.v {
+			k.u, k.v = k.v, k.u // canonicalise undirected edges
+		}
+		perStamp[s][k] = e.w
+	}
+
+	for si := range perStamp {
+		g.snaps[si] = buildSnapshot(n, b.directed, b.weighted, perStamp[si])
+	}
+
+	// Per-node active stamp lists and the |V| total.
+	g.activeAt = make([][]int32, n)
+	for si := range g.snaps {
+		act := g.snaps[si].active
+		for v := act.NextSet(0); v >= 0; v = act.NextSet(v + 1) {
+			g.activeAt[v] = append(g.activeAt[v], int32(si))
+			g.numActive++
+		}
+	}
+	return g
+}
+
+// edgeKey identifies a (u, v) pair within one stamp.
+type edgeKey struct {
+	u, v int32
+}
+
+func buildSnapshot(n int, directed, weighted bool, edges map[edgeKey]float64) snapshot {
+	type arc struct {
+		u, v int32
+		w    float64
+	}
+	// Expand to directed arcs (undirected edges become two arcs).
+	arcs := make([]arc, 0, 2*len(edges))
+	for k, w := range edges {
+		arcs = append(arcs, arc{k.u, k.v, w})
+		if !directed {
+			arcs = append(arcs, arc{k.v, k.u, w})
+		}
+	}
+
+	s := snapshot{active: ds.NewBitSet(n), edges: len(edges)}
+	s.outPtr = make([]int32, n+1)
+	s.inPtr = make([]int32, n+1)
+	for _, a := range arcs {
+		s.outPtr[a.u+1]++
+		s.inPtr[a.v+1]++
+		s.active.Set(int(a.u))
+		s.active.Set(int(a.v))
+	}
+	for i := 0; i < n; i++ {
+		s.outPtr[i+1] += s.outPtr[i]
+		s.inPtr[i+1] += s.inPtr[i]
+	}
+	s.outAdj = make([]int32, len(arcs))
+	s.inAdj = make([]int32, len(arcs))
+	if weighted {
+		s.outW = make([]float64, len(arcs))
+		s.inW = make([]float64, len(arcs))
+	}
+	nextOut := make([]int32, n)
+	nextIn := make([]int32, n)
+	copy(nextOut, s.outPtr[:n])
+	copy(nextIn, s.inPtr[:n])
+	for _, a := range arcs {
+		po := nextOut[a.u]
+		s.outAdj[po] = a.v
+		if weighted {
+			s.outW[po] = a.w
+		}
+		nextOut[a.u] = po + 1
+
+		pi := nextIn[a.v]
+		s.inAdj[pi] = a.u
+		if weighted {
+			s.inW[pi] = a.w
+		}
+		nextIn[a.v] = pi + 1
+	}
+	// Sort adjacency within each node for binary-search lookups.
+	for v := 0; v < n; v++ {
+		sortAdj(s.outAdj, s.outW, int(s.outPtr[v]), int(s.outPtr[v+1]))
+		sortAdj(s.inAdj, s.inW, int(s.inPtr[v]), int(s.inPtr[v+1]))
+	}
+	return s
+}
+
+func sortAdj(adj []int32, w []float64, lo, hi int) {
+	if hi-lo < 2 {
+		return
+	}
+	if w == nil {
+		s := adj[lo:hi]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return
+	}
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = i
+	}
+	a, ww := adj[lo:hi], w[lo:hi]
+	sort.Slice(idx, func(i, j int) bool { return a[idx[i]] < a[idx[j]] })
+	na := make([]int32, len(idx))
+	nw := make([]float64, len(idx))
+	for i, p := range idx {
+		na[i], nw[i] = a[p], ww[p]
+	}
+	copy(a, na)
+	copy(ww, nw)
+}

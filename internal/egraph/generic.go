@@ -1,0 +1,75 @@
+package egraph
+
+// EvolvingGraph is a labelled evolving graph over any comparable node
+// type. It interns labels to dense int32 ids and delegates to an
+// IntEvolvingGraph, so every algorithm in the repository works on it.
+// Typical use: author names in a citation network.
+//
+// The zero value is not usable; create one with NewEvolvingGraph, add
+// edges, then Freeze (or let the first query freeze it lazily).
+type EvolvingGraph[N comparable] struct {
+	builder *Builder
+	labels  []N
+	ids     map[N]int32
+	frozen  *IntEvolvingGraph
+}
+
+// NewEvolvingGraph returns an empty labelled evolving graph.
+func NewEvolvingGraph[N comparable](directed bool) *EvolvingGraph[N] {
+	return &EvolvingGraph[N]{
+		builder: NewBuilder(directed),
+		ids:     make(map[N]int32),
+	}
+}
+
+// Intern returns the dense id of label, assigning one if new. Adding
+// edges after Freeze panics, so intern everything before freezing.
+func (g *EvolvingGraph[N]) Intern(label N) int32 {
+	if id, ok := g.ids[label]; ok {
+		return id
+	}
+	if g.frozen != nil {
+		panic("egraph: Intern of new label after Freeze")
+	}
+	id := int32(len(g.labels))
+	g.ids[label] = id
+	g.labels = append(g.labels, label)
+	return id
+}
+
+// Label returns the label of a dense id.
+func (g *EvolvingGraph[N]) Label(id int32) N { return g.labels[id] }
+
+// IDOf returns the dense id of a label and whether it is known.
+func (g *EvolvingGraph[N]) IDOf(label N) (int32, bool) {
+	id, ok := g.ids[label]
+	return id, ok
+}
+
+// NumLabels returns the number of interned labels.
+func (g *EvolvingGraph[N]) NumLabels() int { return len(g.labels) }
+
+// AddEdge records the edge u→v at time label t.
+func (g *EvolvingGraph[N]) AddEdge(u, v N, t int64) {
+	if g.frozen != nil {
+		panic("egraph: AddEdge after Freeze")
+	}
+	g.builder.AddEdge(g.Intern(u), g.Intern(v), t)
+}
+
+// Freeze builds the underlying IntEvolvingGraph. Idempotent.
+func (g *EvolvingGraph[N]) Freeze() *IntEvolvingGraph {
+	if g.frozen == nil {
+		ig := g.builder.Build()
+		// Interned labels that never appeared on an edge must still be
+		// representable in the id space.
+		if ig.NumNodes() < len(g.labels) {
+			ig = ig.withNumNodes(len(g.labels))
+		}
+		g.frozen = ig
+	}
+	return g.frozen
+}
+
+// Graph returns the frozen IntEvolvingGraph, freezing on first use.
+func (g *EvolvingGraph[N]) Graph() *IntEvolvingGraph { return g.Freeze() }

@@ -1,0 +1,160 @@
+package egraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Slice returns the evolving graph restricted to snapshots whose time
+// label lies in [from, to] (inclusive). Node ids are preserved; the
+// node-id space is kept at the original width so temporal-node indexing
+// stays compatible with the source graph.
+func (g *IntEvolvingGraph) Slice(from, to int64) *IntEvolvingGraph {
+	b := g.compatibleBuilder()
+	for t := 0; t < g.NumStamps(); t++ {
+		label := g.times[t]
+		if label < from || label > to {
+			continue
+		}
+		g.VisitEdges(int32(t), func(u, v int32, w float64) bool {
+			b.AddWeightedEdge(u, v, label, w)
+			return true
+		})
+	}
+	out := b.Build()
+	if out.numNodes < g.numNodes {
+		out = out.withNumNodes(g.numNodes)
+	}
+	return out
+}
+
+// Flatten aggregates every snapshot into a single static graph: the
+// union of all static edge sets under one stamp (label 0). For weighted
+// graphs, weights of an edge appearing at several stamps are summed.
+// This is what a time-oblivious analysis sees — the baseline the paper's
+// introduction argues against.
+func (g *IntEvolvingGraph) Flatten() *IntEvolvingGraph {
+	type key struct{ u, v int32 }
+	acc := make(map[key]float64)
+	for t := 0; t < g.NumStamps(); t++ {
+		g.VisitEdges(int32(t), func(u, v int32, w float64) bool {
+			acc[key{u, v}] += w
+			return true
+		})
+	}
+	b := g.compatibleBuilder()
+	for k, w := range acc {
+		b.AddWeightedEdge(k.u, k.v, 0, w)
+	}
+	out := b.Build()
+	if out.numNodes < g.numNodes {
+		out = out.withNumNodes(g.numNodes)
+	}
+	return out
+}
+
+// InducedSubgraph keeps only edges whose both endpoints are in keep.
+// Node ids are preserved.
+func (g *IntEvolvingGraph) InducedSubgraph(keep []int32) *IntEvolvingGraph {
+	in := make(map[int32]bool, len(keep))
+	for _, v := range keep {
+		in[v] = true
+	}
+	b := g.compatibleBuilder()
+	for t := 0; t < g.NumStamps(); t++ {
+		label := g.times[t]
+		g.VisitEdges(int32(t), func(u, v int32, w float64) bool {
+			if in[u] && in[v] {
+				b.AddWeightedEdge(u, v, label, w)
+			}
+			return true
+		})
+	}
+	out := b.Build()
+	if out.numNodes < g.numNodes {
+		out = out.withNumNodes(g.numNodes)
+	}
+	return out
+}
+
+func (g *IntEvolvingGraph) compatibleBuilder() *Builder {
+	if g.weighted {
+		return NewWeightedBuilder(g.directed)
+	}
+	return NewBuilder(g.directed)
+}
+
+// Summary bundles descriptive statistics of an evolving graph.
+type Summary struct {
+	Nodes            int
+	Stamps           int
+	StaticEdges      int
+	ActiveNodes      int // |V|
+	CausalAllPairs   int
+	CausalConsec     int
+	MaxOutDegree     int     // over all (v, t)
+	MeanActivity     float64 // mean #active stamps per ever-active node
+	MaxActivity      int     // max #active stamps of any node
+	EverActiveNodes  int     // nodes active at ≥1 stamp
+	DirectedEdges    bool
+	WeightedEdges    bool
+	EdgesPerSnapshot []int
+}
+
+// Stats computes a Summary in one pass over the graph.
+func (g *IntEvolvingGraph) Stats() Summary {
+	s := Summary{
+		Nodes:          g.NumNodes(),
+		Stamps:         g.NumStamps(),
+		StaticEdges:    g.StaticEdgeCount(),
+		ActiveNodes:    g.NumActiveNodes(),
+		CausalAllPairs: g.CausalEdgeCount(CausalAllPairs),
+		CausalConsec:   g.CausalEdgeCount(CausalConsecutive),
+		DirectedEdges:  g.Directed(),
+		WeightedEdges:  g.Weighted(),
+	}
+	for t := 0; t < g.NumStamps(); t++ {
+		s.EdgesPerSnapshot = append(s.EdgesPerSnapshot, g.SnapshotEdgeCount(t))
+		act := g.ActiveNodes(t)
+		for v := act.NextSet(0); v >= 0; v = act.NextSet(v + 1) {
+			if d := g.OutDegree(int32(v), int32(t)); d > s.MaxOutDegree {
+				s.MaxOutDegree = d
+			}
+		}
+	}
+	total := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		k := len(g.activeAt[v])
+		if k == 0 {
+			continue
+		}
+		s.EverActiveNodes++
+		total += k
+		if k > s.MaxActivity {
+			s.MaxActivity = k
+		}
+	}
+	if s.EverActiveNodes > 0 {
+		s.MeanActivity = float64(total) / float64(s.EverActiveNodes)
+	}
+	return s
+}
+
+// String renders the summary as a small report.
+func (s Summary) String() string {
+	var b strings.Builder
+	kind := "undirected"
+	if s.DirectedEdges {
+		kind = "directed"
+	}
+	if s.WeightedEdges {
+		kind += ", weighted"
+	}
+	fmt.Fprintf(&b, "evolving graph (%s): %d nodes over %d stamps\n", kind, s.Nodes, s.Stamps)
+	fmt.Fprintf(&b, "  static edges |E~|:      %d\n", s.StaticEdges)
+	fmt.Fprintf(&b, "  active temporal nodes:  %d (%d distinct nodes ever active)\n", s.ActiveNodes, s.EverActiveNodes)
+	fmt.Fprintf(&b, "  causal edges:           %d all-pairs / %d consecutive\n", s.CausalAllPairs, s.CausalConsec)
+	fmt.Fprintf(&b, "  max out-degree:         %d\n", s.MaxOutDegree)
+	fmt.Fprintf(&b, "  activity per node:      mean %.2f, max %d stamps\n", s.MeanActivity, s.MaxActivity)
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package egraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSliceWindow(t *testing.T) {
+	g := Figure1Graph()
+	mid := g.Slice(2, 3)
+	if mid.NumStamps() != 2 {
+		t.Fatalf("stamps = %d, want 2", mid.NumStamps())
+	}
+	if !mid.HasEdge(0, 2, 0) || !mid.HasEdge(1, 2, 1) {
+		t.Fatal("sliced edges wrong")
+	}
+	// Node-id space preserved for temporal-node compatibility.
+	if mid.NumNodes() != g.NumNodes() {
+		t.Fatalf("NumNodes = %d, want %d", mid.NumNodes(), g.NumNodes())
+	}
+	// Empty window.
+	empty := g.Slice(10, 20)
+	if empty.NumStamps() != 0 {
+		t.Fatal("empty window should have no stamps")
+	}
+	// Full window is identity on counts.
+	full := g.Slice(1, 3)
+	if full.StaticEdgeCount() != g.StaticEdgeCount() || full.NumActiveNodes() != g.NumActiveNodes() {
+		t.Fatal("full slice lost content")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	g := Figure1Graph()
+	flat := g.Flatten()
+	if flat.NumStamps() != 1 {
+		t.Fatalf("stamps = %d, want 1", flat.NumStamps())
+	}
+	if flat.StaticEdgeCount() != 3 {
+		t.Fatalf("|E~| = %d, want 3", flat.StaticEdgeCount())
+	}
+	// The flattened graph hides time ordering: 1 reaches 3 via 2 even in
+	// the swapped game where temporally it cannot. That's the point.
+	swapped := IntroGameGraph(true).Flatten()
+	if !swapped.HasEdge(0, 1, 0) || !swapped.HasEdge(1, 2, 0) {
+		t.Fatal("flattened game lost edges")
+	}
+}
+
+func TestFlattenSumsWeights(t *testing.T) {
+	b := NewWeightedBuilder(true)
+	b.AddWeightedEdge(0, 1, 1, 2)
+	b.AddWeightedEdge(0, 1, 2, 3)
+	g := b.Build()
+	flat := g.Flatten()
+	w := flat.OutWeights(0, 0)
+	if len(w) != 1 || w[0] != 5 {
+		t.Fatalf("flattened weight = %v, want [5]", w)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Figure1Graph()
+	sub := g.InducedSubgraph([]int32{0, 1})
+	// Only 1→2@t1 survives (edges to node 2 drop).
+	if sub.StaticEdgeCount() != 1 {
+		t.Fatalf("|E~| = %d, want 1", sub.StaticEdgeCount())
+	}
+	if !sub.HasEdge(0, 1, 0) {
+		t.Fatal("surviving edge wrong")
+	}
+	if sub.NumNodes() != g.NumNodes() {
+		t.Fatal("id space changed")
+	}
+	none := g.InducedSubgraph(nil)
+	if none.StaticEdgeCount() != 0 {
+		t.Fatal("empty keep set should drop all edges")
+	}
+}
+
+// Property: slicing [min,max] is the identity on edge content, and
+// slicing two disjoint windows partitions the static edge count.
+func TestSlicePartition(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGraph(rng, directed)
+		labels := g.TimeLabels()
+		minL, maxL := labels[0], labels[len(labels)-1]
+		if g.Slice(minL, maxL).StaticEdgeCount() != g.StaticEdgeCount() {
+			return false
+		}
+		mid := labels[len(labels)/2]
+		lo := g.Slice(minL, mid)
+		hi := g.Slice(mid+1, maxL)
+		return lo.StaticEdgeCount()+hi.StaticEdgeCount() == g.StaticEdgeCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsFigure1(t *testing.T) {
+	g := Figure1Graph()
+	s := g.Stats()
+	if s.Nodes != 3 || s.Stamps != 3 || s.StaticEdges != 3 || s.ActiveNodes != 6 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.CausalAllPairs != 3 || s.CausalConsec != 3 {
+		t.Fatalf("causal counts = %d/%d, want 3/3", s.CausalAllPairs, s.CausalConsec)
+	}
+	if s.MaxOutDegree != 1 {
+		t.Fatalf("MaxOutDegree = %d, want 1", s.MaxOutDegree)
+	}
+	if s.EverActiveNodes != 3 || s.MaxActivity != 2 {
+		t.Fatalf("activity stats wrong: %+v", s)
+	}
+	if s.MeanActivity != 2 {
+		t.Fatalf("MeanActivity = %g, want 2", s.MeanActivity)
+	}
+	str := s.String()
+	for _, want := range []string{"directed", "3 nodes", "static edges", "all-pairs"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("summary %q missing %q", str, want)
+		}
+	}
+}
+
+func TestStatsEdgesPerSnapshot(t *testing.T) {
+	b := NewBuilder(true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(1, 2, 5)
+	g := b.Build()
+	s := g.Stats()
+	if len(s.EdgesPerSnapshot) != 2 || s.EdgesPerSnapshot[0] != 2 || s.EdgesPerSnapshot[1] != 1 {
+		t.Fatalf("EdgesPerSnapshot = %v", s.EdgesPerSnapshot)
+	}
+}

@@ -1,0 +1,103 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/egraph"
+)
+
+// CitationConfig parameterises the synthetic citation network that stands
+// in for the (unnamed) citation data of Sec. V. The model: Authors enter
+// the field spread uniformly over Stamps publication years; in each year
+// every already-active author publishes with probability PubProb, and a
+// publication cites CitesPerPaper earlier-publishing authors chosen with
+// preferential attachment toward frequently cited authors. Each citation
+// of author j by author i in year t is the directed edge i→j at stamp t —
+// exactly the paper's construction ("E[t] ∋ (i,j) representing a citation
+// of author j by author i in a publication at time t").
+type CitationConfig struct {
+	Authors       int
+	Stamps        int
+	PubProb       float64
+	CitesPerPaper int
+	Seed          int64
+}
+
+// DefaultCitationConfig returns a mid-sized network suitable for the
+// examples and tests.
+func DefaultCitationConfig() CitationConfig {
+	return CitationConfig{Authors: 300, Stamps: 12, PubProb: 0.5, CitesPerPaper: 3, Seed: 42}
+}
+
+// Citation generates the synthetic citation network. The second return
+// value maps each author to the stamp at which they first published
+// (-1 if they never did).
+func Citation(cfg CitationConfig) (*egraph.IntEvolvingGraph, []int32) {
+	if cfg.Authors < 2 || cfg.Stamps < 1 || cfg.CitesPerPaper < 1 ||
+		cfg.PubProb <= 0 || cfg.PubProb > 1 {
+		panic(fmt.Sprintf("gen: bad citation config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := egraph.NewBuilder(true)
+
+	entry := make([]int, cfg.Authors) // stamp at which the author enters
+	for a := range entry {
+		entry[a] = a * cfg.Stamps / cfg.Authors
+	}
+	firstPub := make([]int32, cfg.Authors)
+	for i := range firstPub {
+		firstPub[i] = -1
+	}
+	citedPool := []int32{} // repeated-author list for preferential citing
+	var published []int32  // authors with ≥1 publication so far
+	isPublished := make([]bool, cfg.Authors)
+
+	for t := 0; t < cfg.Stamps; t++ {
+		var newPubs []int32
+		for a := 0; a < cfg.Authors; a++ {
+			if entry[a] > t {
+				continue
+			}
+			if rng.Float64() >= cfg.PubProb {
+				continue
+			}
+			if len(published) == 0 {
+				// The field's first paper cites nobody; record the debut.
+				newPubs = append(newPubs, int32(a))
+				if firstPub[a] < 0 {
+					firstPub[a] = int32(t)
+				}
+				continue
+			}
+			cites := cfg.CitesPerPaper
+			if cites > len(published) {
+				cites = len(published)
+			}
+			for c := 0; c < cites; c++ {
+				var target int32
+				if len(citedPool) > 0 && rng.Intn(2) == 0 {
+					target = citedPool[rng.Intn(len(citedPool))]
+				} else {
+					target = published[rng.Intn(len(published))]
+				}
+				if int(target) == a {
+					continue
+				}
+				b.AddEdge(int32(a), target, int64(t+1))
+				citedPool = append(citedPool, target)
+			}
+			newPubs = append(newPubs, int32(a))
+			if firstPub[a] < 0 {
+				firstPub[a] = int32(t)
+			}
+		}
+		for _, a := range newPubs {
+			if !isPublished[a] {
+				isPublished[a] = true
+				published = append(published, a)
+			}
+		}
+	}
+	return b.Build(), firstPub
+}

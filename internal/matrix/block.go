@@ -1,0 +1,240 @@
+package matrix
+
+import "repro/internal/ds"
+
+// Block is the block upper-triangular adjacency matrix A_n of an evolving
+// graph (Sec. III-C of the paper): an n·N × n·N matrix, where n is the
+// number of time stamps and N the number of node slots, whose (ti,ti)
+// diagonal blocks are the per-stamp adjacency matrices A[t] and whose
+// (ti,tj) off-diagonal blocks (ti < tj) are the causal-edge indicator
+// matrices M[ti,tj] — diagonal 0/1 matrices marking nodes active at both
+// stamps.
+//
+// The off-diagonal blocks are never materialised: their action on a block
+// vector is the paper's ⊙ product, implemented by masking against the
+// per-stamp activity bitsets (OdotMask). This realises the paper's remark
+// that "these matrices need never be instantiated for practical
+// computations".
+//
+// When Consecutive is true, only the blocks M[ti,ti+k] with the smallest
+// k > 0 such that the node is active at both ends are applied — the
+// consecutive-causal-edge ablation. The paper's definition (all pairs
+// s < t) corresponds to Consecutive == false.
+type Block struct {
+	stamps int          // n
+	nodes  int          // N
+	diag   []*CSC       // per-stamp adjacency A[t], each nodes×nodes
+	active []*ds.BitSet // per-stamp active-node sets
+
+	// Consecutive selects the consecutive-only causal-edge ablation.
+	Consecutive bool
+}
+
+// NewBlock assembles the block matrix from per-stamp adjacency (CSC) and
+// activity sets. len(diag) == len(active) == number of stamps; every
+// block must be nodes×nodes and every bitset of capacity nodes.
+func NewBlock(nodes int, diag []*CSC, active []*ds.BitSet) *Block {
+	if len(diag) != len(active) {
+		panic("matrix: Block stamp count mismatch")
+	}
+	for t, d := range diag {
+		r, c := d.Dims()
+		if r != nodes || c != nodes {
+			panic("matrix: Block diagonal block has wrong dimensions")
+		}
+		if active[t].Len() != nodes {
+			panic("matrix: Block activity set has wrong capacity")
+		}
+	}
+	return &Block{stamps: len(diag), nodes: nodes, diag: diag, active: active}
+}
+
+// Stamps returns the number of time stamps n.
+func (b *Block) Stamps() int { return b.stamps }
+
+// Nodes returns the number of node slots N per stamp.
+func (b *Block) Nodes() int { return b.nodes }
+
+// Dim returns the full dimension n·N of the block matrix.
+func (b *Block) Dim() int { return b.stamps * b.nodes }
+
+// Diag returns the diagonal block A[t].
+func (b *Block) Diag(t int) *CSC { return b.diag[t] }
+
+// Active returns the activity set for stamp t.
+func (b *Block) Active(t int) *ds.BitSet { return b.active[t] }
+
+// IsActive reports whether node v is active at stamp t.
+func (b *Block) IsActive(v, t int) bool { return b.active[t].Get(v) }
+
+// OdotMask applies (M[ti,tj])ᵀ — equivalently the paper's
+// (A[ti])ᵀ ⊙ · — to the stamp-ti slice src, accumulating into the
+// stamp-tj slice dst: dst[v] += src[v] for every v active at both
+// stamps. This is the causal-edge block action.
+func (b *Block) OdotMask(dst, src []float64, ti, tj int) {
+	ai, aj := b.active[ti], b.active[tj]
+	for v := ai.NextSet(0); v >= 0; v = ai.NextSet(v + 1) {
+		if src[v] != 0 && aj.Get(v) {
+			dst[v] += src[v]
+		}
+	}
+}
+
+// TMatVec computes dst = A_nᵀ · src over block vectors of length Dim().
+// Stamp tj of the result receives (A[tj])ᵀ·src_tj from the diagonal block
+// plus the ⊙-masked contributions of every earlier stamp's slice
+// (all-pairs mode) or of each node's most recent earlier active stamp
+// (consecutive mode).
+func (b *Block) TMatVec(dst, src []float64) {
+	if len(dst) != b.Dim() || len(src) != b.Dim() {
+		panic("matrix: Block TMatVec dimension mismatch")
+	}
+	n := b.nodes
+	for tj := 0; tj < b.stamps; tj++ {
+		dj := dst[tj*n : (tj+1)*n]
+		sj := src[tj*n : (tj+1)*n]
+		b.diag[tj].TMatVec(dj, sj)
+		if b.Consecutive {
+			b.consecutiveCausal(dst, src, tj)
+			continue
+		}
+		for ti := 0; ti < tj; ti++ {
+			b.OdotMask(dj, src[ti*n:(ti+1)*n], ti, tj)
+		}
+	}
+}
+
+// consecutiveCausal adds, for each node v active at tj, the contribution
+// of v's latest earlier active stamp — the consecutive-causal ablation.
+func (b *Block) consecutiveCausal(dst, src []float64, tj int) {
+	n := b.nodes
+	dj := dst[tj*n : (tj+1)*n]
+	aj := b.active[tj]
+	for v := aj.NextSet(0); v >= 0; v = aj.NextSet(v + 1) {
+		for ti := tj - 1; ti >= 0; ti-- {
+			if b.active[ti].Get(v) {
+				if s := src[ti*n+v]; s != 0 {
+					dj[v] += s
+				}
+				break
+			}
+		}
+	}
+}
+
+// MatVec computes dst = A_n · src (the un-transposed action, used by
+// tests to validate against the dense materialisation).
+func (b *Block) MatVec(dst, src []float64) {
+	if len(dst) != b.Dim() || len(src) != b.Dim() {
+		panic("matrix: Block MatVec dimension mismatch")
+	}
+	n := b.nodes
+	for i := range dst {
+		dst[i] = 0
+	}
+	for ti := 0; ti < b.stamps; ti++ {
+		di := dst[ti*n : (ti+1)*n]
+		b.diag[ti].Gaxpy(di, src[ti*n:(ti+1)*n])
+		if b.Consecutive {
+			continue
+		}
+		for tj := ti + 1; tj < b.stamps; tj++ {
+			// (M[ti,tj]) · src_tj adds src_tj[v] to dst_ti[v] for shared-active v.
+			b.OdotMask(di, src[tj*n:(tj+1)*n], tj, ti)
+		}
+	}
+	if b.Consecutive {
+		for tj := 1; tj < b.stamps; tj++ {
+			aj := b.active[tj]
+			for v := aj.NextSet(0); v >= 0; v = aj.NextSet(v + 1) {
+				for ti := tj - 1; ti >= 0; ti-- {
+					if b.active[ti].Get(v) {
+						if s := src[tj*n+v]; s != 0 {
+							dst[ti*n+v] += s
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// ToDense materialises the full n·N × n·N matrix M_n (the variant that
+// keeps inactive rows/columns; they are structurally zero). Intended for
+// tests and small graphs — Theorem 5 territory.
+func (b *Block) ToDense() *Dense {
+	n := b.nodes
+	d := NewDense(b.Dim(), b.Dim())
+	for t := 0; t < b.stamps; t++ {
+		dense := b.diag[t].ToDense()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if v := dense.At(i, j); v != 0 {
+					d.Set(t*n+i, t*n+j, v)
+				}
+			}
+		}
+	}
+	for ti := 0; ti < b.stamps; ti++ {
+		for v := b.active[ti].NextSet(0); v >= 0; v = b.active[ti].NextSet(v + 1) {
+			if b.Consecutive {
+				for tj := ti + 1; tj < b.stamps; tj++ {
+					if b.active[tj].Get(v) {
+						d.Set(ti*b.nodes+v, tj*b.nodes+v, 1)
+						break
+					}
+				}
+			} else {
+				for tj := ti + 1; tj < b.stamps; tj++ {
+					if b.active[tj].Get(v) {
+						d.Set(ti*b.nodes+v, tj*b.nodes+v, 1)
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// CompactActive materialises the adjacency matrix A_n of the static graph
+// G = (V, E) from Theorem 1 — only rows/columns of *active* temporal
+// nodes, ordered stamp-major then by node id (the order the paper uses
+// for its explicit A3 example). It also returns the active temporal nodes
+// as (stamp, node) pairs in that order.
+func (b *Block) CompactActive() (*Dense, [][2]int) {
+	var order [][2]int
+	index := make(map[[2]int]int)
+	for t := 0; t < b.stamps; t++ {
+		for v := b.active[t].NextSet(0); v >= 0; v = b.active[t].NextSet(v + 1) {
+			index[[2]int{t, v}] = len(order)
+			order = append(order, [2]int{t, v})
+		}
+	}
+	full := b.ToDense()
+	d := NewDense(len(order), len(order))
+	for a, ta := range order {
+		for c, tc := range order {
+			if v := full.At(ta[0]*b.nodes+ta[1], tc[0]*b.nodes+tc[1]); v != 0 {
+				d.Set(a, c, v)
+			}
+		}
+	}
+	return d, order
+}
+
+// IsNilpotent reports whether the block matrix is nilpotent, i.e. some
+// power A_n^k is zero with k ≤ Dim(). Used to validate Lemma 1
+// (acyclic snapshots ⇒ nilpotent A_n) on small graphs.
+func (b *Block) IsNilpotent() bool {
+	d := b.ToDense()
+	n, _ := d.Dims()
+	p := d.Clone()
+	for k := 1; k <= n; k++ {
+		if p.IsZero() {
+			return true
+		}
+		p = p.Mul(d)
+	}
+	return p.IsZero()
+}

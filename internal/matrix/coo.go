@@ -1,0 +1,116 @@
+package matrix
+
+import "sort"
+
+// COO is a coordinate-format sparse matrix builder. Entries may be added
+// in any order; duplicates are summed during conversion. COO is the
+// assembly format — convert to CSR or CSC for computation.
+type COO struct {
+	rows, cols int
+	ri, ci     []int32
+	vals       []float64
+}
+
+// NewCOO returns an empty r×c coordinate matrix.
+func NewCOO(r, c int) *COO {
+	if r < 0 || c < 0 {
+		panic("matrix: negative COO dimension")
+	}
+	return &COO{rows: r, cols: c}
+}
+
+// Dims returns the row and column counts.
+func (m *COO) Dims() (r, c int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored entries (duplicates counted separately).
+func (m *COO) NNZ() int { return len(m.vals) }
+
+// Add appends the entry (i, j) = v. Duplicates accumulate on conversion.
+func (m *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic("matrix: COO entry out of range")
+	}
+	m.ri = append(m.ri, int32(i))
+	m.ci = append(m.ci, int32(j))
+	m.vals = append(m.vals, v)
+}
+
+// ToDense materialises the matrix densely (summing duplicates).
+func (m *COO) ToDense() *Dense {
+	d := NewDense(m.rows, m.cols)
+	for k, v := range m.vals {
+		i, j := int(m.ri[k]), int(m.ci[k])
+		d.data[i*d.cols+j] += v
+	}
+	return d
+}
+
+// ToCSR converts to compressed sparse row format, summing duplicates and
+// sorting column indices within each row.
+func (m *COO) ToCSR() *CSR {
+	rowPtr := make([]int32, m.rows+1)
+	for _, i := range m.ri {
+		rowPtr[i+1]++
+	}
+	for i := 0; i < m.rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	colIdx := make([]int32, len(m.vals))
+	vals := make([]float64, len(m.vals))
+	next := make([]int32, m.rows)
+	copy(next, rowPtr[:m.rows])
+	for k := range m.vals {
+		i := m.ri[k]
+		p := next[i]
+		colIdx[p] = m.ci[k]
+		vals[p] = m.vals[k]
+		next[i] = p + 1
+	}
+	csr := &CSR{rows: m.rows, cols: m.cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+	csr.sortAndDedup()
+	return csr
+}
+
+// ToCSC converts to compressed sparse column format, summing duplicates
+// and sorting row indices within each column.
+func (m *COO) ToCSC() *CSC {
+	colPtr := make([]int32, m.cols+1)
+	for _, j := range m.ci {
+		colPtr[j+1]++
+	}
+	for j := 0; j < m.cols; j++ {
+		colPtr[j+1] += colPtr[j]
+	}
+	rowIdx := make([]int32, len(m.vals))
+	vals := make([]float64, len(m.vals))
+	next := make([]int32, m.cols)
+	copy(next, colPtr[:m.cols])
+	for k := range m.vals {
+		j := m.ci[k]
+		p := next[j]
+		rowIdx[p] = m.ri[k]
+		vals[p] = m.vals[k]
+		next[j] = p + 1
+	}
+	csc := &CSC{rows: m.rows, cols: m.cols, colPtr: colPtr, rowIdx: rowIdx, vals: vals}
+	csc.sortAndDedup()
+	return csc
+}
+
+// sortIdxVal sorts idx[lo:hi] ascending, permuting vals alongside.
+func sortIdxVal(idx []int32, vals []float64, lo, hi int) {
+	sub := idxValSlice{idx: idx[lo:hi], vals: vals[lo:hi]}
+	sort.Sort(sub)
+}
+
+type idxValSlice struct {
+	idx  []int32
+	vals []float64
+}
+
+func (s idxValSlice) Len() int           { return len(s.idx) }
+func (s idxValSlice) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s idxValSlice) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}

@@ -1,0 +1,124 @@
+package matrix
+
+// CSR is a compressed sparse row matrix: row i's entries live at
+// positions rowPtr[i]..rowPtr[i+1] of colIdx/vals, with colIdx sorted
+// ascending and no duplicates. CSR gives O(1) access to a row's
+// neighbours — the natural layout for out-edge adjacency.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int32
+	colIdx     []int32
+	vals       []float64
+}
+
+// Dims returns the row and column counts.
+func (m *CSR) Dims() (r, c int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// Row returns the column indices and values of row i. The slices alias
+// internal storage and must not be mutated.
+func (m *CSR) Row(i int) (cols []int32, vals []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.vals[lo:hi]
+}
+
+// RowNNZ returns the number of entries in row i.
+func (m *CSR) RowNNZ(i int) int { return int(m.rowPtr[i+1] - m.rowPtr[i]) }
+
+// At returns the element at (i, j) by binary search within row i.
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := int(m.rowPtr[i]), int(m.rowPtr[i+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case m.colIdx[mid] == int32(j):
+			return m.vals[mid]
+		case m.colIdx[mid] < int32(j):
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// MatVec computes dst = M · x.
+func (m *CSR) MatVec(dst, x []float64) {
+	if len(x) != m.cols || len(dst) != m.rows {
+		panic("matrix: CSR MatVec dimension mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			s += m.vals[p] * x[m.colIdx[p]]
+		}
+		dst[i] = s
+	}
+}
+
+// TMatVec computes dst = Mᵀ · x (scatter form).
+func (m *CSR) TMatVec(dst, x []float64) {
+	if len(x) != m.rows || len(dst) != m.cols {
+		panic("matrix: CSR TMatVec dimension mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			dst[m.colIdx[p]] += m.vals[p] * xi
+		}
+	}
+}
+
+// ToDense materialises the matrix densely.
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			d.data[i*d.cols+int(m.colIdx[p])] = m.vals[p]
+		}
+	}
+	return d
+}
+
+// Transpose returns Mᵀ in CSR form (equivalent to re-interpreting M as CSC).
+func (m *CSR) Transpose() *CSR {
+	coo := NewCOO(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			coo.Add(int(m.colIdx[p]), i, m.vals[p])
+		}
+	}
+	return coo.ToCSR()
+}
+
+// sortAndDedup sorts each row's columns and merges duplicates by summing.
+func (m *CSR) sortAndDedup() {
+	out := 0
+	newPtr := make([]int32, m.rows+1)
+	for i := 0; i < m.rows; i++ {
+		lo, hi := int(m.rowPtr[i]), int(m.rowPtr[i+1])
+		sortIdxVal(m.colIdx, m.vals, lo, hi)
+		start := out
+		for p := lo; p < hi; p++ {
+			if out > start && m.colIdx[out-1] == m.colIdx[p] {
+				m.vals[out-1] += m.vals[p]
+			} else {
+				m.colIdx[out] = m.colIdx[p]
+				m.vals[out] = m.vals[p]
+				out++
+			}
+		}
+		newPtr[i+1] = int32(out)
+	}
+	m.rowPtr = newPtr
+	m.colIdx = m.colIdx[:out]
+	m.vals = m.vals[:out]
+}

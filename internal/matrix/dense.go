@@ -1,0 +1,234 @@
+// Package matrix is the sparse linear-algebra substrate for the algebraic
+// evolving-graph BFS (Algorithm 2 of Chen & Zhang 2016). It provides
+// coordinate (COO) builders, compressed sparse row (CSR) and column (CSC)
+// matrices, dense matrices, matrix-vector kernels, and the block
+// upper-triangular evolving adjacency matrix A_n with its ⊙ product.
+//
+// The paper's complexity results are representation-specific: Theorem 5
+// analyses the dense representation, Theorem 6 the CSC-blocked one. Both
+// are implemented here so the benchmarks can reproduce the comparison.
+package matrix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zeroed r×c dense matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("matrix: negative Dense dimension")
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// DenseFromRows builds a Dense from row slices, which must be equal length.
+func DenseFromRows(rows [][]float64) *Dense {
+	r := len(rows)
+	c := 0
+	if r > 0 {
+		c = len(rows[0])
+	}
+	d := NewDense(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("matrix: ragged rows in DenseFromRows")
+		}
+		copy(d.data[i*c:(i+1)*c], row)
+	}
+	return d
+}
+
+// Dims returns the row and column counts.
+func (d *Dense) Dims() (r, c int) { return d.rows, d.cols }
+
+// At returns the element at (i, j).
+func (d *Dense) At(i, j int) float64 {
+	d.check(i, j)
+	return d.data[i*d.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (d *Dense) Set(i, j int, v float64) {
+	d.check(i, j)
+	d.data[i*d.cols+j] = v
+}
+
+func (d *Dense) check(i, j int) {
+	if i < 0 || i >= d.rows || j < 0 || j >= d.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, d.rows, d.cols))
+	}
+}
+
+// MatVec computes dst = D · x. dst must have length rows, x length cols.
+func (d *Dense) MatVec(dst, x []float64) {
+	if len(x) != d.cols || len(dst) != d.rows {
+		panic("matrix: MatVec dimension mismatch")
+	}
+	for i := 0; i < d.rows; i++ {
+		row := d.data[i*d.cols : (i+1)*d.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// TMatVec computes dst = Dᵀ · x. dst must have length cols, x length rows.
+func (d *Dense) TMatVec(dst, x []float64) {
+	if len(x) != d.rows || len(dst) != d.cols {
+		panic("matrix: TMatVec dimension mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < d.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := d.data[i*d.cols : (i+1)*d.cols]
+		for j, v := range row {
+			dst[j] += v * xi
+		}
+	}
+}
+
+// Mul returns D · other as a new matrix.
+func (d *Dense) Mul(other *Dense) *Dense {
+	if d.cols != other.rows {
+		panic("matrix: Mul dimension mismatch")
+	}
+	out := NewDense(d.rows, other.cols)
+	for i := 0; i < d.rows; i++ {
+		for k := 0; k < d.cols; k++ {
+			a := d.data[i*d.cols+k]
+			if a == 0 {
+				continue
+			}
+			orow := other.data[k*other.cols : (k+1)*other.cols]
+			out2 := out.data[i*out.cols : (i+1)*out.cols]
+			for j, b := range orow {
+				out2[j] += a * b
+			}
+		}
+	}
+	return out
+}
+
+// Add returns D + other as a new matrix.
+func (d *Dense) Add(other *Dense) *Dense {
+	if d.rows != other.rows || d.cols != other.cols {
+		panic("matrix: Add dimension mismatch")
+	}
+	out := NewDense(d.rows, d.cols)
+	for i, v := range d.data {
+		out.data[i] = v + other.data[i]
+	}
+	return out
+}
+
+// Transpose returns Dᵀ as a new matrix.
+func (d *Dense) Transpose() *Dense {
+	out := NewDense(d.cols, d.rows)
+	for i := 0; i < d.rows; i++ {
+		for j := 0; j < d.cols; j++ {
+			out.data[j*out.cols+i] = d.data[i*d.cols+j]
+		}
+	}
+	return out
+}
+
+// Pow returns D^k for k ≥ 0 (D must be square; D⁰ = I).
+func (d *Dense) Pow(k int) *Dense {
+	if d.rows != d.cols {
+		panic("matrix: Pow of non-square matrix")
+	}
+	if k < 0 {
+		panic("matrix: negative Pow exponent")
+	}
+	out := Identity(d.rows)
+	base := d.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			out = out.Mul(base)
+		}
+		base = base.Mul(base)
+		k >>= 1
+	}
+	return out
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		d.data[i*n+i] = 1
+	}
+	return d
+}
+
+// Clone returns an independent copy.
+func (d *Dense) Clone() *Dense {
+	out := NewDense(d.rows, d.cols)
+	copy(out.data, d.data)
+	return out
+}
+
+// Equal reports whether two matrices have identical dimensions and
+// elements.
+func (d *Dense) Equal(other *Dense) bool {
+	if d.rows != other.rows || d.cols != other.cols {
+		return false
+	}
+	for i, v := range d.data {
+		if v != other.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every element is zero.
+func (d *Dense) IsZero() bool {
+	for _, v := range d.data {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NNZ returns the number of nonzero elements.
+func (d *Dense) NNZ() int {
+	c := 0
+	for _, v := range d.data {
+		if v != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// String renders the matrix for debugging.
+func (d *Dense) String() string {
+	var sb strings.Builder
+	for i := 0; i < d.rows; i++ {
+		sb.WriteByte('[')
+		for j := 0; j < d.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%g", d.data[i*d.cols+j])
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}

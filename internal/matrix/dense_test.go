@@ -1,0 +1,167 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasic(t *testing.T) {
+	d := NewDense(2, 3)
+	r, c := d.Dims()
+	if r != 2 || c != 3 {
+		t.Fatalf("Dims = (%d,%d)", r, c)
+	}
+	d.Set(1, 2, 4.5)
+	if d.At(1, 2) != 4.5 {
+		t.Fatal("At after Set wrong")
+	}
+	if d.At(0, 0) != 0 {
+		t.Fatal("fresh element not zero")
+	}
+}
+
+func TestDenseFromRows(t *testing.T) {
+	d := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	if d.At(0, 1) != 2 || d.At(1, 0) != 3 {
+		t.Fatal("DenseFromRows layout wrong")
+	}
+}
+
+func TestDenseFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DenseFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestDenseMatVec(t *testing.T) {
+	d := DenseFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	dst := make([]float64, 3)
+	d.MatVec(dst, []float64{1, 10})
+	want := []float64{21, 43, 65}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MatVec = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestDenseTMatVec(t *testing.T) {
+	d := DenseFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	dst := make([]float64, 2)
+	d.TMatVec(dst, []float64{1, 1, 1})
+	if dst[0] != 9 || dst[1] != 12 {
+		t.Fatalf("TMatVec = %v, want [9 12]", dst)
+	}
+}
+
+func TestDenseMulIdentity(t *testing.T) {
+	d := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	if !d.Mul(Identity(2)).Equal(d) || !Identity(2).Mul(d).Equal(d) {
+		t.Fatal("multiplication by identity changed matrix")
+	}
+}
+
+func TestDenseMul(t *testing.T) {
+	a := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	b := DenseFromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := DenseFromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want) {
+		t.Fatalf("Mul =\n%v want\n%v", got, want)
+	}
+}
+
+func TestDenseAddTranspose(t *testing.T) {
+	a := DenseFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	sum := a.Add(a)
+	if sum.At(1, 2) != 12 {
+		t.Fatal("Add wrong")
+	}
+	at := a.Transpose()
+	r, c := at.Dims()
+	if r != 3 || c != 2 || at.At(2, 1) != 6 || at.At(0, 0) != 1 {
+		t.Fatal("Transpose wrong")
+	}
+	if !at.Transpose().Equal(a) {
+		t.Fatal("double transpose not identity")
+	}
+}
+
+func TestDensePow(t *testing.T) {
+	// Nilpotent strictly-upper-triangular matrix.
+	a := DenseFromRows([][]float64{{0, 1, 0}, {0, 0, 1}, {0, 0, 0}})
+	if !a.Pow(0).Equal(Identity(3)) {
+		t.Fatal("Pow(0) != I")
+	}
+	if !a.Pow(1).Equal(a) {
+		t.Fatal("Pow(1) != A")
+	}
+	if a.Pow(2).At(0, 2) != 1 {
+		t.Fatal("Pow(2) wrong")
+	}
+	if !a.Pow(3).IsZero() {
+		t.Fatal("nilpotent matrix cube not zero")
+	}
+}
+
+func TestDensePowMatchesRepeatedMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, float64(rng.Intn(3)))
+			}
+		}
+		k := rng.Intn(5)
+		want := Identity(n)
+		for i := 0; i < k; i++ {
+			want = want.Mul(a)
+		}
+		return a.Pow(k).Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseNNZIsZero(t *testing.T) {
+	d := NewDense(2, 2)
+	if !d.IsZero() || d.NNZ() != 0 {
+		t.Fatal("fresh matrix should be zero")
+	}
+	d.Set(0, 1, 3)
+	if d.IsZero() || d.NNZ() != 1 {
+		t.Fatal("NNZ/IsZero wrong after Set")
+	}
+}
+
+func TestDenseString(t *testing.T) {
+	d := DenseFromRows([][]float64{{1, 0}, {0, 2}})
+	if got, want := d.String(), "[1 0]\n[0 2]\n"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestDenseOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 2).At(2, 0)
+}
+
+func TestDenseMulMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 3))
+}

@@ -1,0 +1,98 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned by Inverse for (numerically) singular matrices.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Inverse returns D⁻¹ computed by Gauss–Jordan elimination with partial
+// pivoting. It backs the resolvent factors (I − αA[t])⁻¹ of the
+// Grindrod–Higham dynamic communicability baseline (internal/metrics),
+// which the paper cites as related work with a different distance notion.
+func (d *Dense) Inverse() (*Dense, error) {
+	if d.rows != d.cols {
+		return nil, errors.New("matrix: Inverse of non-square matrix")
+	}
+	n := d.rows
+	a := d.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest |a[row][col]| for row ≥ col.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for row := col + 1; row < n; row++ {
+			if v := math.Abs(a.At(row, col)); v > best {
+				best, pivot = v, row
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		for row := 0; row < n; row++ {
+			if row == col {
+				continue
+			}
+			f := a.At(row, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(row, j, a.At(row, j)-f*a.At(col, j))
+				inv.Set(row, j, inv.At(row, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func (d *Dense) swapRows(i, j int) {
+	ri := d.data[i*d.cols : (i+1)*d.cols]
+	rj := d.data[j*d.cols : (j+1)*d.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Scale returns c·D as a new matrix.
+func (d *Dense) Scale(c float64) *Dense {
+	out := d.Clone()
+	for i := range out.data {
+		out.data[i] *= c
+	}
+	return out
+}
+
+// Sub returns D − other as a new matrix.
+func (d *Dense) Sub(other *Dense) *Dense {
+	if d.rows != other.rows || d.cols != other.cols {
+		panic("matrix: Sub dimension mismatch")
+	}
+	out := NewDense(d.rows, d.cols)
+	for i, v := range d.data {
+		out.data[i] = v - other.data[i]
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute element value.
+func (d *Dense) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range d.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,103 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInverseIdentity(t *testing.T) {
+	inv, err := Identity(4).Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Equal(Identity(4)) {
+		t.Fatalf("I⁻¹ =\n%v", inv)
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a := DenseFromRows([][]float64{{2, 0}, {0, 4}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DenseFromRows([][]float64{{0.5, 0}, {0, 0.25}})
+	if inv.Sub(want).MaxAbs() > 1e-12 {
+		t.Fatalf("inverse =\n%v want\n%v", inv, want)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := DenseFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Inverse(); err == nil {
+		t.Fatal("singular matrix inverted")
+	}
+	if _, err := NewDense(2, 3).Inverse(); err == nil {
+		t.Fatal("non-square matrix inverted")
+	}
+}
+
+func TestInverseNeedsPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	a := DenseFromRows([][]float64{{0, 1}, {1, 0}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Mul(a).Sub(Identity(2)).MaxAbs() > 1e-12 {
+		t.Fatal("pivoted inverse wrong")
+	}
+}
+
+// Property: A·A⁻¹ ≈ I for random diagonally dominant matrices.
+func TestInverseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Float64()-0.5)
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			return false
+		}
+		return a.Mul(inv).Sub(Identity(n)).MaxAbs() < 1e-9 &&
+			inv.Mul(a).Sub(Identity(n)).MaxAbs() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleSubMaxAbs(t *testing.T) {
+	a := DenseFromRows([][]float64{{1, -2}, {3, 4}})
+	s := a.Scale(2)
+	if s.At(0, 1) != -4 || s.At(1, 1) != 8 {
+		t.Fatal("Scale wrong")
+	}
+	d := s.Sub(a)
+	if !d.Equal(a) {
+		t.Fatal("Sub wrong")
+	}
+	if a.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %g, want 4", a.MaxAbs())
+	}
+	if math.Abs(NewDense(2, 2).MaxAbs()) != 0 {
+		t.Fatal("zero matrix MaxAbs wrong")
+	}
+}
+
+func TestSubMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 2).Sub(NewDense(3, 3))
+}

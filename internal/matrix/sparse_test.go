@@ -1,0 +1,210 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCOO builds a random sparse matrix with possible duplicate entries
+// (to exercise the dedup-by-summing paths).
+func randomCOO(rng *rand.Rand) *COO {
+	r := 1 + rng.Intn(12)
+	c := 1 + rng.Intn(12)
+	m := NewCOO(r, c)
+	nnz := rng.Intn(3 * r * c / 2)
+	for k := 0; k < nnz; k++ {
+		m.Add(rng.Intn(r), rng.Intn(c), float64(1+rng.Intn(5)))
+	}
+	return m
+}
+
+func TestCOOToDenseSumsDuplicates(t *testing.T) {
+	m := NewCOO(2, 2)
+	m.Add(0, 1, 2)
+	m.Add(0, 1, 3)
+	d := m.ToDense()
+	if d.At(0, 1) != 5 {
+		t.Fatalf("duplicate sum = %g, want 5", d.At(0, 1))
+	}
+}
+
+func TestCSRDedupAndSort(t *testing.T) {
+	m := NewCOO(2, 4)
+	m.Add(0, 3, 1)
+	m.Add(0, 1, 2)
+	m.Add(0, 3, 4)
+	m.Add(1, 0, 7)
+	csr := m.ToCSR()
+	if csr.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 after dedup", csr.NNZ())
+	}
+	cols, vals := csr.Row(0)
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 3 || vals[0] != 2 || vals[1] != 5 {
+		t.Fatalf("row 0 = (%v, %v)", cols, vals)
+	}
+	if csr.At(0, 3) != 5 || csr.At(0, 0) != 0 || csr.At(1, 0) != 7 {
+		t.Fatal("CSR At wrong")
+	}
+	if csr.RowNNZ(0) != 2 || csr.RowNNZ(1) != 1 {
+		t.Fatal("RowNNZ wrong")
+	}
+}
+
+func TestCSCDedupAndSort(t *testing.T) {
+	m := NewCOO(4, 2)
+	m.Add(3, 0, 1)
+	m.Add(1, 0, 2)
+	m.Add(3, 0, 4)
+	m.Add(0, 1, 7)
+	csc := m.ToCSC()
+	if csc.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 after dedup", csc.NNZ())
+	}
+	rows, vals := csc.Col(0)
+	if len(rows) != 2 || rows[0] != 1 || rows[1] != 3 || vals[0] != 2 || vals[1] != 5 {
+		t.Fatalf("col 0 = (%v, %v)", rows, vals)
+	}
+	if csc.At(3, 0) != 5 || csc.At(2, 0) != 0 {
+		t.Fatal("CSC At wrong")
+	}
+	if csc.ColEmpty(0) || csc.ColNNZ(1) != 1 {
+		t.Fatal("ColEmpty/ColNNZ wrong")
+	}
+}
+
+// Property: COO → {CSR, CSC} → Dense all agree with COO → Dense.
+func TestSparseConversionsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCOO(rng)
+		want := m.ToDense()
+		if !m.ToCSR().ToDense().Equal(want) {
+			return false
+		}
+		if !m.ToCSC().ToDense().Equal(want) {
+			return false
+		}
+		if !m.ToCSC().ToCSR().ToDense().Equal(want) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sparse matvec kernels agree with the dense reference.
+func TestSparseMatVecAgreesWithDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCOO(rng)
+		r, c := m.Dims()
+		dense := m.ToDense()
+		csr := m.ToCSR()
+		csc := m.ToCSC()
+
+		x := make([]float64, c)
+		for i := range x {
+			x[i] = float64(rng.Intn(5))
+		}
+		y := make([]float64, r)
+		for i := range y {
+			y[i] = float64(rng.Intn(5))
+		}
+
+		wantAx := make([]float64, r)
+		dense.MatVec(wantAx, x)
+		gotAx := make([]float64, r)
+		csr.MatVec(gotAx, x)
+		if !vecEqual(gotAx, wantAx) {
+			return false
+		}
+		csc.MatVec(gotAx, x)
+		if !vecEqual(gotAx, wantAx) {
+			return false
+		}
+
+		wantATy := make([]float64, c)
+		dense.TMatVec(wantATy, y)
+		gotATy := make([]float64, c)
+		csr.TMatVec(gotATy, y)
+		if !vecEqual(gotATy, wantATy) {
+			return false
+		}
+		csc.TMatVec(gotATy, y)
+		if !vecEqual(gotATy, wantATy) {
+			return false
+		}
+
+		// Gaxpy accumulates: dst pre-filled must yield dst + A·x.
+		acc := make([]float64, r)
+		copy(acc, wantAx)
+		csc.Gaxpy(acc, x)
+		for i := range acc {
+			if acc[i] != 2*wantAx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CSR transpose is an involution and matches dense transpose.
+func TestCSRTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCOO(rng)
+		csr := m.ToCSR()
+		if !csr.Transpose().ToDense().Equal(m.ToDense().Transpose()) {
+			return false
+		}
+		return csr.Transpose().Transpose().ToDense().Equal(csr.ToDense())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func vecEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCOOOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCOO(2, 2).Add(2, 0, 1)
+}
+
+func TestCSRMatVecMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCOO(2, 3).ToCSR().MatVec(make([]float64, 2), make([]float64, 2))
+}
+
+func TestCSCGaxpyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCOO(2, 3).ToCSC().Gaxpy(make([]float64, 3), make([]float64, 3))
+}

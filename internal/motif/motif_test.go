@@ -1,0 +1,231 @@
+package motif
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/egraph"
+)
+
+func randomGraph(rng *rand.Rand) *egraph.IntEvolvingGraph {
+	b := egraph.NewBuilder(true)
+	n := 2 + rng.Intn(7)
+	stamps := 1 + rng.Intn(5)
+	edges := rng.Intn(4 * n)
+	for e := 0; e < edges; e++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), int64(1+rng.Intn(stamps)))
+	}
+	b.AddEdge(0, 1, 1)
+	return b.Build()
+}
+
+type tEdge struct{ u, v, t int32 }
+
+func allEdges(g *egraph.IntEvolvingGraph) []tEdge {
+	var out []tEdge
+	for t := 0; t < g.NumStamps(); t++ {
+		g.VisitEdges(int32(t), func(u, v int32, _ float64) bool {
+			out = append(out, tEdge{u, v, int32(t)})
+			return true
+		})
+	}
+	return out
+}
+
+// brute2 classifies every ordered edge pair the slow way.
+func brute2(g *egraph.IntEvolvingGraph, delta int) Counts2 {
+	c := Counts2{Delta: delta}
+	edges := allEdges(g)
+	for _, e1 := range edges {
+		for _, e2 := range edges {
+			gap := e2.t - e1.t
+			if gap < 1 || int(gap) > delta {
+				continue
+			}
+			switch {
+			case e1.u == e2.u && e1.v == e2.v:
+				c.Repeat++
+			case e1.v == e2.u && e2.v == e1.u:
+				c.PingPong++
+			}
+			if e1.v == e2.u && e2.v != e1.u {
+				c.Path++
+			}
+			if e1.u == e2.u && e1.v != e2.v {
+				c.FanOut++
+			}
+			if e1.v == e2.v && e1.u != e2.u {
+				c.FanIn++
+			}
+		}
+	}
+	return c
+}
+
+// brute3 classifies every ordered edge triple the slow way.
+func brute3(g *egraph.IntEvolvingGraph, delta int) Counts3 {
+	c := Counts3{Delta: delta}
+	edges := allEdges(g)
+	for _, e1 := range edges {
+		for _, e2 := range edges {
+			if e2.t <= e1.t || int(e2.t-e1.t) > delta {
+				continue
+			}
+			// Wedge A→B, B→C with distinct nodes.
+			if e1.v != e2.u || e2.v == e1.u || e2.v == e1.v {
+				continue
+			}
+			a, b, cc := e1.u, e1.v, e2.v
+			_ = b
+			for _, e3 := range edges {
+				if e3.t <= e2.t || int(e3.t-e1.t) > delta {
+					continue
+				}
+				if e3.u == a && e3.v == cc {
+					c.FeedForward++
+				}
+				if e3.u == cc && e3.v == a {
+					c.Cycle++
+				}
+			}
+		}
+	}
+	return c
+}
+
+func TestCount2Validation(t *testing.T) {
+	g := egraph.Figure1Graph()
+	if _, err := Count2(g, 0); err == nil {
+		t.Error("Count2(delta=0) succeeded")
+	}
+	b := egraph.NewBuilder(false)
+	b.AddEdge(0, 1, 1)
+	if _, err := Count2(b.Build(), 1); err == nil {
+		t.Error("Count2(undirected) succeeded")
+	}
+	if _, err := CountTriangles(b.Build(), 1); err == nil {
+		t.Error("CountTriangles(undirected) succeeded")
+	}
+}
+
+func TestCount2Figure1(t *testing.T) {
+	// Fig. 1 edges: 1→2@t1, 1→3@t2, 2→3@t3.
+	g := egraph.Figure1Graph()
+	c, err := Count2(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs with increasing stamps: (1→2@t1, 1→3@t2) fan-out;
+	// (1→2@t1, 2→3@t3) path; (1→3@t2, 2→3@t3) fan-in.
+	want := Counts2{Delta: 2, Path: 1, FanOut: 1, FanIn: 1}
+	if c != want {
+		t.Fatalf("Count2 = %+v, want %+v", c, want)
+	}
+	// δ=1 drops the (t1, t3) path pair.
+	c, err = Count2(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = Counts2{Delta: 1, FanOut: 1, FanIn: 1}
+	if c != want {
+		t.Fatalf("Count2(δ=1) = %+v, want %+v", c, want)
+	}
+}
+
+func TestTrianglesHandBuilt(t *testing.T) {
+	b := egraph.NewBuilder(true)
+	b.AddEdge(0, 1, 1) // A→B
+	b.AddEdge(1, 2, 2) // B→C
+	b.AddEdge(0, 2, 3) // A→C closes feed-forward
+	b.AddEdge(2, 0, 3) // C→A closes cycle
+	g := b.Build()
+	c, err := CountTriangles(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FeedForward != 1 || c.Cycle != 1 {
+		t.Fatalf("CountTriangles = %+v, want 1 feed-forward, 1 cycle", c)
+	}
+	// δ=1 cannot span t1→t3.
+	c, err = CountTriangles(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FeedForward != 0 || c.Cycle != 0 {
+		t.Fatalf("CountTriangles(δ=1) = %+v, want zeros", c)
+	}
+}
+
+func TestCount2MatchesBruteForce(t *testing.T) {
+	f := func(seed int64, deltaSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		delta := 1 + int(deltaSel)%4
+		got, err := Count2(g, delta)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want := brute2(g, delta)
+		if got != want {
+			t.Logf("seed %d δ=%d: got %+v, want %+v", seed, delta, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrianglesMatchBruteForce(t *testing.T) {
+	f := func(seed int64, deltaSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		delta := 1 + int(deltaSel)%4
+		got, err := CountTriangles(g, delta)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want := brute3(g, delta)
+		if got != want {
+			t.Logf("seed %d δ=%d: got %+v, want %+v", seed, delta, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Counts are monotone in δ, and Profile returns them in order.
+func TestProfileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		max := g.NumStamps()
+		profile, err := Profile(g, max)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(profile) != max {
+			return false
+		}
+		for i := 1; i < len(profile); i++ {
+			a, b := profile[i-1], profile[i]
+			if b.Path < a.Path || b.PingPong < a.PingPong || b.FanOut < a.FanOut ||
+				b.FanIn < a.FanIn || b.Repeat < a.Repeat {
+				t.Logf("seed %d: counts shrank from δ=%d to δ=%d", seed, a.Delta, b.Delta)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

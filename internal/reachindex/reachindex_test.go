@@ -1,0 +1,120 @@
+package reachindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/egraph"
+	"repro/internal/gen"
+)
+
+func tn(v, s int32) egraph.TemporalNode { return egraph.TemporalNode{Node: v, Stamp: s} }
+
+func TestIndexFigure1(t *testing.T) {
+	g := egraph.Figure1Graph()
+	idx, err := Build(g, egraph.CausalAllPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Reaches(tn(0, 0), tn(2, 2)) {
+		t.Fatal("(1,t1) should reach (3,t3)")
+	}
+	if idx.Reaches(tn(2, 2), tn(0, 0)) {
+		t.Fatal("(3,t3) must not reach (1,t1)")
+	}
+	if !idx.Reaches(tn(0, 0), tn(0, 0)) {
+		t.Fatal("self-reachability missing")
+	}
+	if idx.Reaches(tn(2, 0), tn(2, 2)) || idx.Reaches(tn(0, 0), tn(2, 0)) {
+		t.Fatal("inactive temporal nodes must be unreachable")
+	}
+	if idx.Chains() < 1 || idx.Chains() > 6 {
+		t.Fatalf("chains = %d", idx.Chains())
+	}
+}
+
+func TestIndexRejectsCycles(t *testing.T) {
+	b := egraph.NewBuilder(true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 0, 1)
+	if _, err := Build(b.Build(), egraph.CausalAllPairs); err != ErrCyclic {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+// Property: the index answers exactly like the transitive closure on
+// random temporal DAGs, in both causal modes.
+func TestIndexMatchesClosure(t *testing.T) {
+	f := func(seed int64, consecutive bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := egraph.NewBuilder(true)
+		n := 2 + rng.Intn(8)
+		stamps := 1 + rng.Intn(4)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u // DAG snapshots
+			}
+			b.AddEdge(int32(u), int32(v), int64(1+rng.Intn(stamps)))
+		}
+		b.AddEdge(0, 1, 1)
+		g := b.Build()
+		mode := egraph.CausalAllPairs
+		if consecutive {
+			mode = egraph.CausalConsecutive
+		}
+		idx, err := Build(g, mode)
+		if err != nil {
+			return false
+		}
+		cl := core.TransitiveClosure(g, mode)
+		u := g.Unfold(mode)
+		for _, a := range u.Order {
+			for _, c := range u.Order {
+				if idx.Reaches(a, c) != cl.Reaches(a, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The citation generator produces temporal DAGs... not necessarily: an
+// author pair can cite both ways across years within one stamp? Edges
+// point citer→cited within one year; two authors citing each other in
+// the same year is possible, creating a 2-cycle. Build tolerantly.
+func TestIndexOnCitationNetwork(t *testing.T) {
+	g, _ := gen.Citation(gen.CitationConfig{
+		Authors: 80, Stamps: 6, PubProb: 0.4, CitesPerPaper: 2, Seed: 3,
+	})
+	idx, err := Build(g, egraph.CausalAllPairs)
+	if err == ErrCyclic {
+		t.Skip("generated network has a same-year citation cycle")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check 200 random pairs against BFS.
+	rng := rand.New(rand.NewSource(1))
+	u := g.Unfold(egraph.CausalAllPairs)
+	for q := 0; q < 200; q++ {
+		a := u.Order[rng.Intn(len(u.Order))]
+		c := u.Order[rng.Intn(len(u.Order))]
+		want, err := core.Reachable(g, a, c, egraph.CausalAllPairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx.Reaches(a, c) != want {
+			t.Fatalf("Reaches(%v,%v) = %v, want %v", a, c, idx.Reaches(a, c), want)
+		}
+	}
+}

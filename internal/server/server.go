@@ -1,0 +1,370 @@
+// Package server exposes an evolving graph as a JSON-over-HTTP query
+// service: BFS distances, shortest temporal paths, reachability,
+// forward neighbours, and the four path-optimality criteria. The graph
+// is immutable once served, so every handler is safe for concurrent
+// use; cmd/egserve wires this handler to a listener.
+//
+// Endpoints (all GET, all JSON):
+//
+//	/stats                         graph summary
+//	/bfs?node=N&stamp=S[&mode=M][&direction=D]
+//	/path?from=N,S&to=N,S[&mode=M]
+//	/reach?node=N&stamp=S[&mode=M]
+//	/neighbors?node=N&stamp=S[&mode=M]
+//	/criteria?src=N&dst=N[&mode=M]
+//
+// mode is "allpairs" (default) or "consecutive"; direction is "forward"
+// (default) or "backward". Errors come back as {"error": "..."} with
+// status 400 (bad request) or 404 (inactive/unreachable).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/egraph"
+	"repro/internal/temporal"
+)
+
+// Handler returns the HTTP handler serving queries over g.
+func Handler(g *egraph.IntEvolvingGraph) http.Handler {
+	s := &server{g: g}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", s.stats)
+	mux.HandleFunc("/bfs", s.bfs)
+	mux.HandleFunc("/path", s.path)
+	mux.HandleFunc("/reach", s.reach)
+	mux.HandleFunc("/neighbors", s.neighbors)
+	mux.HandleFunc("/criteria", s.criteria)
+	return mux
+}
+
+type server struct {
+	g *egraph.IntEvolvingGraph
+}
+
+// TemporalNodeJSON is the wire form of a temporal node.
+type TemporalNodeJSON struct {
+	Node  int32 `json:"node"`
+	Stamp int32 `json:"stamp"`
+	Label int64 `json:"label"`
+}
+
+// StatsResponse is the wire form of /stats.
+type StatsResponse struct {
+	Nodes        int     `json:"nodes"`
+	Stamps       int     `json:"stamps"`
+	StaticEdges  int     `json:"staticEdges"`
+	CausalEdges  int     `json:"causalEdges"`
+	ActiveNodes  int     `json:"activeTemporalNodes"`
+	Directed     bool    `json:"directed"`
+	FirstLabel   int64   `json:"firstLabel"`
+	LastLabel    int64   `json:"lastLabel"`
+	EdgesByStamp []int   `json:"edgesByStamp"`
+	Density      float64 `json:"activeDensity"`
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	g := s.g
+	edges := make([]int, g.NumStamps())
+	for t := range edges {
+		edges[t] = g.SnapshotEdgeCount(t)
+	}
+	resp := StatsResponse{
+		Nodes:        g.NumNodes(),
+		Stamps:       g.NumStamps(),
+		StaticEdges:  g.StaticEdgeCount(),
+		CausalEdges:  g.CausalEdgeCount(egraph.CausalAllPairs),
+		ActiveNodes:  g.NumActiveNodes(),
+		Directed:     g.Directed(),
+		FirstLabel:   g.TimeLabel(0),
+		LastLabel:    g.TimeLabel(g.NumStamps() - 1),
+		EdgesByStamp: edges,
+		Density:      float64(g.NumActiveNodes()) / float64(g.NumNodes()*g.NumStamps()),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BFSEntry is one reached temporal node in /bfs.
+type BFSEntry struct {
+	TemporalNodeJSON
+	Dist int `json:"dist"`
+}
+
+// BFSResponse is the wire form of /bfs.
+type BFSResponse struct {
+	Root    TemporalNodeJSON `json:"root"`
+	Reached []BFSEntry       `json:"reached"`
+	Levels  []int            `json:"levels"`
+}
+
+func (s *server) bfs(w http.ResponseWriter, r *http.Request) {
+	root, ok := s.temporalNodeParam(w, r, "node", "stamp")
+	if !ok {
+		return
+	}
+	mode, ok := modeParam(w, r)
+	if !ok {
+		return
+	}
+	opts := core.Options{Mode: mode}
+	switch dir := r.URL.Query().Get("direction"); dir {
+	case "", "forward":
+	case "backward":
+		opts.Direction = core.Backward
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown direction %q", dir))
+		return
+	}
+	res, err := core.BFS(s.g, root, opts)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrInactiveRoot) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	resp := BFSResponse{Root: s.wire(root), Levels: res.LevelSizes()}
+	res.Visit(func(tn egraph.TemporalNode, d int) bool {
+		resp.Reached = append(resp.Reached, BFSEntry{TemporalNodeJSON: s.wire(tn), Dist: d})
+		return true
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PathResponse is the wire form of /path.
+type PathResponse struct {
+	From TemporalNodeJSON   `json:"from"`
+	To   TemporalNodeJSON   `json:"to"`
+	Hops int                `json:"hops"`
+	Path []TemporalNodeJSON `json:"path"`
+}
+
+func (s *server) path(w http.ResponseWriter, r *http.Request) {
+	from, ok := s.pairParam(w, r, "from")
+	if !ok {
+		return
+	}
+	to, ok := s.pairParam(w, r, "to")
+	if !ok {
+		return
+	}
+	mode, ok := modeParam(w, r)
+	if !ok {
+		return
+	}
+	p, err := core.ShortestPath(s.g, from, to, mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if p == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("%v is not reachable from %v", to, from))
+		return
+	}
+	resp := PathResponse{From: s.wire(from), To: s.wire(to), Hops: p.Hops()}
+	for _, tn := range p {
+		resp.Path = append(resp.Path, s.wire(tn))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ReachResponse is the wire form of /reach.
+type ReachResponse struct {
+	Root          TemporalNodeJSON `json:"root"`
+	TemporalNodes int              `json:"temporalNodes"`
+	DistinctNodes int              `json:"distinctNodes"`
+	MaxDist       int              `json:"maxDist"`
+}
+
+func (s *server) reach(w http.ResponseWriter, r *http.Request) {
+	root, ok := s.temporalNodeParam(w, r, "node", "stamp")
+	if !ok {
+		return
+	}
+	mode, ok := modeParam(w, r)
+	if !ok {
+		return
+	}
+	res, err := core.BFS(s.g, root, core.Options{Mode: mode})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrInactiveRoot) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	distinct := make(map[int32]bool)
+	res.Visit(func(tn egraph.TemporalNode, _ int) bool {
+		distinct[tn.Node] = true
+		return true
+	})
+	writeJSON(w, http.StatusOK, ReachResponse{
+		Root:          s.wire(root),
+		TemporalNodes: res.NumReached(),
+		DistinctNodes: len(distinct),
+		MaxDist:       res.MaxDist(),
+	})
+}
+
+// NeighborsResponse is the wire form of /neighbors.
+type NeighborsResponse struct {
+	Of        TemporalNodeJSON   `json:"of"`
+	Neighbors []TemporalNodeJSON `json:"neighbors"`
+}
+
+func (s *server) neighbors(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.temporalNodeParam(w, r, "node", "stamp")
+	if !ok {
+		return
+	}
+	mode, ok := modeParam(w, r)
+	if !ok {
+		return
+	}
+	resp := NeighborsResponse{Of: s.wire(tn)}
+	for _, nb := range core.ForwardNeighbors(s.g, tn, mode) {
+		resp.Neighbors = append(resp.Neighbors, s.wire(nb))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// CriteriaResponse is the wire form of /criteria.
+type CriteriaResponse struct {
+	Source          int32 `json:"source"`
+	Target          int32 `json:"target"`
+	Reachable       bool  `json:"reachable"`
+	ShortestHops    int   `json:"shortestHops"`
+	EarliestArrival int64 `json:"earliestArrival"`
+	LatestDeparture int64 `json:"latestDeparture"`
+	FastestDuration int64 `json:"fastestDuration"`
+}
+
+func (s *server) criteria(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.nodeParam(w, r, "src")
+	if !ok {
+		return
+	}
+	dst, ok := s.nodeParam(w, r, "dst")
+	if !ok {
+		return
+	}
+	mode, ok := modeParam(w, r)
+	if !ok {
+		return
+	}
+	sum, err := temporal.Compare(s.g, src, dst, mode)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrInactiveRoot) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CriteriaResponse{
+		Source:          sum.Source,
+		Target:          sum.Target,
+		Reachable:       sum.Reachable,
+		ShortestHops:    sum.ShortestHops,
+		EarliestArrival: sum.EarliestArrival,
+		LatestDeparture: sum.LatestDeparture,
+		FastestDuration: sum.FastestDuration,
+	})
+}
+
+// --- parameter parsing ------------------------------------------------
+
+func (s *server) nodeParam(w http.ResponseWriter, r *http.Request, key string) (int32, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("missing parameter %q", key))
+		return 0, false
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil || v < 0 || int(v) >= s.g.NumNodes() {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s=%q out of range (0..%d)", key, raw, s.g.NumNodes()-1))
+		return 0, false
+	}
+	return int32(v), true
+}
+
+func (s *server) stampParam(w http.ResponseWriter, r *http.Request, key string) (int32, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("missing parameter %q", key))
+		return 0, false
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil || v < 0 || int(v) >= s.g.NumStamps() {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s=%q out of range (0..%d)", key, raw, s.g.NumStamps()-1))
+		return 0, false
+	}
+	return int32(v), true
+}
+
+func (s *server) temporalNodeParam(w http.ResponseWriter, r *http.Request, nodeKey, stampKey string) (egraph.TemporalNode, bool) {
+	node, ok := s.nodeParam(w, r, nodeKey)
+	if !ok {
+		return egraph.TemporalNode{}, false
+	}
+	stamp, ok := s.stampParam(w, r, stampKey)
+	if !ok {
+		return egraph.TemporalNode{}, false
+	}
+	return egraph.TemporalNode{Node: node, Stamp: stamp}, true
+}
+
+// pairParam parses "N,S" temporal-node literals (the /path endpoint).
+func (s *server) pairParam(w http.ResponseWriter, r *http.Request, key string) (egraph.TemporalNode, bool) {
+	raw := r.URL.Query().Get(key)
+	parts := strings.Split(raw, ",")
+	if raw == "" || len(parts) != 2 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s must be \"node,stamp\", got %q", key, raw))
+		return egraph.TemporalNode{}, false
+	}
+	node, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 32)
+	stamp, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 32)
+	if err1 != nil || err2 != nil ||
+		node < 0 || int(node) >= s.g.NumNodes() ||
+		stamp < 0 || int(stamp) >= s.g.NumStamps() {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s=%q out of range", key, raw))
+		return egraph.TemporalNode{}, false
+	}
+	return egraph.TemporalNode{Node: int32(node), Stamp: int32(stamp)}, true
+}
+
+func modeParam(w http.ResponseWriter, r *http.Request) (egraph.CausalMode, bool) {
+	switch m := r.URL.Query().Get("mode"); m {
+	case "", "allpairs":
+		return egraph.CausalAllPairs, true
+	case "consecutive":
+		return egraph.CausalConsecutive, true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (allpairs or consecutive)", m))
+		return 0, false
+	}
+}
+
+func (s *server) wire(tn egraph.TemporalNode) TemporalNodeJSON {
+	return TemporalNodeJSON{Node: tn.Node, Stamp: tn.Stamp, Label: s.g.TimeLabel(int(tn.Stamp))}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // network write failures have no recovery path here
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

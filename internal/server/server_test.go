@@ -1,0 +1,171 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/egraph"
+)
+
+func get(t *testing.T, h http.Handler, url string, wantStatus int, into interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d (body %s)", url, rec.Code, wantStatus, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: Content-Type %q", url, ct)
+	}
+	if into != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, rec.Body.String())
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := Handler(egraph.Figure1Graph())
+	var resp StatsResponse
+	get(t, h, "/stats", http.StatusOK, &resp)
+	if resp.Nodes != 3 || resp.Stamps != 3 || resp.StaticEdges != 3 ||
+		resp.CausalEdges != 3 || resp.ActiveNodes != 6 || !resp.Directed {
+		t.Fatalf("stats = %+v", resp)
+	}
+	if resp.FirstLabel != 1 || resp.LastLabel != 3 {
+		t.Fatalf("labels = %d..%d, want 1..3", resp.FirstLabel, resp.LastLabel)
+	}
+	if len(resp.EdgesByStamp) != 3 || resp.EdgesByStamp[0] != 1 {
+		t.Fatalf("edgesByStamp = %v", resp.EdgesByStamp)
+	}
+}
+
+func TestBFS(t *testing.T) {
+	h := Handler(egraph.Figure1Graph())
+	var resp BFSResponse
+	get(t, h, "/bfs?node=0&stamp=0", http.StatusOK, &resp)
+	if len(resp.Reached) != 6 {
+		t.Fatalf("reached %d temporal nodes, want 6", len(resp.Reached))
+	}
+	// Find (2, t3): the paper's Fig. 1 gives distance 3.
+	found := false
+	for _, e := range resp.Reached {
+		if e.Node == 2 && e.Stamp == 2 {
+			found = true
+			if e.Dist != 3 {
+				t.Fatalf("dist((3,t3)) = %d, want 3", e.Dist)
+			}
+			if e.Label != 3 {
+				t.Fatalf("label((3,t3)) = %d, want 3", e.Label)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("(3,t3) missing from BFS response")
+	}
+	// Backward BFS from (3,t3) must reach everything in reverse.
+	get(t, h, "/bfs?node=2&stamp=2&direction=backward", http.StatusOK, &resp)
+	if len(resp.Reached) != 6 {
+		t.Fatalf("backward reached %d, want 6", len(resp.Reached))
+	}
+}
+
+func TestBFSErrors(t *testing.T) {
+	h := Handler(egraph.Figure1Graph())
+	get(t, h, "/bfs?stamp=0", http.StatusBadRequest, nil)                     // missing node
+	get(t, h, "/bfs?node=9&stamp=0", http.StatusBadRequest, nil)              // node range
+	get(t, h, "/bfs?node=0&stamp=7", http.StatusBadRequest, nil)              // stamp range
+	get(t, h, "/bfs?node=0&stamp=0&mode=warp", http.StatusBadRequest, nil)    // bad mode
+	get(t, h, "/bfs?node=0&stamp=0&direction=up", http.StatusBadRequest, nil) // bad direction
+	get(t, h, "/bfs?node=2&stamp=0", http.StatusNotFound, nil)                // inactive root
+}
+
+func TestPath(t *testing.T) {
+	h := Handler(egraph.Figure1Graph())
+	var resp PathResponse
+	get(t, h, "/path?from=0,0&to=2,2", http.StatusOK, &resp)
+	if resp.Hops != 3 || len(resp.Path) != 4 {
+		t.Fatalf("path = %+v, want 3 hops / 4 nodes", resp)
+	}
+	if resp.Path[0].Node != 0 || resp.Path[3].Node != 2 {
+		t.Fatalf("path endpoints wrong: %+v", resp.Path)
+	}
+	// Unreachable pair → 404.
+	get(t, h, "/path?from=2,1&to=0,0", http.StatusNotFound, nil)
+	// Malformed pairs → 400.
+	get(t, h, "/path?from=00&to=2,2", http.StatusBadRequest, nil)
+	get(t, h, "/path?from=0,0,0&to=2,2", http.StatusBadRequest, nil)
+	get(t, h, "/path?from=9,0&to=2,2", http.StatusBadRequest, nil)
+	get(t, h, "/path?to=2,2", http.StatusBadRequest, nil)
+}
+
+func TestReach(t *testing.T) {
+	h := Handler(egraph.Figure1Graph())
+	var resp ReachResponse
+	get(t, h, "/reach?node=0&stamp=0", http.StatusOK, &resp)
+	if resp.TemporalNodes != 6 || resp.DistinctNodes != 3 || resp.MaxDist != 3 {
+		t.Fatalf("reach = %+v", resp)
+	}
+	get(t, h, "/reach?node=2&stamp=0", http.StatusNotFound, nil) // inactive
+}
+
+func TestNeighbors(t *testing.T) {
+	h := Handler(egraph.Figure1Graph())
+	var resp NeighborsResponse
+	get(t, h, "/neighbors?node=0&stamp=0", http.StatusOK, &resp)
+	// Sec. II-A: forward neighbours of (1,t1) are (2,t1) and (1,t2).
+	if len(resp.Neighbors) != 2 {
+		t.Fatalf("neighbors = %+v, want 2", resp.Neighbors)
+	}
+	seen := map[[2]int32]bool{}
+	for _, nb := range resp.Neighbors {
+		seen[[2]int32{nb.Node, nb.Stamp}] = true
+	}
+	if !seen[[2]int32{1, 0}] || !seen[[2]int32{0, 1}] {
+		t.Fatalf("neighbors = %+v, want (1,0) and (0,1)", resp.Neighbors)
+	}
+}
+
+func TestCriteria(t *testing.T) {
+	h := Handler(egraph.Figure1Graph())
+	var resp CriteriaResponse
+	get(t, h, "/criteria?src=0&dst=2", http.StatusOK, &resp)
+	if !resp.Reachable || resp.ShortestHops != 2 || resp.EarliestArrival != 2 ||
+		resp.LatestDeparture != 2 || resp.FastestDuration != 0 {
+		t.Fatalf("criteria = %+v", resp)
+	}
+	// Unreachable is 200 with reachable=false — a valid answer.
+	get(t, h, "/criteria?src=1&dst=0", http.StatusOK, &resp)
+	if resp.Reachable {
+		t.Fatalf("criteria(1,0) = %+v, want unreachable", resp)
+	}
+	// Never-active source node → 404.
+	get(t, h, "/criteria?src=2&dst=0", http.StatusOK, &resp) // node 2 is active (t2,t3)
+	get(t, h, "/criteria?src=0&dst=9", http.StatusBadRequest, nil)
+}
+
+// The handler must be safe for concurrent queries (run with -race).
+func TestConcurrentQueries(t *testing.T) {
+	h := Handler(egraph.Figure1Graph())
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 50; j++ {
+				req := httptest.NewRequest(http.MethodGet, "/bfs?node=0&stamp=0", nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,257 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/egraph"
+	"repro/internal/gen"
+)
+
+func tn(v, s int32) egraph.TemporalNode { return egraph.TemporalNode{Node: v, Stamp: s} }
+
+func randomGraph(rng *rand.Rand, directed bool) *egraph.IntEvolvingGraph {
+	b := egraph.NewBuilder(directed)
+	n := 2 + rng.Intn(8)
+	stamps := 1 + rng.Intn(5)
+	edges := rng.Intn(3 * n)
+	for e := 0; e < edges; e++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), int64(1+rng.Intn(stamps)))
+	}
+	b.AddEdge(0, 1, 1)
+	return b.Build()
+}
+
+// distinctNodesReached is the exact oracle: run the paper's BFS and
+// count distinct node ids among reached temporal nodes.
+func distinctNodesReached(t *testing.T, g *egraph.IntEvolvingGraph, root egraph.TemporalNode) int {
+	t.Helper()
+	res, err := core.BFS(g, root, core.Options{})
+	if err != nil {
+		t.Fatalf("oracle BFS: %v", err)
+	}
+	seen := make(map[int32]bool)
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		for _, s := range g.ActiveStamps(v) {
+			if res.Reached(tn(v, s)) {
+				seen[v] = true
+				break
+			}
+		}
+	}
+	return len(seen)
+}
+
+func TestBuildReachRejectsTinyK(t *testing.T) {
+	g := egraph.Figure1Graph()
+	for _, k := range []int{-1, 0, 1, 2, 3} {
+		if _, err := BuildReach(g, egraph.CausalAllPairs, k, 1); err == nil {
+			t.Errorf("BuildReach(k=%d) succeeded, want error", k)
+		}
+	}
+}
+
+func TestFigure1ExactSketches(t *testing.T) {
+	g := egraph.Figure1Graph()
+	e, err := BuildReach(g, egraph.CausalAllPairs, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=8 > 3 nodes, so every estimate is exact.
+	cases := []struct {
+		tn   egraph.TemporalNode
+		want float64
+	}{
+		{tn(0, 0), 3}, // (1,t1) influences all of {1,2,3}
+		{tn(1, 0), 2}, // (2,t1) → (2,t3) → (3,t3): {2,3}
+		{tn(2, 1), 1}, // (3,t2) reaches only itself (via (3,t3))
+		{tn(2, 2), 1},
+	}
+	for _, c := range cases {
+		if got := e.EstimateTemporalNode(c.tn); got != c.want {
+			t.Errorf("Estimate(%v) = %g, want %g", c.tn, got, c.want)
+		}
+		if !e.Exact(c.tn) {
+			t.Errorf("Exact(%v) = false, want true at k=8", c.tn)
+		}
+	}
+	// Inactive temporal nodes influence nothing.
+	if got := e.EstimateTemporalNode(tn(2, 0)); got != 0 {
+		t.Errorf("Estimate(inactive (3,t1)) = %g, want 0", got)
+	}
+}
+
+// With k at least the node count every sketch is exact and must equal
+// the BFS oracle, on random graphs, both modes, both orientations.
+func TestSketchExactMatchesOracle(t *testing.T) {
+	for _, mode := range []egraph.CausalMode{egraph.CausalAllPairs, egraph.CausalConsecutive} {
+		f := func(seed int64, directed bool) bool {
+			rng := rand.New(rand.NewSource(seed))
+			g := randomGraph(rng, directed)
+			e, err := BuildReach(g, mode, g.NumNodes()+MinK, seed)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			for v := int32(0); v < int32(g.NumNodes()); v++ {
+				for _, s := range g.ActiveStamps(v) {
+					root := tn(v, s)
+					want := float64(distinctNodesReached(t, g, root))
+					if got := e.EstimateTemporalNode(root); got != want {
+						t.Logf("seed %d mode %v: Estimate(%v) = %g, oracle %g", seed, mode, root, got, want)
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+// At realistic k the estimates must land near the oracle on a graph
+// large enough for the estimator to engage (reach sets ≫ k).
+func TestSketchAccuracy(t *testing.T) {
+	g := gen.GNP(400, 6, 0.004, true, 99)
+	e, err := BuildReach(g, egraph.CausalConsecutive, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relErrSum float64
+	var measured, engaged int
+	for v := int32(0); v < int32(g.NumNodes()); v += 7 { // sample sources
+		stamps := g.ActiveStamps(v)
+		if len(stamps) == 0 {
+			continue
+		}
+		root := tn(v, stamps[0])
+		want := float64(distinctNodesReached(t, g, root))
+		got := e.EstimateTemporalNode(root)
+		if want == 0 {
+			t.Fatalf("active root %v with zero oracle reach", root)
+		}
+		relErrSum += math.Abs(got-want) / want
+		measured++
+		if !e.Exact(root) {
+			engaged++
+		}
+	}
+	if measured == 0 {
+		t.Fatal("no sources sampled")
+	}
+	if engaged == 0 {
+		t.Fatal("estimator never engaged: all reach sets < k; grow the workload")
+	}
+	if mean := relErrSum / float64(measured); mean > 0.25 {
+		t.Fatalf("mean relative error %.3f > 0.25 over %d sources (k=64)", mean, measured)
+	}
+}
+
+// Same seed, same sketches; different seed, (almost surely) different
+// internal ranks but similar estimates.
+func TestSketchDeterminism(t *testing.T) {
+	g := gen.GNP(100, 4, 0.01, true, 3)
+	a, err := BuildReach(g, egraph.CausalAllPairs, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildReach(g, egraph.CausalAllPairs, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		ea, oka := a.EstimateNode(v)
+		eb, okb := b.EstimateNode(v)
+		if oka != okb || ea != eb {
+			t.Fatalf("node %d: run A (%g,%v) ≠ run B (%g,%v)", v, ea, oka, eb, okb)
+		}
+	}
+}
+
+// Undirected graphs put 2-cycles in every stamp of the unfolding; the
+// condensation path must still produce exact results at large k.
+func TestSketchHandlesCycles(t *testing.T) {
+	b := egraph.NewBuilder(false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 2)
+	b.AddEdge(3, 0, 2)
+	g := b.Build()
+	e, err := BuildReach(g, egraph.CausalAllPairs, 16, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		for _, s := range g.ActiveStamps(v) {
+			root := tn(v, s)
+			want := float64(distinctNodesReached(t, g, root))
+			if got := e.EstimateTemporalNode(root); got != want {
+				t.Fatalf("Estimate(%v) = %g, oracle %g", root, got, want)
+			}
+		}
+	}
+}
+
+func TestEstimateNodeInactive(t *testing.T) {
+	b := egraph.NewBuilder(true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 3, 2) // node 2 exists but never participates
+	g := b.Build()
+	e, err := BuildReach(g, egraph.CausalAllPairs, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.EstimateNode(2); ok {
+		t.Fatal("EstimateNode(inactive) reported ok")
+	}
+	if est, ok := e.EstimateNode(0); !ok || est != 3 {
+		t.Fatalf("EstimateNode(0) = %g,%v, want 3,true", est, ok)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g := egraph.Figure1Graph()
+	e, err := BuildReach(g, egraph.CausalAllPairs, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := e.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) returned %d entries", len(top))
+	}
+	// Node 0 (influence 3) must rank first, node 1 (influence 2) second.
+	if top[0].Node != 0 || top[0].Influence != 3 {
+		t.Fatalf("top[0] = %+v, want node 0 influence 3", top[0])
+	}
+	if top[1].Node != 1 || top[1].Influence != 2 {
+		t.Fatalf("top[1] = %+v, want node 1 influence 2", top[1])
+	}
+	// Requesting more than exists returns everything, once.
+	if all := e.TopK(100); len(all) != 3 {
+		t.Fatalf("TopK(100) returned %d entries, want 3", len(all))
+	}
+}
+
+func TestBottomK(t *testing.T) {
+	got := bottomK([]float64{0.9, 0.1, 0.5, 0.1, 0.3, 0.5}, 3)
+	want := []float64{0.1, 0.3, 0.5}
+	if len(got) != len(want) {
+		t.Fatalf("bottomK = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bottomK = %v, want %v", got, want)
+		}
+	}
+	if out := bottomK([]float64{0.2}, 4); len(out) != 1 || out[0] != 0.2 {
+		t.Fatalf("bottomK(short) = %v", out)
+	}
+	if out := bottomK(nil, 4); len(out) != 0 {
+		t.Fatalf("bottomK(nil) = %v", out)
+	}
+}

@@ -1,0 +1,153 @@
+// Package stream implements the incremental side of evolving graphs: an
+// append-only edge stream with non-decreasing time labels, snapshot
+// extraction, and incremental maintenance of a BFS from a fixed root as
+// edges arrive.
+//
+// The paper treats an evolving graph as a completed sequence of
+// snapshots, but its motivation (ref. [2], PageRank on an evolving
+// graph) is streams that grow at the frontier of time. Appending edges
+// only at the newest stamp has a pleasant consequence for Algorithm 1:
+// a new edge can only create temporal paths whose suffix lies at the
+// newest stamp, so distance improvements are confined there and the BFS
+// can be repaired locally instead of recomputed (see IncrementalBFS).
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/egraph"
+)
+
+// Dynamic is an evolving graph under construction: edges arrive with
+// non-decreasing time labels. The zero value is not ready; use
+// NewDynamic.
+type Dynamic struct {
+	directed  bool
+	labels    []int64 // distinct stamp labels in arrival (= sorted) order
+	out       []map[int32][]int32
+	in        []map[int32][]int32
+	active    []map[int32]bool
+	activeAt  map[int32][]int // per node: stamp indices where active
+	numEdges  int
+	maxNode   int32
+	listeners []func(u, v int32, stamp int)
+}
+
+// NewDynamic returns an empty dynamic evolving graph.
+func NewDynamic(directed bool) *Dynamic {
+	return &Dynamic{directed: directed, activeAt: make(map[int32][]int), maxNode: -1}
+}
+
+// Directed reports the edge sense.
+func (d *Dynamic) Directed() bool { return d.directed }
+
+// NumStamps returns the number of distinct labels seen.
+func (d *Dynamic) NumStamps() int { return len(d.labels) }
+
+// NumEdges returns the number of accepted edges (duplicates included).
+func (d *Dynamic) NumEdges() int { return d.numEdges }
+
+// Label returns the time label of stamp index s.
+func (d *Dynamic) Label(s int) int64 { return d.labels[s] }
+
+// IsActive reports whether node v is active at stamp index s.
+func (d *Dynamic) IsActive(v int32, s int) bool {
+	return s < len(d.active) && d.active[s][v]
+}
+
+// ActiveStampsOf returns the stamp indices where v is active.
+func (d *Dynamic) ActiveStampsOf(v int32) []int { return d.activeAt[v] }
+
+// Out returns the out-neighbours of v at stamp index s.
+func (d *Dynamic) Out(v int32, s int) []int32 { return d.out[s][v] }
+
+// In returns the in-neighbours of v at stamp index s.
+func (d *Dynamic) In(v int32, s int) []int32 { return d.in[s][v] }
+
+// AddEdge appends the edge u→v at the given label. The label must be
+// ≥ every label seen so far; self-loops are rejected (Def. 3 makes them
+// inert). Duplicate edges are ignored.
+func (d *Dynamic) AddEdge(u, v int32, label int64) error {
+	if u == v {
+		return fmt.Errorf("stream: self-loop (%d,%d) rejected", u, v)
+	}
+	if u < 0 || v < 0 {
+		return fmt.Errorf("stream: negative node id (%d,%d)", u, v)
+	}
+	if n := len(d.labels); n > 0 && label < d.labels[n-1] {
+		return fmt.Errorf("stream: label %d is earlier than current frontier %d", label, d.labels[n-1])
+	}
+	if n := len(d.labels); n == 0 || label > d.labels[n-1] {
+		d.labels = append(d.labels, label)
+		d.out = append(d.out, make(map[int32][]int32))
+		d.in = append(d.in, make(map[int32][]int32))
+		d.active = append(d.active, make(map[int32]bool))
+	}
+	s := len(d.labels) - 1
+	if contains(d.out[s][u], v) {
+		return nil // duplicate
+	}
+	d.out[s][u] = append(d.out[s][u], v)
+	d.in[s][v] = append(d.in[s][v], u)
+	if !d.directed {
+		d.out[s][v] = append(d.out[s][v], u)
+		d.in[s][u] = append(d.in[s][u], v)
+	}
+	d.activate(u, s)
+	d.activate(v, s)
+	if u > d.maxNode {
+		d.maxNode = u
+	}
+	if v > d.maxNode {
+		d.maxNode = v
+	}
+	d.numEdges++
+	for _, fn := range d.listeners {
+		fn(u, v, s)
+	}
+	return nil
+}
+
+func (d *Dynamic) activate(v int32, s int) {
+	if !d.active[s][v] {
+		d.active[s][v] = true
+		d.activeAt[v] = append(d.activeAt[v], s)
+	}
+}
+
+func contains(xs []int32, v int32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// onEdge registers a callback invoked after each accepted edge.
+func (d *Dynamic) onEdge(fn func(u, v int32, stamp int)) {
+	d.listeners = append(d.listeners, fn)
+}
+
+// Snapshot freezes the current state into an immutable IntEvolvingGraph.
+func (d *Dynamic) Snapshot() *egraph.IntEvolvingGraph {
+	b := egraph.NewBuilder(d.directed)
+	for s := range d.labels {
+		// Deterministic order: sorted source then insertion order.
+		us := make([]int32, 0, len(d.out[s]))
+		for u := range d.out[s] {
+			us = append(us, u)
+		}
+		sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+		for _, u := range us {
+			for _, v := range d.out[s][u] {
+				if !d.directed && v < u {
+					continue
+				}
+				b.AddEdge(u, v, d.labels[s])
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,213 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/egraph"
+	"repro/internal/gen"
+)
+
+func TestDynamicBasics(t *testing.T) {
+	d := NewDynamic(true)
+	if err := d.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumStamps() != 2 || d.NumEdges() != 2 {
+		t.Fatalf("stamps=%d edges=%d", d.NumStamps(), d.NumEdges())
+	}
+	if !d.IsActive(0, 0) || d.IsActive(2, 0) {
+		t.Fatal("activity wrong")
+	}
+	if d.Label(1) != 2 {
+		t.Fatal("label wrong")
+	}
+	if len(d.ActiveStampsOf(0)) != 2 {
+		t.Fatal("activeAt wrong")
+	}
+	if len(d.Out(0, 0)) != 1 || d.Out(0, 0)[0] != 1 {
+		t.Fatal("out adjacency wrong")
+	}
+	if len(d.In(1, 0)) != 1 || d.In(1, 0)[0] != 0 {
+		t.Fatal("in adjacency wrong")
+	}
+	if !d.Directed() {
+		t.Fatal("directed flag lost")
+	}
+}
+
+func TestDynamicRejects(t *testing.T) {
+	d := NewDynamic(true)
+	if err := d.AddEdge(0, 0, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := d.AddEdge(-1, 0, 1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if err := d.AddEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(1, 2, 4); err == nil {
+		t.Fatal("time regression accepted")
+	}
+}
+
+func TestDynamicDuplicateIgnored(t *testing.T) {
+	d := NewDynamic(true)
+	_ = d.AddEdge(0, 1, 1)
+	_ = d.AddEdge(0, 1, 1)
+	if d.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", d.NumEdges())
+	}
+}
+
+func TestDynamicUndirectedSymmetry(t *testing.T) {
+	d := NewDynamic(false)
+	_ = d.AddEdge(0, 1, 1)
+	if len(d.Out(1, 0)) != 1 || d.Out(1, 0)[0] != 0 {
+		t.Fatal("undirected reverse adjacency missing")
+	}
+}
+
+func TestSnapshotMatchesBuilder(t *testing.T) {
+	d := NewDynamic(true)
+	_ = d.AddEdge(0, 1, 1)
+	_ = d.AddEdge(1, 2, 2)
+	_ = d.AddEdge(0, 2, 2)
+	g := d.Snapshot()
+	if g.NumStamps() != 2 || g.StaticEdgeCount() != 3 {
+		t.Fatalf("snapshot stamps=%d edges=%d", g.NumStamps(), g.StaticEdgeCount())
+	}
+	if !g.HasEdge(0, 1, 0) || !g.HasEdge(1, 2, 1) || !g.HasEdge(0, 2, 1) {
+		t.Fatal("snapshot edges wrong")
+	}
+}
+
+func TestIncrementalBFSFigure1Replay(t *testing.T) {
+	// Stream the Fig. 1 graph edge by edge and check distances evolve.
+	d := NewDynamic(true)
+	ib := NewIncrementalBFS(d, 0, 1) // root (1, t1)
+	if ib.Started() {
+		t.Fatal("started before any edge")
+	}
+	_ = d.AddEdge(0, 1, 1)
+	if !ib.Started() {
+		t.Fatal("root should start with first edge")
+	}
+	if ib.Dist(1, 1) != 1 {
+		t.Fatalf("dist(2,t1) = %d, want 1", ib.Dist(1, 1))
+	}
+	_ = d.AddEdge(0, 2, 2)
+	if ib.Dist(0, 2) != 1 {
+		t.Fatalf("dist(1,t2) = %d, want 1", ib.Dist(0, 2))
+	}
+	if ib.Dist(2, 2) != 2 {
+		t.Fatalf("dist(3,t2) = %d, want 2", ib.Dist(2, 2))
+	}
+	_ = d.AddEdge(1, 2, 3)
+	if ib.Dist(1, 3) != 2 {
+		t.Fatalf("dist(2,t3) = %d, want 2", ib.Dist(1, 3))
+	}
+	if ib.Dist(2, 3) != 3 {
+		t.Fatalf("dist(3,t3) = %d, want 3", ib.Dist(2, 3))
+	}
+	if ib.NumReached() != 6 {
+		t.Fatalf("NumReached = %d, want 6", ib.NumReached())
+	}
+}
+
+func TestIncrementalBFSUnknownLabel(t *testing.T) {
+	d := NewDynamic(true)
+	ib := NewIncrementalBFS(d, 0, 1)
+	if ib.Dist(0, 99) != -1 {
+		t.Fatal("unknown label should be unreachable")
+	}
+}
+
+func TestIncrementalBFSAttachToNonEmpty(t *testing.T) {
+	d := NewDynamic(true)
+	_ = d.AddEdge(0, 1, 1)
+	_ = d.AddEdge(1, 2, 2)
+	ib := NewIncrementalBFS(d, 0, 1)
+	if !ib.Started() {
+		t.Fatal("replay should start the search")
+	}
+	if ib.Dist(2, 2) != 3 { // (1,t1)→(2,t1)→(2,t2)→(3,t2)
+		t.Fatalf("dist = %d, want 3", ib.Dist(2, 2))
+	}
+	// Continue streaming after attach: (1,t3) arrives; the causal edge
+	// (1,t1)→(1,t3) gives distance 1, beating the static route via
+	// (3,t3) of length 5.
+	_ = d.AddEdge(2, 0, 3)
+	if ib.Dist(0, 3) != 1 {
+		t.Fatalf("dist after attach-continue = %d, want 1", ib.Dist(0, 3))
+	}
+	if ib.Dist(2, 3) != 4 {
+		t.Fatalf("dist((3,t3)) = %d, want 4", ib.Dist(2, 3))
+	}
+}
+
+// Property: after every edge of a random stream, the incremental
+// distances equal a from-scratch Algorithm 1 run on the snapshot.
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		edges := gen.Stream(8, 5, 40, seed)
+		d := NewDynamic(directed)
+		// Root: the first edge's source at its label.
+		ib := NewIncrementalBFS(d, edges[0].U, edges[0].T)
+		for i, e := range edges {
+			if err := d.AddEdge(e.U, e.V, e.T); err != nil {
+				return false
+			}
+			// Check a random prefix subset of events to bound cost.
+			if i%7 != 0 && i != len(edges)-1 {
+				continue
+			}
+			if !ib.Started() {
+				continue
+			}
+			ref, err := ib.Recompute()
+			if err != nil {
+				return false
+			}
+			if ref.NumReached() != ib.NumReached() {
+				return false
+			}
+			ok := true
+			g := d.Snapshot()
+			ref.Visit(func(n egraph.TemporalNode, dd int) bool {
+				if ib.Dist(n.Node, g.TimeLabel(int(n.Stamp))) != dd {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalRootNeverActivates(t *testing.T) {
+	d := NewDynamic(true)
+	ib := NewIncrementalBFS(d, 5, 1)
+	_ = d.AddEdge(0, 1, 1)
+	_ = d.AddEdge(1, 2, 2)
+	if ib.Started() || ib.NumReached() != 0 {
+		t.Fatal("search must not start for an inactive root")
+	}
+	if _, err := ib.Recompute(); err == nil {
+		t.Fatal("Recompute with inactive root should error")
+	}
+}

@@ -1,0 +1,206 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/egraph"
+)
+
+func tn(v, s int32) egraph.TemporalNode { return egraph.TemporalNode{Node: v, Stamp: s} }
+
+func randomGraph(rng *rand.Rand, directed bool) *egraph.IntEvolvingGraph {
+	b := egraph.NewBuilder(directed)
+	n := 2 + rng.Intn(8)
+	stamps := 1 + rng.Intn(5)
+	edges := rng.Intn(3 * n)
+	for e := 0; e < edges; e++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), int64(1+rng.Intn(stamps)))
+	}
+	b.AddEdge(0, 1, 1)
+	return b.Build()
+}
+
+func TestCutValidation(t *testing.T) {
+	g := egraph.Figure1Graph()
+	for _, c := range [][2]int{{-1, 1}, {0, 3}, {2, 1}} {
+		if _, err := Cut(g, c[0], c[1]); err == nil {
+			t.Errorf("Cut(%d, %d) succeeded, want error", c[0], c[1])
+		}
+	}
+}
+
+func TestCutFigure1(t *testing.T) {
+	g := egraph.Figure1Graph()
+	// The middle window [t2] contains only the edge 1→3.
+	w, err := Cut(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Width() != 1 || w.Graph.NumStamps() != 1 || w.Graph.StaticEdgeCount() != 1 {
+		t.Fatalf("window = width %d, stamps %d, edges %d", w.Width(), w.Graph.NumStamps(), w.Graph.StaticEdgeCount())
+	}
+	if !w.Graph.HasEdge(0, 2, 0) {
+		t.Fatal("window lost the 1→3 edge")
+	}
+	if got := w.ParentStamp(0); got != 1 {
+		t.Fatalf("ParentStamp(0) = %d, want 1", got)
+	}
+	if got := w.ParentStamp(5); got != -1 {
+		t.Fatalf("ParentStamp(out of range) = %d, want -1", got)
+	}
+	// The suffix window [t2, t3] supports the Fig. 3 search from (1,t2).
+	w, err = Cut(g, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.BFS(w.Graph, tn(0, 0), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumReached() != 3 {
+		t.Fatalf("suffix-window BFS reached %d, want 3 (Fig. 3)", res.NumReached())
+	}
+}
+
+// A full-range window reproduces the parent graph: same edges, labels,
+// activity, and BFS results from every root.
+func TestFullWindowIsIdentity(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, directed)
+		w, err := Cut(g, 0, g.NumStamps()-1)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if w.Graph.NumStamps() != g.NumStamps() || w.Graph.StaticEdgeCount() != g.StaticEdgeCount() {
+			t.Logf("seed %d: stamps %d/%d edges %d/%d", seed,
+				w.Graph.NumStamps(), g.NumStamps(), w.Graph.StaticEdgeCount(), g.StaticEdgeCount())
+			return false
+		}
+		for ts := 0; ts < g.NumStamps(); ts++ {
+			if w.Graph.TimeLabel(ts) != g.TimeLabel(ts) || w.ParentStamp(int32(ts)) != int32(ts) {
+				t.Logf("seed %d: stamp mapping broken at %d", seed, ts)
+				return false
+			}
+		}
+		root := tn(0, g.ActiveStamps(0)[0])
+		full, err := core.BFS(g, root, core.Options{})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		cut, err := core.BFS(w.Graph, root, core.Options{})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return full.NumReached() == cut.NumReached() && full.MaxDist() == cut.MaxDist()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every edge of a window exists in the parent at the matching label, and
+// every parent edge within range appears in the window.
+func TestWindowEdgeCorrespondence(t *testing.T) {
+	f := func(seed int64, directed bool, loSel, hiSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, directed)
+		lo := int(loSel) % g.NumStamps()
+		hi := lo + int(hiSel)%(g.NumStamps()-lo)
+		w, err := Cut(g, lo, hi)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		// Window → parent.
+		for ts := 0; ts < w.Graph.NumStamps(); ts++ {
+			ps := w.ParentStamp(int32(ts))
+			if ps < int32(lo) || ps > int32(hi) {
+				t.Logf("seed %d: ParentStamp(%d) = %d outside [%d, %d]", seed, ts, ps, lo, hi)
+				return false
+			}
+			ok := true
+			w.Graph.VisitEdges(int32(ts), func(u, v int32, _ float64) bool {
+				if !g.HasEdge(u, v, ps) {
+					ok = false
+				}
+				return ok
+			})
+			if !ok {
+				t.Logf("seed %d: window edge missing in parent", seed)
+				return false
+			}
+		}
+		// Parent → window (count check suffices given the above).
+		want := 0
+		for ts := lo; ts <= hi; ts++ {
+			want += g.SnapshotEdgeCount(ts)
+		}
+		if w.Graph.StaticEdgeCount() != want {
+			t.Logf("seed %d: window edges %d, parent range %d", seed, w.Graph.StaticEdgeCount(), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollValidation(t *testing.T) {
+	g := egraph.Figure1Graph()
+	if _, err := Roll(g, 0, -1); err == nil {
+		t.Error("Roll(width 0) succeeded")
+	}
+	if _, err := Roll(g, 4, -1); err == nil {
+		t.Error("Roll(width > stamps) succeeded")
+	}
+	if _, err := Roll(g, 1, 99); err == nil {
+		t.Error("Roll(root out of range) succeeded")
+	}
+}
+
+func TestRollFigure1(t *testing.T) {
+	g := egraph.Figure1Graph()
+	stats, err := Roll(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("Roll(2) returned %d positions, want 2", len(stats))
+	}
+	// Window [t1,t2]: edges 1→2, 1→3; node 1 reaches {(1,t1),(2,t1),(1,t2),(3,t2)}.
+	if stats[0].Lo != 0 || stats[0].Hi != 1 || stats[0].StaticEdges != 2 || stats[0].ReachableFromRoot != 4 {
+		t.Fatalf("stats[0] = %+v", stats[0])
+	}
+	// Window [t2,t3]: edges 1→3, 2→3; node 1 reaches {(1,t2),(3,t2),(3,t3)} (Fig. 3).
+	if stats[1].Lo != 1 || stats[1].Hi != 2 || stats[1].StaticEdges != 2 || stats[1].ReachableFromRoot != 3 {
+		t.Fatalf("stats[1] = %+v", stats[1])
+	}
+}
+
+// Rolling with width = NumStamps yields exactly one position whose edge
+// and activity counts match the parent.
+func TestRollFullWidth(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, directed)
+		stats, err := Roll(g, g.NumStamps(), -1)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return len(stats) == 1 &&
+			stats[0].StaticEdges == g.StaticEdgeCount() &&
+			stats[0].ActiveNodes == g.NumActiveNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

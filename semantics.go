@@ -1,0 +1,124 @@
+// Temporal-path optimality criteria, the dynamic adjacency store,
+// reachability sketches, and influence maximization — the extension
+// layer built on top of the paper's Algorithm 1 (see DESIGN.md §7).
+
+package evolving
+
+import (
+	"repro/internal/core"
+	"repro/internal/dynadj"
+	"repro/internal/influence"
+	"repro/internal/sketch"
+	"repro/internal/temporal"
+)
+
+// ForemostResult holds per-node earliest-arrival stamps from a root.
+type ForemostResult = temporal.ForemostResult
+
+// DepartureResult holds per-node latest-departure stamps toward a target.
+type DepartureResult = temporal.DepartureResult
+
+// FastestResult is the minimum-elapsed-time connection between two nodes.
+type FastestResult = temporal.FastestResult
+
+// PathSummary reports all four path-optimality criteria side by side.
+type PathSummary = temporal.Summary
+
+// Foremost computes the earliest stamp at which every node can be
+// reached from root (one forward BFS).
+func Foremost(g *Graph, root TemporalNode, mode CausalMode) (*ForemostResult, error) {
+	return temporal.Foremost(g, root, mode)
+}
+
+// LatestDeparture computes the latest stamp from which every node can
+// still reach target (one backward BFS).
+func LatestDeparture(g *Graph, target TemporalNode, mode CausalMode) (*DepartureResult, error) {
+	return temporal.LatestDeparture(g, target, mode)
+}
+
+// Fastest finds the departure of src minimising elapsed time to dst.
+func Fastest(g *Graph, src, dst int32, mode CausalMode) (FastestResult, error) {
+	return temporal.Fastest(g, src, dst, mode)
+}
+
+// FastestDurations computes the fastest duration from src to every node.
+func FastestDurations(g *Graph, src int32, mode CausalMode) ([]int64, error) {
+	return temporal.Durations(g, src, mode)
+}
+
+// ComparePathCriteria evaluates shortest / foremost / latest-departure /
+// fastest between two nodes in one call.
+func ComparePathCriteria(g *Graph, src, dst int32, mode CausalMode) (PathSummary, error) {
+	return temporal.Compare(g, src, dst, mode)
+}
+
+// DynamicStore is a mutable evolving-graph container with copy-on-write
+// snapshots: one writer applies batches while readers hold immutable
+// views (compare STINGER / Aspen).
+type DynamicStore = dynadj.Store
+
+// DynamicView is an immutable snapshot of a DynamicStore.
+type DynamicView = dynadj.View
+
+// Update is one edge insertion or deletion in a DynamicStore batch.
+type Update = dynadj.Update
+
+// Update operations.
+const (
+	Insert = dynadj.Insert
+	Delete = dynadj.Delete
+)
+
+// NewDynamicStore creates an empty dynamic store over numNodes nodes and
+// the given strictly-increasing time labels.
+func NewDynamicStore(numNodes int, times []int64, directed bool) (*DynamicStore, error) {
+	return dynadj.NewStore(numNodes, times, directed)
+}
+
+// ReachEstimator answers approximate influence-cardinality queries from
+// bottom-k min-rank sketches.
+type ReachEstimator = sketch.ReachEstimator
+
+// NodeEstimate pairs a node with its estimated influence cardinality.
+type NodeEstimate = sketch.NodeEstimate
+
+// BuildReachSketches computes bottom-k reach sketches for every active
+// temporal node; k controls the accuracy/memory trade-off (relative
+// standard error ≈ 1/√(k−2)).
+func BuildReachSketches(g *Graph, mode CausalMode, k int, seed int64) (*ReachEstimator, error) {
+	return sketch.BuildReach(g, mode, k, seed)
+}
+
+// InfluenceOptions configures greedy seed selection.
+type InfluenceOptions = influence.Options
+
+// InfluenceSeed is one greedy selection step.
+type InfluenceSeed = influence.Seed
+
+// GreedyInfluence picks up to k seeds maximising joint influence
+// coverage (CELF lazy greedy, (1−1/e)-approximate).
+func GreedyInfluence(g *Graph, k int, opts InfluenceOptions) ([]InfluenceSeed, error) {
+	return influence.Greedy(g, k, opts)
+}
+
+// InfluenceSpread returns the exact joint coverage of a seed set.
+func InfluenceSpread(g *Graph, seeds []int32, opts InfluenceOptions) (int, error) {
+	return influence.Spread(g, seeds, opts)
+}
+
+// ProfileEntry is one (departure stamp → earliest arrival) point.
+type ProfileEntry = temporal.ProfileEntry
+
+// ArrivalProfile computes the earliest arrival at dst for every active
+// departure stamp of src (the temporal profile problem).
+func ArrivalProfile(g *Graph, src, dst int32, mode CausalMode) ([]ProfileEntry, error) {
+	return temporal.ArrivalProfile(g, src, dst, mode)
+}
+
+// BidirectionalShortestPath answers a point-to-point shortest-path query
+// by growing forward and backward searches toward each other — far
+// cheaper than a full BFS when both endpoints are known. ok is false
+// when `to` is unreachable from `from` (including inactive endpoints).
+func BidirectionalShortestPath(g *Graph, from, to TemporalNode, mode CausalMode) (path TemporalPath, ok bool, err error) {
+	return core.BidirectionalShortestPath(g, from, to, mode)
+}
