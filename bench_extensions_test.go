@@ -43,6 +43,34 @@ func BenchmarkAlg1VsAlg2Sparse(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineCSRVsMaps races the default flat CSR/bitset BFS engine
+// against the adjacency-map oracle (DESIGN.md §8) on the Fig. 5 random
+// workload. The two return bit-identical results; the gap is pure
+// engine overhead and should widen with graph size.
+func BenchmarkEngineCSRVsMaps(b *testing.B) {
+	for _, edges := range []int{20_000, 80_000, 320_000} {
+		g := evolving.Random(evolving.RandomConfig{
+			Nodes: edges / 10, Stamps: 8, Edges: edges, Directed: true, Seed: 8189,
+		})
+		g.CSR() // build the view outside the timed loop
+		root := evolving.TemporalNode{Node: int32(g.ActiveNodes(0).NextSet(0)), Stamp: 0}
+		b.Run(fmt.Sprintf("CSR/edges=%d", edges), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				if _, err := evolving.BFS(g, root, evolving.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Maps/edges=%d", edges), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				if _, err := evolving.BFS(g, root, evolving.Options{UseAdjacencyMaps: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHybridBFS compares the direction-optimizing BFS against the
 // plain top-down BFS on a dense, low-diameter graph (bottom-up's home
 // turf) and on a sparse graph (where it should not help much).

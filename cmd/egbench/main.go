@@ -6,13 +6,24 @@
 // to ~5×10⁸ on one core of a 1 TB Xeon box. Defaults here are laptop
 // sized; raise -edges to approach the paper's scale if you have the RAM.
 //
+// With -compare the harness instead races the two BFS engines — the
+// flat CSR/bitset engine (the default, DESIGN.md §8) against the
+// adjacency-map oracle (Options.UseAdjacencyMaps) and the parallel CSR
+// engine — across the generator workloads named by -workloads, and
+// reports the speedup per graph.
+//
+// -json FILE writes every measurement (either mode) as a JSON array so
+// results can be tracked across runs.
+//
 // Usage:
 //
 //	egbench [-nodes 100000] [-stamps 10] [-edges 500000,1000000,...]
-//	        [-seed 2016] [-reps 3] [-parallel]
+//	        [-seed 2016] [-reps 3] [-parallel] [-workers N]
+//	        [-compare] [-workloads random,citation,gnp,pref] [-json FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -24,56 +35,88 @@ import (
 	evolving "repro"
 )
 
+// record is one measurement row of the BENCH json.
+type record struct {
+	Workload      string  `json:"workload"`
+	Graph         string  `json:"graph"`
+	Engine        string  `json:"engine"`
+	Nodes         int     `json:"nodes"`
+	Stamps        int     `json:"stamps"`
+	StaticEdges   int     `json:"staticEdges"`
+	UnfoldedEdges int     `json:"unfoldedEdges"`
+	Reached       int     `json:"reached"`
+	NS            int64   `json:"ns"`
+	SpeedupVsMaps float64 `json:"speedupVsMaps,omitempty"`
+}
+
 func main() {
 	var (
 		nodes    = flag.Int("nodes", 10_000, "node-id space (paper: 1e5 at ~1000 edges/node; default shrunk to stay supercritical at laptop edge counts)")
 		stamps   = flag.Int("stamps", 10, "time stamps (paper: 10)")
 		edgeList = flag.String("edges", "500000,1000000,2000000,3000000,4000000",
 			"comma-separated |E~| sweep (paper: 1e8..5e8)")
-		seed     = flag.Int64("seed", 2016, "generator seed")
-		reps     = flag.Int("reps", 3, "timing repetitions per size (min is reported)")
-		parallel = flag.Bool("parallel", false, "time the parallel BFS instead")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 2016, "generator seed")
+		reps      = flag.Int("reps", 3, "timing repetitions per size (min is reported)")
+		parallel  = flag.Bool("parallel", false, "time the parallel BFS instead (Figure 5 mode)")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		compare   = flag.Bool("compare", false, "race the CSR/bitset engine against the adjacency-map oracle")
+		workloads = flag.String("workloads", "random,citation", "comma-separated workloads for -compare: random, citation, gnp, pref")
+		jsonPath  = flag.String("json", "", "write measurements to FILE as a JSON array")
 	)
 	flag.Parse()
-
-	counts, err := parseCounts(*edgeList)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "egbench: %v\n", err)
+	if *reps < 1 {
+		fmt.Fprintf(os.Stderr, "egbench: -reps must be at least 1, got %d\n", *reps)
 		os.Exit(2)
 	}
 
-	fmt.Printf("# Figure 5 harness: %d nodes, %d stamps, seed %d, %d reps (min reported)\n",
-		*nodes, *stamps, *seed, *reps)
-	if *parallel {
-		fmt.Printf("# parallel BFS, workers=%d\n", *workers)
+	var records []record
+	if *compare {
+		records = runCompare(*workloads, *nodes, *stamps, *edgeList, *seed, *reps, *workers)
+	} else {
+		var err error
+		records, err = runFigure5(*nodes, *stamps, *edgeList, *seed, *reps, *parallel, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "egbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, records); err != nil {
+			fmt.Fprintf(os.Stderr, "egbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d measurements to %s\n", len(records), *jsonPath)
+	}
+}
+
+// runFigure5 is the paper's scaling experiment over the random workload.
+func runFigure5(nodes, stamps int, edgeList string, seed int64, reps int, parallel bool, workers int) ([]record, error) {
+	counts, err := parseCounts(edgeList)
+	if err != nil {
+		return nil, err
+	}
+
+	engine := "csr"
+	if parallel {
+		engine = "csr-parallel"
+	}
+	fmt.Printf("# Figure 5 harness: %d nodes, %d stamps, seed %d, %d reps (min reported), engine %s\n",
+		nodes, stamps, seed, reps, engine)
+	if parallel {
+		fmt.Printf("# parallel BFS, workers=%d\n", workers)
 	}
 	fmt.Printf("%14s %14s %14s %12s %14s\n", "|E~| requested", "|E~| built", "|E| unfolded", "time", "ns/|E~|")
 
-	series := evolving.RandomSeries(*nodes, *stamps, counts, true, *seed)
+	series := evolving.RandomSeries(nodes, stamps, counts, true, seed)
+	var records []record
 	xs := make([]float64, 0, len(series))
 	ys := make([]float64, 0, len(series))
 	for i, g := range series {
 		root := evolving.TemporalNode{Node: int32(g.ActiveNodes(0).NextSet(0)), Stamp: 0}
-		best := time.Duration(math.MaxInt64)
-		var reached int
-		for r := 0; r < *reps; r++ {
-			start := time.Now()
-			var res *evolving.Result
-			var err error
-			if *parallel {
-				res, err = evolving.ParallelBFS(g, root, evolving.ParallelOptions{Workers: *workers})
-			} else {
-				res, err = evolving.BFS(g, root, evolving.Options{})
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "egbench: BFS: %v\n", err)
-				os.Exit(1)
-			}
-			if el := time.Since(start); el < best {
-				best = el
-			}
-			reached = res.NumReached()
+		var opts evolving.Options
+		best, reached, err := timeBFS(g, root, opts, parallel, workers, reps)
+		if err != nil {
+			return nil, fmt.Errorf("BFS: %v", err)
 		}
 		built := g.StaticEdgeCount()
 		unfolded := g.EdgeCount(evolving.CausalAllPairs)
@@ -82,6 +125,11 @@ func main() {
 			float64(best.Nanoseconds())/float64(built), reached)
 		xs = append(xs, float64(built))
 		ys = append(ys, float64(best.Nanoseconds()))
+		records = append(records, record{
+			Workload: "random", Graph: fmt.Sprintf("random-%d", counts[i]), Engine: engine,
+			Nodes: g.NumNodes(), Stamps: g.NumStamps(), StaticEdges: built,
+			UnfoldedEdges: unfolded, Reached: reached, NS: best.Nanoseconds(),
+		})
 	}
 
 	slope, intercept, r2 := leastSquares(xs, ys)
@@ -93,6 +141,164 @@ func main() {
 	} else {
 		fmt.Println("VERDICT: linear fit is poor — investigate (R² ≤ 0.95)")
 	}
+	return records, nil
+}
+
+// namedGraph is one graph of a comparison workload.
+type namedGraph struct {
+	name string
+	g    *evolving.Graph
+}
+
+// runCompare races adjacency-map, CSR and parallel-CSR engines on each
+// workload graph.
+func runCompare(workloads string, nodes, stamps int, edgeList string, seed int64, reps, workers int) []record {
+	counts, err := parseCounts(edgeList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egbench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("# engine comparison: %d reps (min reported), workers=%d (0 = GOMAXPROCS)\n", reps, workers)
+	fmt.Printf("%-24s %-14s %14s %14s %12s %10s\n", "graph", "engine", "|E~|", "reached", "time", "speedup")
+
+	var records []record
+	for _, w := range strings.Split(workloads, ",") {
+		w = strings.TrimSpace(w)
+		graphs, err := buildWorkload(w, nodes, stamps, counts, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "egbench: %v\n", err)
+			os.Exit(2)
+		}
+		for _, ng := range graphs {
+			g := ng.g
+			var root evolving.TemporalNode
+			found := false
+			for t := 0; t < g.NumStamps() && !found; t++ {
+				if v := g.ActiveNodes(t).NextSet(0); v >= 0 {
+					root = evolving.TemporalNode{Node: int32(v), Stamp: int32(t)}
+					found = true
+				}
+			}
+			if !found {
+				continue
+			}
+			built := g.StaticEdgeCount()
+			unfolded := g.EdgeCount(evolving.CausalAllPairs)
+
+			mapsBest, reached, err := timeBFS(g, root, evolving.Options{UseAdjacencyMaps: true}, false, 0, reps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "egbench: %s: %v\n", ng.name, err)
+				os.Exit(1)
+			}
+			csrBest, csrReached, err := timeBFS(g, root, evolving.Options{}, false, 0, reps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "egbench: %s: csr: %v\n", ng.name, err)
+				os.Exit(1)
+			}
+			parBest, parReached, err := timeBFS(g, root, evolving.Options{}, true, workers, reps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "egbench: %s: csr-parallel: %v\n", ng.name, err)
+				os.Exit(1)
+			}
+			// The engines must agree before their times mean anything.
+			if csrReached != reached || parReached != reached {
+				fmt.Fprintf(os.Stderr, "egbench: %s: engines disagree: maps reached %d, csr %d, csr-parallel %d\n",
+					ng.name, reached, csrReached, parReached)
+				os.Exit(1)
+			}
+
+			row := func(engine string, d time.Duration) {
+				speedup := float64(mapsBest.Nanoseconds()) / float64(d.Nanoseconds())
+				fmt.Printf("%-24s %-14s %14d %14d %12s %9.2fx\n",
+					ng.name, engine, built, reached, d.Round(time.Microsecond), speedup)
+				records = append(records, record{
+					Workload: w, Graph: ng.name, Engine: engine,
+					Nodes: g.NumNodes(), Stamps: g.NumStamps(), StaticEdges: built,
+					UnfoldedEdges: unfolded, Reached: reached, NS: d.Nanoseconds(),
+					SpeedupVsMaps: speedup,
+				})
+			}
+			row("maps", mapsBest)
+			row("csr", csrBest)
+			row("csr-parallel", parBest)
+		}
+	}
+	return records
+}
+
+// buildWorkload materialises the named generator workload.
+func buildWorkload(name string, nodes, stamps int, counts []int, seed int64) ([]namedGraph, error) {
+	switch name {
+	case "random":
+		series := evolving.RandomSeries(nodes, stamps, counts, true, seed)
+		out := make([]namedGraph, len(series))
+		for i, g := range series {
+			out[i] = namedGraph{fmt.Sprintf("random-%d", counts[i]), g}
+		}
+		return out, nil
+	case "citation":
+		var out []namedGraph
+		for _, authors := range []int{2000, 5000} {
+			cfg := evolving.DefaultCitationConfig()
+			cfg.Authors = authors
+			cfg.Stamps = stamps
+			cfg.Seed = seed
+			g, _ := evolving.SyntheticCitation(cfg)
+			out = append(out, namedGraph{fmt.Sprintf("citation-%d", authors), g})
+		}
+		return out, nil
+	case "gnp":
+		var out []namedGraph
+		for _, p := range []float64{0.001, 0.002} {
+			g := evolving.GNP(nodes, stamps, p, true, seed)
+			out = append(out, namedGraph{fmt.Sprintf("gnp-%g", p), g})
+		}
+		return out, nil
+	case "pref":
+		var out []namedGraph
+		for _, m := range []int{4, 8} {
+			g := evolving.PreferentialAttachment(nodes, stamps, m, seed)
+			out = append(out, namedGraph{fmt.Sprintf("pref-m%d", m), g})
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (random, citation, gnp, pref)", name)
+	}
+}
+
+// timeBFS reports the minimum wall-clock time of reps searches. One
+// untimed warm-up run precedes the timed ones so one-time setup (the
+// lazily built CSR view, page faults on fresh arrays) charges neither
+// engine.
+func timeBFS(g *evolving.Graph, root evolving.TemporalNode, opts evolving.Options, parallel bool, workers, reps int) (time.Duration, int, error) {
+	best := time.Duration(math.MaxInt64)
+	reached := 0
+	for r := -1; r < reps; r++ {
+		start := time.Now()
+		var res *evolving.Result
+		var err error
+		if parallel {
+			res, err = evolving.ParallelBFS(g, root, evolving.ParallelOptions{Options: opts, Workers: workers})
+		} else {
+			res, err = evolving.BFS(g, root, opts)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		if el := time.Since(start); r >= 0 && el < best {
+			best = el
+		}
+		reached = res.NumReached()
+	}
+	return best, reached, nil
+}
+
+func writeJSON(path string, records []record) error {
+	buf, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func parseCounts(s string) ([]int, error) {

@@ -31,6 +31,12 @@
 // incremental edge-stream substrate, and serialization. See the
 // subdirectories of internal/ for implementation detail and DESIGN.md
 // for the paper-to-module map.
+//
+// Searches run by default on a flat CSR/bitset engine over the unfolded
+// temporal graph (DESIGN.md §8); Options.UseAdjacencyMaps selects the
+// original adjacency-map traversal, kept as a differential-testing
+// oracle. The CSR view itself is available through Graph.CSR for code
+// that wants to traverse the unfolded graph directly.
 package evolving
 
 import (
@@ -98,6 +104,11 @@ type (
 
 // Unfolding is the Theorem 1 static graph G = (V, E) with its node map.
 type Unfolding = egraph.Unfolding
+
+// CSRView is the flat compressed-sparse-row layout of the unfolded
+// temporal graph that the default BFS engine traverses (DESIGN.md §8);
+// obtain one with Graph.CSR.
+type CSRView = egraph.CSR
 
 // ErrInactiveRoot is returned when a search root is inactive.
 var ErrInactiveRoot = core.ErrInactiveRoot

@@ -3,7 +3,6 @@ package algebra
 import (
 	"repro/internal/ds"
 	"repro/internal/egraph"
-	"repro/internal/matrix"
 )
 
 // SparseABFS is the "future work" formulation the paper's conclusion
@@ -24,17 +23,19 @@ import (
 // The result is bit-identical to ABFS and DenseABFS (Theorem 4 extends
 // to it); BenchmarkAlg1VsAlg2Sparse shows it tracking Algorithm 1's
 // linear scaling where the gaxpy formulation falls behind.
+//
+// The diagonal (static) blocks of A_n are exactly the flat CSR view the
+// graph already carries for the BFS engine (DESIGN.md §8), so the
+// scatter shares g.CSR() instead of materialising its own per-stamp
+// matrices: row id of the view lists the static nonzeros of column id
+// of A_nᵀ, and the causal ⊙ action is the active-stamp row suffix.
 func SparseABFS(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, mode egraph.CausalMode) (Reached, error) {
 	if !validRoot(g, root) {
 		return nil, ErrInactiveRoot
 	}
-	// Per-stamp CSR adjacency: row v of block t lists the static
-	// out-neighbours of (v, t); A_nᵀ-scatter walks rows of A_n.
-	rows := snapshotsCSR(g)
-
-	n := g.NumNodes()
-	size := n * g.NumStamps()
-	visited := ds.NewBitSet(size)
+	csr := g.CSR()
+	n := int32(csr.N)
+	visited := ds.NewBitSet(csr.Size())
 	rootID := g.TemporalNodeID(root)
 	visited.Set(rootID)
 
@@ -44,36 +45,19 @@ func SparseABFS(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, mode egrap
 	for k := 1; len(frontier) > 0; k++ {
 		next = next[:0]
 		for _, id := range frontier {
-			v := int(id) % n
-			t := int(id) / n
 			// Static scatter: one CSR row, touched once per run.
-			cols, _ := rows[t].Row(v)
-			for _, w := range cols {
-				nbID := t*n + int(w)
-				if !visited.TestAndSet(nbID) {
-					next = append(next, int32(nbID))
+			for _, nbID := range csr.OutAdj[csr.OutPtr[id]:csr.OutPtr[id+1]] {
+				if !visited.TestAndSet(int(nbID)) {
+					next = append(next, nbID)
 				}
 			}
-			// Causal scatter: the ⊙ action restricted to this nonzero.
-			stamps := g.ActiveStamps(int32(v))
-			switch mode {
-			case egraph.CausalAllPairs:
-				for i := len(stamps) - 1; i >= 0; i-- {
-					s := stamps[i]
-					if int(s) <= t {
-						break
-					}
-					nbID := int(s)*n + v
-					if !visited.TestAndSet(nbID) {
-						next = append(next, int32(nbID))
-					}
-				}
-			case egraph.CausalConsecutive:
-				if s := g.NextActiveStamp(int32(v), int32(t)); s >= 0 {
-					nbID := int(s)*n + v
-					if !visited.TestAndSet(nbID) {
-						next = append(next, int32(nbID))
-					}
+			// Causal scatter: the ⊙ action restricted to this nonzero —
+			// the suffix of the node's active-stamp row after this stamp.
+			stamps, v := csr.CausalArcs(id, true, mode == egraph.CausalConsecutive)
+			for _, s := range stamps {
+				nbID := s*n + v
+				if !visited.TestAndSet(int(nbID)) {
+					next = append(next, nbID)
 				}
 			}
 		}
@@ -83,23 +67,4 @@ func SparseABFS(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, mode egrap
 		frontier, next = next, frontier
 	}
 	return reached, nil
-}
-
-// snapshotsCSR materialises the per-stamp adjacency matrices in CSR form
-// (row = static out-neighbours), the transpose-friendly layout SpMSpV
-// scatters through.
-func snapshotsCSR(g *egraph.IntEvolvingGraph) []*matrix.CSR {
-	n := g.NumNodes()
-	out := make([]*matrix.CSR, g.NumStamps())
-	for t := 0; t < g.NumStamps(); t++ {
-		coo := matrix.NewCOO(n, n)
-		act := g.ActiveNodes(t)
-		for vi := act.NextSet(0); vi >= 0; vi = act.NextSet(vi + 1) {
-			for _, w := range g.OutNeighbors(int32(vi), int32(t)) {
-				coo.Add(vi, int(w), 1)
-			}
-		}
-		out[t] = coo.ToCSR()
-	}
-	return out
 }

@@ -61,6 +61,14 @@ type Options struct {
 	// TrackParents records one BFS-tree parent per reached node so
 	// shortest temporal paths can be reconstructed.
 	TrackParents bool
+	// UseAdjacencyMaps routes the search through the original
+	// per-stamp adjacency traversal (visitNeighbors over OutNeighbors /
+	// ActiveStamps with per-visit searches) instead of the flat
+	// CSR/bitset engine (DESIGN.md §8). The two produce identical
+	// results; the slower path is kept as a differential-testing oracle
+	// and as an escape hatch for huge graphs where materialising the
+	// CSR view is undesirable.
+	UseAdjacencyMaps bool
 }
 
 // ErrInactiveRoot is returned when the search root is an inactive
@@ -167,6 +175,11 @@ func (r *Result) PathTo(tn egraph.TemporalNode) []egraph.TemporalNode {
 
 // BFS runs Algorithm 1 from root under opts and returns the reached
 // dictionary. The root must be an active temporal node of g.
+//
+// By default the search runs on the flat CSR/bitset engine (DESIGN.md
+// §8); set Options.UseAdjacencyMaps to traverse the per-stamp adjacency
+// directly instead. Distances, parents and level sizes are identical
+// either way.
 func BFS(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, opts Options) (*Result, error) {
 	if err := checkRoot(g, root); err != nil {
 		return nil, err
@@ -176,8 +189,26 @@ func BFS(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, opts Options) (*R
 	r.dist[rootID] = 0
 	r.reached = 1
 	r.levels = []int{1}
+	r.run(g, []int32{int32(rootID)}, opts)
+	return r, nil
+}
 
-	frontier := []int32{int32(rootID)}
+// run expands the seeded frontier to exhaustion on the engine opts
+// selects. Seeds must already be recorded in r (dist 0, reached count,
+// level 0).
+func (r *Result) run(g *egraph.IntEvolvingGraph, seeds []int32, opts Options) {
+	if opts.UseAdjacencyMaps {
+		runReference(g, r, seeds, opts)
+	} else {
+		runCSR(g, r, seeds, opts)
+	}
+}
+
+// runReference is the original adjacency-map engine: frontier expansion
+// through visitNeighborsOpts, with per-visit stamp searches. Kept as the
+// differential-testing oracle for the CSR engine.
+func runReference(g *egraph.IntEvolvingGraph, r *Result, seeds []int32, opts Options) {
+	frontier := append([]int32(nil), seeds...)
 	var next []int32
 	k := int32(1)
 	for len(frontier) > 0 {
@@ -206,7 +237,6 @@ func BFS(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, opts Options) (*R
 		frontier, next = next, frontier
 		k++
 	}
-	return r, nil
 }
 
 func checkRoot(g *egraph.IntEvolvingGraph, root egraph.TemporalNode) error {
@@ -348,35 +378,7 @@ func MultiSourceBFS(g *egraph.IntEvolvingGraph, roots []egraph.TemporalNode, opt
 		frontier = append(frontier, int32(id))
 	}
 	r.levels = []int{len(frontier)}
-
-	var next []int32
-	k := int32(1)
-	for len(frontier) > 0 {
-		if opts.MaxDepth > 0 && int(k) > opts.MaxDepth {
-			break
-		}
-		next = next[:0]
-		for _, id := range frontier {
-			tn := g.TemporalNodeFromID(int(id))
-			visitNeighborsOpts(g, tn, opts, func(nb egraph.TemporalNode) bool {
-				nbID := g.TemporalNodeID(nb)
-				if r.dist[nbID] < 0 {
-					r.dist[nbID] = k
-					if r.parent != nil {
-						r.parent[nbID] = id
-					}
-					r.reached++
-					next = append(next, int32(nbID))
-				}
-				return true
-			})
-		}
-		if len(next) > 0 {
-			r.levels = append(r.levels, len(next))
-		}
-		frontier, next = next, frontier
-		k++
-	}
+	r.run(g, frontier, opts)
 	return r, nil
 }
 

@@ -17,30 +17,43 @@ type ParallelOptions struct {
 }
 
 // ParallelBFS is a level-synchronous parallel variant of Algorithm 1:
-// each BFS level is partitioned across Workers goroutines; workers claim
-// newly discovered temporal nodes through an atomic visited bitmap
-// (exactly one claimant per node) and append them to per-worker buffers
-// that are concatenated into the next frontier. Because levels are
-// processed with a barrier between them, the distance labelling is
-// identical to the sequential BFS — only discovery order within a level
-// (and hence the parent tree) may differ.
+// each BFS level is partitioned into contiguous ranges across Workers
+// goroutines; workers claim newly discovered temporal nodes through an
+// atomic visited bitmap (exactly one claimant per node) and append them
+// to per-worker buffers that are concatenated into the next frontier.
+// Because levels are processed with a barrier between them, the distance
+// labelling is identical to the sequential BFS — only discovery order
+// within a level (and hence the parent tree) may differ.
+//
+// Like BFS, it runs on the flat CSR engine unless
+// Options.UseAdjacencyMaps selects the adjacency-map oracle.
 func ParallelBFS(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, opts ParallelOptions) (*Result, error) {
 	if err := checkRoot(g, root); err != nil {
 		return nil, err
 	}
+	r := newResult(g, root, opts.Options)
+	rootID := g.TemporalNodeID(root)
+	r.dist[rootID] = 0
+	r.reached = 1
+	r.levels = []int{1}
+	if !opts.UseAdjacencyMaps {
+		runParallelCSR(g, r, rootID, opts)
+		return r, nil
+	}
+	parallelReference(g, r, rootID, opts)
+	return r, nil
+}
+
+// parallelReference is the adjacency-map variant of the parallel
+// expansion, kept as the differential-testing oracle.
+func parallelReference(g *egraph.IntEvolvingGraph, r *Result, rootID int, opts ParallelOptions) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	r := newResult(g, root, opts.Options)
 	size := g.NumNodes() * g.NumStamps()
 	visited := ds.NewAtomicBitSet(size)
-
-	rootID := g.TemporalNodeID(root)
 	visited.Set(rootID)
-	r.dist[rootID] = 0
-	r.reached = 1
-	r.levels = []int{1}
 
 	frontier := []int32{int32(rootID)}
 	buffers := make([][]int32, workers)
@@ -101,5 +114,4 @@ func ParallelBFS(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, opts Para
 		}
 		k++
 	}
-	return r, nil
 }

@@ -1,7 +1,10 @@
 // Package ds provides the low-level data structures shared by the
-// evolving-graph traversal code: bitsets (plain and atomic), ring-buffer
-// queues, sparse sets and binary heaps. Everything is allocation-conscious;
-// these types sit on the hot path of every BFS in the repository.
+// evolving-graph traversal code: bitsets (plain and atomic), reusable
+// BFS frontier scratch, ring-buffer queues, sparse sets, binary heaps
+// and union-find. Everything is allocation-conscious; these types sit
+// on the hot path of every BFS in the repository — the CSR/bitset
+// engine (DESIGN.md §8) runs entirely on BitSet, AtomicBitSet and
+// Frontier.
 package ds
 
 import (
@@ -66,6 +69,20 @@ func (b *BitSet) Count() int {
 // Reset clears every bit without reallocating.
 func (b *BitSet) Reset() {
 	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// ResetFirst clears all bits below n, rounding up to a whole word (so up
+// to 63 bits above n may clear too, never fewer). Callers that know only
+// a prefix of a large set is dirty avoid Reset's full-capacity sweep.
+func (b *BitSet) ResetFirst(n int) {
+	if n >= b.n {
+		b.Reset()
+		return
+	}
+	words := (n + wordBits - 1) / wordBits
+	for i := 0; i < words; i++ {
 		b.words[i] = 0
 	}
 }

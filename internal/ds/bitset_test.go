@@ -6,6 +6,28 @@ import (
 	"testing/quick"
 )
 
+func TestBitSetResetFirst(t *testing.T) {
+	b := NewBitSet(256)
+	for _, i := range []int{0, 63, 64, 127, 128, 255} {
+		b.Set(i)
+	}
+	b.ResetFirst(65) // rounds up to 2 whole words: bits [0,128) clear
+	for _, i := range []int{0, 63, 64, 127} {
+		if b.Get(i) {
+			t.Fatalf("bit %d survived ResetFirst(65)", i)
+		}
+	}
+	for _, i := range []int{128, 255} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d beyond the swept words was cleared", i)
+		}
+	}
+	b.ResetFirst(10_000) // past capacity: full reset
+	if b.Any() {
+		t.Fatal("ResetFirst past capacity left bits set")
+	}
+}
+
 func TestBitSetBasic(t *testing.T) {
 	b := NewBitSet(130)
 	if b.Len() != 130 {

@@ -1,0 +1,52 @@
+package ds
+
+// Frontier is reusable scratch for a level-synchronous BFS: the current
+// and next frontier buffers plus a dense visited bitset. A search claims
+// ids with Visited.TestAndSet (or a plain Get/Set pair), pushes newly
+// discovered ids with Push, and calls Advance at each level barrier.
+// Keeping the three pieces together lets engines recycle one allocation
+// across runs via Reset instead of reallocating per search.
+type Frontier struct {
+	Cur, Next []int32
+	Visited   *BitSet
+	dirty     int // id bound of the search that last wrote Visited
+}
+
+// NewFrontier returns a Frontier whose visited set covers ids [0, n).
+func NewFrontier(n int) *Frontier {
+	return &Frontier{Visited: NewBitSet(n), dirty: n}
+}
+
+// Reset prepares the scratch for a fresh search over ids [0, n): both
+// buffers are emptied and the visited set is cleared, growing it if the
+// id space expanded. Capacity is retained, but only the previously
+// dirtied prefix is swept — a pooled Frontier that once served a huge
+// graph does not charge every later small search a full-capacity memset.
+func (f *Frontier) Reset(n int) {
+	f.Cur = f.Cur[:0]
+	f.Next = f.Next[:0]
+	if f.Visited == nil || f.Visited.Len() < n {
+		f.Visited = NewBitSet(n)
+	} else {
+		f.Visited.ResetFirst(f.dirty)
+	}
+	f.dirty = n
+}
+
+// Push appends an id to the next frontier.
+func (f *Frontier) Push(id int32) { f.Next = append(f.Next, id) }
+
+// Advance swaps the buffers at a level barrier: the next frontier
+// becomes current and the new next frontier is empty (capacity kept).
+func (f *Frontier) Advance() {
+	f.Cur, f.Next = f.Next, f.Cur[:0]
+}
+
+// Seed places the root ids into the current frontier and marks them
+// visited, replacing any existing content of Cur.
+func (f *Frontier) Seed(ids ...int32) {
+	f.Cur = append(f.Cur[:0], ids...)
+	for _, id := range ids {
+		f.Visited.Set(int(id))
+	}
+}

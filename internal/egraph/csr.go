@@ -1,0 +1,190 @@
+package egraph
+
+import (
+	"sync"
+
+	"repro/internal/ds"
+)
+
+// CSR is a flat compressed-sparse-row view of the unfolded temporal
+// graph G = (V, E) of Theorem 1, laid out for the BFS hot path
+// (DESIGN.md §8). Everything is indexed by dense temporal-node id
+// t·N + v, so a frontier expansion is pure array traversal: no maps, no
+// per-visit binary searches, no (node, stamp) packing or unpacking.
+//
+// Static edges are materialised per temporal node: the out-arcs of id
+// are OutAdj[OutPtr[id]:OutPtr[id+1]], already expressed as temporal-node
+// ids of the same stamp and sorted ascending. Causal edges are *not*
+// materialised (all-pairs would need Θ(k²) arcs per node active at k
+// stamps); instead the per-node active-stamp rows are flattened into
+// ActStamps and every active temporal node carries its position within
+// its node's row in ActPos, so the forward causal neighbours of id are
+// the row suffix after ActPos[id] and the backward ones are the prefix
+// before it — an array scan either way, O(1) per arc.
+//
+// A CSR is immutable once built and safe for concurrent use. Build one
+// with IntEvolvingGraph.CSR, which caches the view on the graph.
+type CSR struct {
+	// N and T are the node-id-space size and stamp count of the source
+	// graph; ids run in [0, N·T).
+	N, T int
+
+	// OutPtr/OutAdj hold the static out-arcs of every temporal node;
+	// InPtr/InAdj the in-arcs (identical for undirected graphs up to
+	// row contents). OutPtr has N·T+1 entries; arc counts are summed
+	// over all stamps, hence the int64 offsets.
+	OutPtr []int64
+	OutAdj []int32
+	InPtr  []int64
+	InAdj  []int32
+
+	// ActPtr/ActStamps are the per-node active-stamp lists in CSR form:
+	// node v is active exactly at stamps ActStamps[ActPtr[v]:ActPtr[v+1]],
+	// sorted ascending. ActPos maps a temporal-node id to the *global*
+	// index of its stamp within ActStamps, or -1 if (v, t) is inactive.
+	ActPtr    []int32
+	ActStamps []int32
+	ActPos    []int32
+
+	// Active marks the active temporal-node ids (Def. 3) as a dense
+	// bitset over [0, N·T).
+	Active *ds.BitSet
+}
+
+// Size returns the temporal-node id space N·T.
+func (c *CSR) Size() int { return c.N * c.T }
+
+// OutArcs returns the static out-arc targets of a temporal node as
+// temporal-node ids (same stamp, sorted). The slice aliases internal
+// storage and must not be mutated.
+func (c *CSR) OutArcs(id int32) []int32 {
+	return c.OutAdj[c.OutPtr[id]:c.OutPtr[id+1]]
+}
+
+// InArcs returns the static in-arc sources of a temporal node as
+// temporal-node ids.
+func (c *CSR) InArcs(id int32) []int32 {
+	return c.InAdj[c.InPtr[id]:c.InPtr[id+1]]
+}
+
+// CausalRow returns node v's full active-stamp row and the position of
+// stamp t within it (pos = -1 if (v, t) is inactive). The forward causal
+// neighbours of (v, t) are row[pos+1:], the backward ones row[:pos].
+func (c *CSR) CausalRow(v, t int32) (row []int32, pos int) {
+	lo, hi := c.ActPtr[v], c.ActPtr[v+1]
+	row = c.ActStamps[lo:hi]
+	p := c.ActPos[int(t)*c.N+int(v)]
+	if p < 0 {
+		return row, -1
+	}
+	return row, int(p - lo)
+}
+
+// CausalArcs returns the causal-neighbour stamps of an *active*
+// temporal node id: the sub-row of its node's active stamps strictly
+// after (forward) or strictly before (backward) its own stamp, clamped
+// to the single adjacent stamp under consecutive mode. Targets rebase
+// as stamp·N + v with the returned v. The slice is in ascending stamp
+// order and aliases internal storage; the traversal engines iterate it
+// descending for forward searches to keep the oracle's visit order.
+// Every engine shares this one copy of the bounds arithmetic.
+func (c *CSR) CausalArcs(id int32, forward, consecutive bool) (stamps []int32, v int32) {
+	pos := c.ActPos[id]
+	v = id % int32(c.N)
+	if forward {
+		end := c.ActPtr[v+1]
+		if consecutive && pos+1 < end {
+			end = pos + 2
+		}
+		return c.ActStamps[pos+1 : end], v
+	}
+	start := c.ActPtr[v]
+	if consecutive && pos > start {
+		start = pos - 1
+	}
+	return c.ActStamps[start:pos], v
+}
+
+// CSR returns the flat CSR view of g, building it on first use. The
+// view is cached on the graph and shared by all callers; like every
+// other query method it is safe for concurrent use.
+func (g *IntEvolvingGraph) CSR() *CSR {
+	g.csrOnce.Do(func() { g.csr = buildCSR(g) })
+	return g.csr
+}
+
+func buildCSR(g *IntEvolvingGraph) *CSR {
+	n, t := g.numNodes, len(g.snaps)
+	size := n * t
+	c := &CSR{
+		N:      n,
+		T:      t,
+		OutPtr: make([]int64, size+1),
+		InPtr:  make([]int64, size+1),
+		ActPtr: make([]int32, n+1),
+		ActPos: make([]int32, size),
+		Active: ds.NewBitSet(size),
+	}
+
+	// Static arcs: per-stamp CSR rows concatenated in stamp-major order,
+	// targets rebased to temporal-node ids of the same stamp.
+	var outArcs, inArcs int64
+	for si := range g.snaps {
+		s := &g.snaps[si]
+		base := si * n
+		for v := 0; v < n; v++ {
+			id := base + v
+			outArcs += int64(s.outPtr[v+1] - s.outPtr[v])
+			inArcs += int64(s.inPtr[v+1] - s.inPtr[v])
+			c.OutPtr[id+1] = outArcs
+			c.InPtr[id+1] = inArcs
+		}
+	}
+	c.OutAdj = make([]int32, outArcs)
+	c.InAdj = make([]int32, inArcs)
+	for si := range g.snaps {
+		s := &g.snaps[si]
+		base := int32(si * n)
+		for v := 0; v < n; v++ {
+			id := int32(si*n + v)
+			o := c.OutPtr[id]
+			for _, w := range s.outAdj[s.outPtr[v]:s.outPtr[v+1]] {
+				c.OutAdj[o] = base + w
+				o++
+			}
+			i := c.InPtr[id]
+			for _, w := range s.inAdj[s.inPtr[v]:s.inPtr[v+1]] {
+				c.InAdj[i] = base + w
+				i++
+			}
+		}
+	}
+
+	// Causal structure: flatten activeAt and index each (v, t) into it.
+	for i := range c.ActPos {
+		c.ActPos[i] = -1
+	}
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(g.activeAt[v])
+		c.ActPtr[v+1] = int32(total)
+	}
+	c.ActStamps = make([]int32, total)
+	for v := 0; v < n; v++ {
+		row := c.ActPtr[v]
+		for i, s := range g.activeAt[v] {
+			gi := row + int32(i)
+			c.ActStamps[gi] = s
+			c.ActPos[int(s)*n+v] = gi
+			c.Active.Set(int(s)*n + v)
+		}
+	}
+	return c
+}
+
+// csrCache is embedded in IntEvolvingGraph so the lazily built view does
+// not change the graph's immutable query surface.
+type csrCache struct {
+	csrOnce sync.Once
+	csr     *CSR
+}

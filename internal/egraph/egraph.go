@@ -81,6 +81,7 @@ type IntEvolvingGraph struct {
 	activeAt  [][]int32 // per node: sorted stamp indices where active
 	numNodes  int
 	numActive int // total active temporal nodes |V|
+	csrCache      // lazily built flat CSR view (DESIGN.md §8)
 }
 
 // NumNodes returns the size of the node id space N (max id + 1).

@@ -1,9 +1,12 @@
 // Package gen provides deterministic workload generators for the
-// benchmarks and examples: the uniform random evolving graphs of the
-// paper's Figure 5 experiment, per-snapshot Erdős–Rényi graphs, an
-// evolving preferential-attachment model, synthetic citation networks
-// (the substitution for the unnamed citation data of Sec. V), and raw
-// timed edge streams. All generators are pure functions of their seed.
+// benchmarks, examples and differential tests: the uniform random
+// evolving graphs of the paper's Figure 5 experiment, per-snapshot
+// Erdős–Rényi graphs, an evolving preferential-attachment model,
+// synthetic citation networks (the substitution for the unnamed
+// citation data of Sec. V), and raw timed edge streams. All generators
+// are pure functions of their seed, so every workload — including the
+// engine-comparison sweeps of cmd/egbench — is reproducible
+// bit-for-bit.
 package gen
 
 import (

@@ -1,0 +1,74 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/egraph"
+	"repro/internal/server"
+)
+
+// Example documents the HTTP surface cmd/egserve exposes: mount
+// server.Handler on any listener and query it with plain GETs. Here the
+// paper's Figure 1 graph is served from an in-process test server and
+// each endpoint is hit once.
+func Example() {
+	srv := httptest.NewServer(server.Handler(egraph.Figure1Graph()))
+	defer srv.Close()
+
+	get := func(path string, v interface{}) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			panic(err)
+		}
+	}
+
+	// GET /stats — graph summary.
+	var stats server.StatsResponse
+	get("/stats", &stats)
+	fmt.Printf("stats: %d nodes, %d stamps, %d static edges\n",
+		stats.Nodes, stats.Stamps, stats.StaticEdges)
+
+	// GET /bfs?node=N&stamp=S[&mode=allpairs|consecutive][&direction=forward|backward]
+	// — Algorithm 1 from (N, S).
+	var bfs server.BFSResponse
+	get("/bfs?node=0&stamp=0", &bfs)
+	fmt.Printf("bfs: %d temporal nodes reached from (0,t1), levels %v\n",
+		len(bfs.Reached), bfs.Levels)
+
+	// GET /path?from=N,S&to=N,S — one shortest temporal path.
+	var path server.PathResponse
+	get("/path?from=0,0&to=2,2", &path)
+	fmt.Printf("path: (0,t1) to (2,t3) in %d hops\n", path.Hops)
+
+	// GET /reach?node=N&stamp=S — reachability summary of a root.
+	var reach server.ReachResponse
+	get("/reach?node=0&stamp=0", &reach)
+	fmt.Printf("reach: %d temporal nodes over %d distinct nodes, max dist %d\n",
+		reach.TemporalNodes, reach.DistinctNodes, reach.MaxDist)
+
+	// GET /neighbors?node=N&stamp=S — forward neighbours (Def. 5).
+	var nbs server.NeighborsResponse
+	get("/neighbors?node=0&stamp=0", &nbs)
+	fmt.Printf("neighbors: (0,t1) has %d forward neighbours\n", len(nbs.Neighbors))
+
+	// GET /criteria?src=N&dst=N — the four path-optimality criteria.
+	var crit server.CriteriaResponse
+	get("/criteria?src=0&dst=2", &crit)
+	fmt.Printf("criteria: reachable=%v, shortest %d hops, earliest arrival t=%d\n",
+		crit.Reachable, crit.ShortestHops, crit.EarliestArrival)
+
+	// Output:
+	// stats: 3 nodes, 3 stamps, 3 static edges
+	// bfs: 6 temporal nodes reached from (0,t1), levels [1 2 2 1]
+	// path: (0,t1) to (2,t3) in 3 hops
+	// reach: 6 temporal nodes over 3 distinct nodes, max dist 3
+	// neighbors: (0,t1) has 2 forward neighbours
+	// criteria: reachable=true, shortest 2 hops, earliest arrival t=2
+}

@@ -15,7 +15,8 @@
 //
 // mode is "allpairs" (default) or "consecutive"; direction is "forward"
 // (default) or "backward". Errors come back as {"error": "..."} with
-// status 400 (bad request) or 404 (inactive/unreachable).
+// status 400 (bad request) or 404 (inactive/unreachable). The package
+// Example exercises every endpoint against the paper's Figure 1 graph.
 package server
 
 import (
