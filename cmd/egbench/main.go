@@ -6,11 +6,23 @@
 // to ~5×10⁸ on one core of a 1 TB Xeon box. Defaults here are laptop
 // sized; raise -edges to approach the paper's scale if you have the RAM.
 //
-// With -compare the harness instead races the two BFS engines — the
-// flat CSR/bitset engine (the default, DESIGN.md §8) against the
-// adjacency-map oracle (Options.UseAdjacencyMaps) and the parallel CSR
-// engine — across the generator workloads named by -workloads, and
-// reports the speedup per graph.
+// With -compare the harness instead races the CSR/bitset engine
+// (the default, DESIGN.md §8) against the adjacency-map oracle
+// (Options.UseAdjacencyMaps) across the suites named by -suites:
+//
+//   - bfs: single-source BFS (plus the parallel CSR engine) on the
+//     generator workloads named by -workloads;
+//   - components: components.SizeDistribution — one BFS per active
+//     temporal node, fanned across workers on the CSR engine;
+//   - influence: influence.Greedy seed selection (k=5, CELF) with
+//     concurrent CSR reach-set evaluation;
+//   - closeness: metrics.GlobalEfficiency — the all-pairs efficiency
+//     sweep.
+//
+// The analytics suites run on a random-workload ladder sized by
+// -suiteNodes/-suiteEdges (they cost one BFS per active temporal node
+// per engine, so they use smaller graphs than the bfs suite). Engine
+// outputs are checked for equality before any time is reported.
 //
 // -json FILE writes every measurement (either mode) as a JSON array so
 // results can be tracked across runs.
@@ -19,7 +31,9 @@
 //
 //	egbench [-nodes 100000] [-stamps 10] [-edges 500000,1000000,...]
 //	        [-seed 2016] [-reps 3] [-parallel] [-workers N]
-//	        [-compare] [-workloads random,citation,gnp,pref] [-json FILE]
+//	        [-compare] [-suites bfs,components,influence,closeness]
+//	        [-workloads random,citation,gnp,pref]
+//	        [-suiteNodes 500] [-suiteEdges 5000,10000,20000,40000] [-json FILE]
 package main
 
 import (
@@ -28,6 +42,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"reflect"
 	"strconv"
 	"strings"
 	"time"
@@ -55,13 +70,16 @@ func main() {
 		stamps   = flag.Int("stamps", 10, "time stamps (paper: 10)")
 		edgeList = flag.String("edges", "500000,1000000,2000000,3000000,4000000",
 			"comma-separated |E~| sweep (paper: 1e8..5e8)")
-		seed      = flag.Int64("seed", 2016, "generator seed")
-		reps      = flag.Int("reps", 3, "timing repetitions per size (min is reported)")
-		parallel  = flag.Bool("parallel", false, "time the parallel BFS instead (Figure 5 mode)")
-		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		compare   = flag.Bool("compare", false, "race the CSR/bitset engine against the adjacency-map oracle")
-		workloads = flag.String("workloads", "random,citation", "comma-separated workloads for -compare: random, citation, gnp, pref")
-		jsonPath  = flag.String("json", "", "write measurements to FILE as a JSON array")
+		seed       = flag.Int64("seed", 2016, "generator seed")
+		reps       = flag.Int("reps", 3, "timing repetitions per size (min is reported)")
+		parallel   = flag.Bool("parallel", false, "time the parallel BFS instead (Figure 5 mode)")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		compare    = flag.Bool("compare", false, "race the CSR/bitset engine against the adjacency-map oracle")
+		suites     = flag.String("suites", "bfs,components,influence,closeness", "comma-separated -compare suites: bfs, components, influence, closeness")
+		workloads  = flag.String("workloads", "random,citation", "comma-separated workloads for the bfs suite: random, citation, gnp, pref")
+		suiteNodes = flag.Int("suiteNodes", 500, "node-id space of the analytics-suite workload ladder")
+		suiteEdges = flag.String("suiteEdges", "5000,10000,20000,40000", "comma-separated |E~| ladder for the analytics suites")
+		jsonPath   = flag.String("json", "", "write measurements to FILE as a JSON array")
 	)
 	flag.Parse()
 	if *reps < 1 {
@@ -71,7 +89,17 @@ func main() {
 
 	var records []record
 	if *compare {
-		records = runCompare(*workloads, *nodes, *stamps, *edgeList, *seed, *reps, *workers)
+		for _, s := range strings.Split(*suites, ",") {
+			switch s = strings.TrimSpace(s); s {
+			case "bfs":
+				records = append(records, runCompare(*workloads, *nodes, *stamps, *edgeList, *seed, *reps, *workers)...)
+			case "components", "influence", "closeness":
+				records = append(records, runAnalyticsSuite(s, *suiteNodes, *stamps, *suiteEdges, *seed, *reps, *workers)...)
+			default:
+				fmt.Fprintf(os.Stderr, "egbench: unknown suite %q (bfs, components, influence, closeness)\n", s)
+				os.Exit(2)
+			}
+		}
 	} else {
 		var err error
 		records, err = runFigure5(*nodes, *stamps, *edgeList, *seed, *reps, *parallel, *workers)
@@ -224,6 +252,107 @@ func runCompare(workloads string, nodes, stamps int, edgeList string, seed int64
 		}
 	}
 	return records
+}
+
+// runAnalyticsSuite races one CSR-backed analytics computation against
+// its adjacency-map oracle across the random-workload ladder. Engine
+// outputs are checked for equality before timing is reported.
+//
+// The comparison is end-to-end: the maps rows time the sequential
+// pre-CSR implementation, the csr rows the current default (CSR
+// traversal plus the -workers fan-out where the entry point has one).
+// On a single core the speedup isolates the engine; on multiple cores
+// it additionally includes the fan-out.
+func runAnalyticsSuite(name string, nodes, stamps int, edgeList string, seed int64, reps, workers int) []record {
+	counts, err := parseCounts(edgeList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egbench: %v\n", err)
+		os.Exit(2)
+	}
+	// run evaluates the suite computation on one engine and returns a
+	// result for the equality check plus a headline count for the table.
+	var run func(g *evolving.Graph, oracle bool) (result interface{}, count int)
+	switch name {
+	case "components":
+		run = func(g *evolving.Graph, oracle bool) (interface{}, int) {
+			sizes := evolving.ComponentSizeDistribution(g,
+				evolving.ComponentOptions{UseAdjacencyMaps: oracle, Workers: workers})
+			return sizes, len(sizes)
+		}
+	case "influence":
+		run = func(g *evolving.Graph, oracle bool) (interface{}, int) {
+			seeds, err := evolving.GreedyInfluence(g, 5,
+				evolving.InfluenceOptions{UseAdjacencyMaps: oracle, Workers: workers})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "egbench: influence: %v\n", err)
+				os.Exit(1)
+			}
+			covered := 0
+			if len(seeds) > 0 {
+				covered = seeds[len(seeds)-1].Covered
+			}
+			return seeds, covered
+		}
+	case "closeness":
+		run = func(g *evolving.Graph, oracle bool) (interface{}, int) {
+			st := evolving.GlobalEfficiencyOpts(g,
+				evolving.MetricOptions{UseAdjacencyMaps: oracle, Workers: workers})
+			return st, st.Diameter
+		}
+	}
+
+	fmt.Printf("\n# %s suite: %d nodes, %d stamps, %d reps (min reported), csr workers=%d (0 = GOMAXPROCS; maps rows are the sequential oracle)\n",
+		name, nodes, stamps, reps, workers)
+	fmt.Printf("%-24s %-14s %14s %14s %12s %10s\n", "graph", "engine", "|E~|", "result", "time", "speedup")
+
+	var records []record
+	series := evolving.RandomSeries(nodes, stamps, counts, true, seed)
+	for i, g := range series {
+		graph := fmt.Sprintf("random-%d", counts[i])
+		built := g.StaticEdgeCount()
+		unfolded := g.EdgeCount(evolving.CausalAllPairs)
+
+		// The engines must agree before their times mean anything.
+		csrResult, count := run(g, false)
+		mapsResult, _ := run(g, true)
+		if !reflect.DeepEqual(csrResult, mapsResult) {
+			fmt.Fprintf(os.Stderr, "egbench: %s %s: engines disagree:\ncsr  %v\nmaps %v\n",
+				name, graph, csrResult, mapsResult)
+			os.Exit(1)
+		}
+
+		mapsBest := timeRuns(reps, func() { run(g, true) })
+		csrBest := timeRuns(reps, func() { run(g, false) })
+		row := func(engine string, d time.Duration) {
+			speedup := float64(mapsBest.Nanoseconds()) / float64(d.Nanoseconds())
+			fmt.Printf("%-24s %-14s %14d %14d %12s %9.2fx\n",
+				graph, engine, built, count, d.Round(time.Microsecond), speedup)
+			records = append(records, record{
+				Workload: name, Graph: graph, Engine: engine,
+				Nodes: g.NumNodes(), Stamps: g.NumStamps(), StaticEdges: built,
+				UnfoldedEdges: unfolded, Reached: count, NS: d.Nanoseconds(),
+				SpeedupVsMaps: speedup,
+			})
+		}
+		row("maps", mapsBest)
+		row("csr", csrBest)
+	}
+	return records
+}
+
+// timeRuns reports the minimum wall-clock time of reps invocations,
+// after one untimed warm-up (the lazily built CSR view and page faults
+// charge neither engine).
+func timeRuns(reps int, fn func()) time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for r := -1; r < reps; r++ {
+		start := time.Now()
+		fn()
+		if el := time.Since(start); r >= 0 && el < best {
+			best = el
+		}
+	}
+	return best
 }
 
 // buildWorkload materialises the named generator workload.

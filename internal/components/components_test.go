@@ -2,11 +2,13 @@ package components
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/egraph"
+	"repro/internal/gen"
 )
 
 func tn(v, s int32) egraph.TemporalNode { return egraph.TemporalNode{Node: v, Stamp: s} }
@@ -194,6 +196,61 @@ func TestSizeDistribution(t *testing.T) {
 			t.Fatalf("not descending: %v", sizes)
 		}
 	}
+}
+
+// Differential engine equivalence: the CSR paths must return results
+// identical to the adjacency-map oracle for every entry point, across
+// both causal modes.
+func assertEnginesAgree(t *testing.T, g *egraph.IntEvolvingGraph, label string) {
+	t.Helper()
+	for _, mode := range []egraph.CausalMode{egraph.CausalAllPairs, egraph.CausalConsecutive} {
+		csr := Options{Mode: mode, Workers: 3}
+		oracle := Options{Mode: mode, UseAdjacencyMaps: true}
+		if got, want := WeakOpts(g, csr), WeakOpts(g, oracle); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s mode %v: Weak diverges:\ncsr  %v\nmaps %v", label, mode, got, want)
+		}
+		if got, want := StrongOpts(g, 1, csr), StrongOpts(g, 1, oracle); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s mode %v: Strong diverges:\ncsr  %v\nmaps %v", label, mode, got, want)
+		}
+		if got, want := SizeDistributionOpts(g, csr), SizeDistributionOpts(g, oracle); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s mode %v: SizeDistribution diverges:\ncsr  %v\nmaps %v", label, mode, got, want)
+		}
+		for i, root := range g.ActiveTemporalNodes() {
+			if i%3 != 0 {
+				continue // sample roots to keep the sweep cheap
+			}
+			got, err1 := OutComponentOpts(g, root, csr)
+			want, err2 := OutComponentOpts(g, root, oracle)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s mode %v: OutComponent errors: %v / %v", label, mode, err1, err2)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s mode %v root %v: OutComponent diverges:\ncsr  %v\nmaps %v",
+					label, mode, root, got, want)
+			}
+		}
+	}
+}
+
+func TestEngineEquivalenceRandom(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		assertEnginesAgree(t, randomGraph(rng, directed), "random")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineEquivalenceGeneratorWorkloads(t *testing.T) {
+	cfg := gen.DefaultCitationConfig()
+	cfg.Authors = 60
+	cfg.Stamps = 6
+	cite, _ := gen.Citation(cfg)
+	assertEnginesAgree(t, cite, "citation")
+	assertEnginesAgree(t, gen.GNP(40, 4, 0.05, true, 7), "gnp")
+	assertEnginesAgree(t, gen.Random(gen.RandomConfig{Nodes: 50, Stamps: 5, Edges: 200, Directed: true, Seed: 11}), "random-gen")
 }
 
 // Property: weak components partition the active temporal nodes.

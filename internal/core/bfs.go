@@ -128,7 +128,12 @@ func (r *Result) Parent(tn egraph.TemporalNode) (parent egraph.TemporalNode, ok 
 }
 
 // Visit calls fn for every reached temporal node with its distance, in
-// unspecified order. Iteration stops early if fn returns false.
+// ascending temporal-node id order — equivalently stamp-major,
+// node-ascending. That order is a documented guarantee: the analytics
+// layer relies on it both for sorted output (components.OutComponent)
+// and for engine-independent floating-point accumulation order
+// (metrics closeness/efficiency, DESIGN.md §9). Iteration stops early
+// if fn returns false.
 func (r *Result) Visit(fn func(tn egraph.TemporalNode, dist int) bool) {
 	for id, d := range r.dist {
 		if d >= 0 {

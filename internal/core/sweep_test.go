@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/egraph"
+)
+
+// The sweep must reach exactly the set BFS reaches, per root, under
+// every option combination.
+func TestReachSweepMatchesBFS(t *testing.T) {
+	f := func(seed int64, directed, reverse bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := sweepRandomGraph(rng, directed)
+		roots := g.ActiveTemporalNodes()
+		for _, mode := range []egraph.CausalMode{egraph.CausalAllPairs, egraph.CausalConsecutive} {
+			opts := Options{Mode: mode, ReverseEdges: reverse}
+			got := make([]map[int32]bool, len(roots))
+			if err := ReachSweep(g, roots, opts, 3, func(i int, reached []int32) {
+				set := make(map[int32]bool, len(reached))
+				for _, id := range reached {
+					set[id] = true
+				}
+				got[i] = set
+			}); err != nil {
+				t.Log(err)
+				return false
+			}
+			for i, root := range roots {
+				res, err := BFS(g, root, opts)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				if len(got[i]) != res.NumReached() {
+					t.Logf("seed %d root %v mode %v: sweep reached %d, BFS %d",
+						seed, root, mode, len(got[i]), res.NumReached())
+					return false
+				}
+				ok := true
+				res.Visit(func(tn egraph.TemporalNode, _ int) bool {
+					if !got[i][int32(g.TemporalNodeID(tn))] {
+						ok = false
+						return false
+					}
+					return true
+				})
+				if !ok {
+					t.Logf("seed %d root %v mode %v: sweep missed a BFS-reached node", seed, root, mode)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReachSweepRejectsInactiveRoot(t *testing.T) {
+	g := egraph.Figure1Graph()
+	err := ReachSweep(g, []egraph.TemporalNode{{Node: 2, Stamp: 0}}, Options{}, 0,
+		func(int, []int32) { t.Error("fn called despite invalid root") })
+	if err == nil {
+		t.Fatal("inactive root accepted")
+	}
+}
+
+func sweepRandomGraph(rng *rand.Rand, directed bool) *egraph.IntEvolvingGraph {
+	b := egraph.NewBuilder(directed)
+	n := 2 + rng.Intn(8)
+	stamps := 1 + rng.Intn(4)
+	for e := 0; e < rng.Intn(3*n); e++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), int64(1+rng.Intn(stamps)))
+	}
+	b.AddEdge(0, 1, 1)
+	return b.Build()
+}

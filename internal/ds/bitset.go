@@ -159,6 +159,22 @@ func (b *BitSet) AndNot(other *BitSet) {
 	}
 }
 
+// AndNotCount returns the number of bits set in b but not in other —
+// Count of (b AND NOT other) — without materialising the difference.
+// The sets must have equal capacity. This is the marginal-gain kernel of
+// influence.Greedy's CELF loop, where a Clone-and-AndNot per heap
+// re-evaluation would allocate on every lazy update.
+func (b *BitSet) AndNotCount(other *BitSet) int {
+	if b.n != other.n {
+		panic("ds: BitSet size mismatch in AndNotCount")
+	}
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w &^ other.words[i])
+	}
+	return c
+}
+
 // Clone returns an independent copy.
 func (b *BitSet) Clone() *BitSet {
 	c := &BitSet{words: make([]uint64, len(b.words)), n: b.n}

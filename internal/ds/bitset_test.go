@@ -233,3 +233,35 @@ func TestBitSetMismatchedOrPanics(t *testing.T) {
 	}()
 	NewBitSet(10).Or(NewBitSet(20))
 }
+
+func TestBitSetAndNotCount(t *testing.T) {
+	a := NewBitSet(130)
+	b := NewBitSet(130)
+	for _, i := range []int{0, 5, 63, 64, 100, 129} {
+		a.Set(i)
+	}
+	for _, i := range []int{5, 64, 128} {
+		b.Set(i)
+	}
+	if got := a.AndNotCount(b); got != 4 { // {0, 63, 100, 129}
+		t.Fatalf("AndNotCount = %d, want 4", got)
+	}
+	// Must agree with the materialised difference and leave a unchanged.
+	diff := a.Clone()
+	diff.AndNot(b)
+	if diff.Count() != a.AndNotCount(b) {
+		t.Fatal("AndNotCount disagrees with AndNot+Count")
+	}
+	if a.Count() != 6 {
+		t.Fatal("AndNotCount mutated its receiver")
+	}
+}
+
+func TestBitSetMismatchedAndNotCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBitSet(10).AndNotCount(NewBitSet(20))
+}

@@ -151,6 +151,21 @@ func (g *IntEvolvingGraph) ActiveNodes(t int) *ds.BitSet { return g.snaps[t].act
 // NumActiveNodes returns |V|, the total number of active temporal nodes.
 func (g *IntEvolvingGraph) NumActiveNodes() int { return g.numActive }
 
+// ActiveTemporalNodes returns every active temporal node in stamp-major,
+// node-ascending order — the same order as Unfold's Order field, without
+// materialising the unfolded adjacency. It is the root enumeration used
+// by the all-sources analytics sweeps (DESIGN.md §9).
+func (g *IntEvolvingGraph) ActiveTemporalNodes() []TemporalNode {
+	out := make([]TemporalNode, 0, g.numActive)
+	for t := range g.snaps {
+		a := g.snaps[t].active
+		for v := a.NextSet(0); v >= 0; v = a.NextSet(v + 1) {
+			out = append(out, TemporalNode{Node: int32(v), Stamp: int32(t)})
+		}
+	}
+	return out
+}
+
 // OutNeighbors returns the static out-neighbours of v at stamp t. For
 // undirected graphs this includes both endpoints' views. The slice
 // aliases internal storage and must not be mutated.

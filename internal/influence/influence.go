@@ -10,15 +10,21 @@
 // is an upper bound and most re-evaluations are skipped.
 //
 // Influence sets are materialised once as per-source node bitsets via
-// the paper's BFS from each node's earliest active stamp. That costs
-// one O(|E| + |V|) search per candidate and |V|²/8 bytes of bitsets —
-// exact and fine at mining scale; use internal/sketch for read-only
-// influence *ranking* on graphs too large to materialise.
+// the paper's BFS from each node's earliest active stamp. By default the
+// searches run on the graph's cached flat CSR view (DESIGN.md §8-9),
+// evaluated concurrently across a worker pool with pooled frontier
+// scratch (core.ReachSweep); Options.UseAdjacencyMaps instead runs one
+// adjacency-map BFS per candidate — the differential-testing oracle,
+// producing bit-identical reach sets, seeds and spreads. Either way the
+// cost is one O(|E| + |V|) search per candidate and |V|²/8 bytes of
+// bitsets — exact and fine at mining scale; use internal/sketch for
+// read-only influence *ranking* on graphs too large to materialise.
 package influence
 
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/ds"
@@ -36,6 +42,14 @@ type Options struct {
 	// Candidates restricts the seed pool to these nodes; nil means
 	// every active node is a candidate.
 	Candidates []int32
+	// UseAdjacencyMaps evaluates reach sets with the adjacency-map
+	// oracle (one sequential core.BFS plus a full temporal-node scan per
+	// candidate) instead of the concurrent CSR sweep. Kept for
+	// differential testing; results are identical.
+	UseAdjacencyMaps bool
+	// Workers bounds the concurrency of CSR reach-set evaluation;
+	// 0 means GOMAXPROCS.
+	Workers int
 }
 
 // Seed is one greedy selection step.
@@ -70,15 +84,9 @@ func Greedy(g *egraph.IntEvolvingGraph, k int, opts Options) ([]Seed, error) {
 		}
 	}
 
-	reach := make(map[int32]*ds.BitSet, len(candidates))
-	for _, v := range candidates {
-		r, err := reachSet(g, v, opts)
-		if err != nil {
-			return nil, err
-		}
-		if r != nil {
-			reach[v] = r
-		}
+	reach, err := reachSets(g, candidates, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	// CELF: heap of (stale gain, node, round-evaluated). A candidate
@@ -101,7 +109,10 @@ func Greedy(g *egraph.IntEvolvingGraph, k int, opts Options) ([]Seed, error) {
 			round++
 			continue
 		}
-		top.gain = marginal(reach[top.node], covered)
+		// Lazy re-evaluation: AndNotCount counts the uncovered bits of
+		// the candidate's reach set without cloning it, so CELF rounds
+		// allocate nothing.
+		top.gain = reach[top.node].AndNotCount(covered)
 		top.round = round
 		heap.Push(h, top)
 	}
@@ -109,34 +120,111 @@ func Greedy(g *egraph.IntEvolvingGraph, k int, opts Options) ([]Seed, error) {
 }
 
 // Spread returns the exact joint coverage of an arbitrary seed set: the
-// number of distinct nodes influenced by at least one seed.
+// number of distinct nodes influenced by at least one seed. Unlike
+// Greedy it never holds per-seed reach sets — every search folds
+// straight into one covered bitset — so memory stays O(|V|/8) however
+// many seeds are passed.
 func Spread(g *egraph.IntEvolvingGraph, seeds []int32, opts Options) (int, error) {
-	covered := ds.NewBitSet(g.NumNodes())
 	for _, v := range seeds {
 		if v < 0 || int(v) >= g.NumNodes() {
 			return 0, fmt.Errorf("influence: seed %d out of range (n=%d)", v, g.NumNodes())
 		}
-		r, err := reachSet(g, v, opts)
-		if err != nil {
-			return 0, err
+	}
+	n := g.NumNodes()
+	covered := ds.NewBitSet(n)
+	if opts.UseAdjacencyMaps {
+		for _, v := range seeds {
+			r, err := reachSetReference(g, v, opts)
+			if err != nil {
+				return 0, err
+			}
+			if r != nil {
+				covered.Or(r)
+			}
 		}
-		if r != nil {
-			covered.Or(r)
+		return covered.Count(), nil
+	}
+	roots := make([]egraph.TemporalNode, 0, len(seeds))
+	for _, v := range seeds {
+		if stamps := g.ActiveStamps(v); len(stamps) > 0 {
+			roots = append(roots, egraph.TemporalNode{Node: v, Stamp: stamps[0]})
 		}
+	}
+	var mu sync.Mutex
+	err := core.ReachSweep(g, roots, core.Options{Mode: opts.Mode, ReverseEdges: opts.ReverseEdges},
+		opts.Workers, func(_ int, reached []int32) {
+			mu.Lock()
+			for _, id := range reached {
+				covered.Set(int(id) % n) // temporal id t·N+v → node v
+			}
+			mu.Unlock()
+		})
+	if err != nil {
+		return 0, err // unreachable: roots are earliest active stamps
 	}
 	return covered.Count(), nil
 }
 
-// reachSet runs the paper's BFS from v's earliest active stamp and
-// collapses the reached temporal nodes to a distinct-node bitset. nil
-// (no error) for never-active nodes.
-func reachSet(g *egraph.IntEvolvingGraph, v int32, opts Options) (*ds.BitSet, error) {
+// reachSets materialises the per-candidate influence bitsets: candidate
+// v covers node w iff some (w, s) is reachable from v's earliest active
+// temporal node. Never-active candidates are skipped (no map entry). The
+// default engine collapses concurrent CSR reach sweeps; the oracle runs
+// one adjacency-map BFS per candidate.
+func reachSets(g *egraph.IntEvolvingGraph, candidates []int32, opts Options) (map[int32]*ds.BitSet, error) {
+	out := make(map[int32]*ds.BitSet, len(candidates))
+	if opts.UseAdjacencyMaps {
+		for _, v := range candidates {
+			r, err := reachSetReference(g, v, opts)
+			if err != nil {
+				return nil, err
+			}
+			if r != nil {
+				out[v] = r
+			}
+		}
+		return out, nil
+	}
+	nodes := make([]int32, 0, len(candidates))
+	roots := make([]egraph.TemporalNode, 0, len(candidates))
+	for _, v := range candidates {
+		stamps := g.ActiveStamps(v)
+		if len(stamps) == 0 {
+			continue
+		}
+		nodes = append(nodes, v)
+		roots = append(roots, egraph.TemporalNode{Node: v, Stamp: stamps[0]})
+	}
+	sets := make([]*ds.BitSet, len(roots))
+	n := g.NumNodes()
+	err := core.ReachSweep(g, roots, core.Options{Mode: opts.Mode, ReverseEdges: opts.ReverseEdges},
+		opts.Workers, func(i int, reached []int32) {
+			set := ds.NewBitSet(n)
+			for _, id := range reached {
+				set.Set(int(id) % n) // temporal id t·N+v → node v
+			}
+			sets[i] = set
+		})
+	if err != nil {
+		return nil, err // unreachable: roots are earliest active stamps
+	}
+	for i, v := range nodes {
+		out[v] = sets[i]
+	}
+	return out, nil
+}
+
+// reachSetReference is the adjacency-map oracle: the paper's BFS from
+// v's earliest active stamp, collapsed to a distinct-node bitset by a
+// full temporal-node scan. nil (no error) for never-active nodes.
+func reachSetReference(g *egraph.IntEvolvingGraph, v int32, opts Options) (*ds.BitSet, error) {
 	stamps := g.ActiveStamps(v)
 	if len(stamps) == 0 {
 		return nil, nil
 	}
 	root := egraph.TemporalNode{Node: v, Stamp: stamps[0]}
-	res, err := core.BFS(g, root, core.Options{Mode: opts.Mode, ReverseEdges: opts.ReverseEdges})
+	res, err := core.BFS(g, root, core.Options{
+		Mode: opts.Mode, ReverseEdges: opts.ReverseEdges, UseAdjacencyMaps: true,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("influence: BFS from %v: %w", root, err)
 	}
@@ -150,13 +238,6 @@ func reachSet(g *egraph.IntEvolvingGraph, v int32, opts Options) (*ds.BitSet, er
 		}
 	}
 	return set, nil
-}
-
-// marginal counts bits of r not already covered.
-func marginal(r, covered *ds.BitSet) int {
-	d := r.Clone()
-	d.AndNot(covered)
-	return d.Count()
 }
 
 type gainEntry struct {

@@ -2,6 +2,7 @@ package influence
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -189,6 +190,64 @@ func TestGreedyApproximationBound(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// Differential engine equivalence: seeds and spreads from the
+// concurrent CSR reach sweep must be identical to the adjacency-map
+// oracle, across causal modes and edge senses.
+func assertEnginesAgree(t *testing.T, g *egraph.IntEvolvingGraph, label string) {
+	t.Helper()
+	for _, mode := range []egraph.CausalMode{egraph.CausalAllPairs, egraph.CausalConsecutive} {
+		for _, reverse := range []bool{false, true} {
+			csr := Options{Mode: mode, ReverseEdges: reverse, Workers: 3}
+			oracle := csr
+			oracle.UseAdjacencyMaps = true
+			oracle.Workers = 0
+			gotSeeds, err1 := Greedy(g, 4, csr)
+			wantSeeds, err2 := Greedy(g, 4, oracle)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s mode %v reverse %v: Greedy errors: %v / %v", label, mode, reverse, err1, err2)
+			}
+			if !reflect.DeepEqual(gotSeeds, wantSeeds) {
+				t.Fatalf("%s mode %v reverse %v: seeds diverge:\ncsr  %+v\nmaps %+v",
+					label, mode, reverse, gotSeeds, wantSeeds)
+			}
+			var all []int32
+			for v := int32(0); v < int32(g.NumNodes()); v++ {
+				all = append(all, v)
+			}
+			gotSp, err1 := Spread(g, all, csr)
+			wantSp, err2 := Spread(g, all, oracle)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s mode %v reverse %v: Spread errors: %v / %v", label, mode, reverse, err1, err2)
+			}
+			if gotSp != wantSp {
+				t.Fatalf("%s mode %v reverse %v: Spread diverges: csr %d, maps %d",
+					label, mode, reverse, gotSp, wantSp)
+			}
+		}
+	}
+}
+
+func TestEngineEquivalenceRandom(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		assertEnginesAgree(t, randomGraph(rng, directed), "random")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineEquivalenceGeneratorWorkloads(t *testing.T) {
+	cfg := gen.DefaultCitationConfig()
+	cfg.Authors = 60
+	cfg.Stamps = 6
+	cfg.Seed = 23
+	cite, _ := gen.Citation(cfg)
+	assertEnginesAgree(t, cite, "citation")
+	assertEnginesAgree(t, gen.GNP(30, 4, 0.05, true, 9), "gnp")
 }
 
 // On a synthetic citation network, influence must flow against citation

@@ -16,17 +16,45 @@
 //
 // Having these executable side by side demonstrates that the three
 // distance notions genuinely disagree (see the package tests).
+//
+// The BFS-backed centralities (TemporalCloseness, GlobalEfficiency) run
+// on the graph's cached flat CSR view by default (DESIGN.md §8-9), with
+// GlobalEfficiency fanning its one-BFS-per-root sweep across a worker
+// pool; Options.UseAdjacencyMaps selects the adjacency-map oracle
+// instead. Per-root contributions are always combined in root order, so
+// results are bit-identical across engines and worker counts.
 package metrics
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ds"
 	"repro/internal/egraph"
 	"repro/internal/matrix"
 )
+
+// Options configures the BFS-backed centrality computations. The zero
+// value is the default CSR engine under the paper's all-pairs causal
+// mode.
+type Options struct {
+	// Mode selects the causal edge set.
+	Mode egraph.CausalMode
+	// UseAdjacencyMaps routes the underlying searches through the
+	// adjacency-map oracle instead of the flat CSR engine. Kept for
+	// differential testing; results are bit-identical.
+	UseAdjacencyMaps bool
+	// Workers bounds the fan-out of GlobalEfficiency's per-root sweep
+	// on the CSR engine; 0 means GOMAXPROCS. The oracle engine is
+	// always sequential (matching components.Options), so engine
+	// comparisons race the parallel default against the pre-CSR
+	// implementation.
+	Workers int
+}
 
 // Unreachable is returned as a distance when no journey exists.
 const Unreachable = -1
@@ -148,10 +176,25 @@ func ReceiveCentrality(q *matrix.Dense) []float64 {
 // temporal node: Σ 1/d over all temporal nodes at positive distance d
 // from it (harmonic convention, so disconnected pairs contribute 0).
 func TemporalCloseness(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, mode egraph.CausalMode) (float64, error) {
-	res, err := core.BFS(g, root, core.Options{Mode: mode})
+	return TemporalClosenessOpts(g, root, Options{Mode: mode})
+}
+
+// TemporalClosenessOpts is TemporalCloseness with engine control; the
+// engine choice flows into the underlying core.BFS. The harmonic sum is
+// accumulated in temporal-node id order either way, so both engines
+// return bit-identical values.
+func TemporalClosenessOpts(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, opts Options) (float64, error) {
+	res, err := core.BFS(g, root, core.Options{Mode: opts.Mode, UseAdjacencyMaps: opts.UseAdjacencyMaps})
 	if err != nil {
 		return 0, err
 	}
+	return closenessOf(res), nil
+}
+
+// closenessOf accumulates Σ 1/d over a BFS result in temporal-node id
+// order (the Visit order) — kept in one place so every engine and sweep
+// sums identically.
+func closenessOf(res *core.Result) float64 {
 	sum := 0.0
 	res.Visit(func(_ egraph.TemporalNode, d int) bool {
 		if d > 0 {
@@ -159,7 +202,7 @@ func TemporalCloseness(g *egraph.IntEvolvingGraph, root egraph.TemporalNode, mod
 		}
 		return true
 	})
-	return sum, nil
+	return sum
 }
 
 // EfficiencyStats summarises global temporal-connectivity efficiency.
@@ -181,30 +224,79 @@ type EfficiencyStats struct {
 // GlobalEfficiency computes EfficiencyStats with one BFS per active
 // temporal node (analysis scale).
 func GlobalEfficiency(g *egraph.IntEvolvingGraph, mode egraph.CausalMode) EfficiencyStats {
-	u := g.Unfold(mode)
-	n := len(u.Order)
+	return GlobalEfficiencyOpts(g, Options{Mode: mode})
+}
+
+// sourcePartial is one root's contribution to the efficiency sweep.
+type sourcePartial struct {
+	eff, dist float64
+	reachable int
+	ecc       int
+}
+
+// GlobalEfficiencyOpts is GlobalEfficiency with engine and worker
+// control. The per-root searches are fanned across Workers goroutines;
+// each root's contribution is accumulated in temporal-node id order and
+// the partials are combined in root order, so the result is
+// bit-identical across engines and worker counts.
+func GlobalEfficiencyOpts(g *egraph.IntEvolvingGraph, opts Options) EfficiencyStats {
+	roots := g.ActiveTemporalNodes()
+	n := len(roots)
 	var st EfficiencyStats
 	if n < 2 {
 		return st
 	}
+	workers := opts.Workers
+	if opts.UseAdjacencyMaps {
+		workers = 1 // the oracle is the sequential pre-CSR implementation
+	} else if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	parts := make([]sourcePartial, n)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				res, err := core.BFS(g, roots[i], core.Options{Mode: opts.Mode, UseAdjacencyMaps: opts.UseAdjacencyMaps})
+				if err != nil {
+					continue // unreachable: roots are active by construction
+				}
+				p := &parts[i]
+				res.Visit(func(_ egraph.TemporalNode, d int) bool {
+					if d > 0 {
+						p.eff += 1 / float64(d)
+						p.dist += float64(d)
+						p.reachable++
+						if d > p.ecc {
+							p.ecc = d
+						}
+					}
+					return true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
 	var effSum, distSum float64
 	reachable := 0
-	for _, root := range u.Order {
-		res, err := core.BFS(g, root, core.Options{Mode: mode})
-		if err != nil {
-			continue
+	for i := range parts {
+		effSum += parts[i].eff
+		distSum += parts[i].dist
+		reachable += parts[i].reachable
+		if parts[i].ecc > st.Diameter {
+			st.Diameter = parts[i].ecc
 		}
-		res.Visit(func(_ egraph.TemporalNode, d int) bool {
-			if d > 0 {
-				effSum += 1 / float64(d)
-				distSum += float64(d)
-				reachable++
-				if d > st.Diameter {
-					st.Diameter = d
-				}
-			}
-			return true
-		})
 	}
 	pairs := float64(n * (n - 1))
 	st.Efficiency = effSum / pairs

@@ -2,9 +2,12 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"testing"
+	"testing/quick"
 
 	"repro/internal/egraph"
+	"repro/internal/gen"
 )
 
 func tn(v, s int32) egraph.TemporalNode { return egraph.TemporalNode{Node: v, Stamp: s} }
@@ -236,4 +239,61 @@ func TestGlobalEfficiencyTrivial(t *testing.T) {
 	if st.ReachableFraction != 0.5 || st.Efficiency != 0.5 || st.MeanDistance != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
+}
+
+// Differential engine equivalence: the CSR-backed closeness and
+// efficiency sweeps must return float-bit-identical results to the
+// adjacency-map oracle (the underlying dist arrays are identical and
+// both paths accumulate in the same order), across causal modes,
+// worker counts and generator workloads.
+func assertEnginesAgree(t *testing.T, g *egraph.IntEvolvingGraph, label string) {
+	t.Helper()
+	for _, mode := range []egraph.CausalMode{egraph.CausalAllPairs, egraph.CausalConsecutive} {
+		csr := Options{Mode: mode, Workers: 3}
+		oracle := Options{Mode: mode, UseAdjacencyMaps: true, Workers: 1}
+		if got, want := GlobalEfficiencyOpts(g, csr), GlobalEfficiencyOpts(g, oracle); got != want {
+			t.Fatalf("%s mode %v: GlobalEfficiency diverges:\ncsr  %+v\nmaps %+v", label, mode, got, want)
+		}
+		for i, root := range g.ActiveTemporalNodes() {
+			if i%3 != 0 {
+				continue // sample roots to keep the sweep cheap
+			}
+			got, err1 := TemporalClosenessOpts(g, root, csr)
+			want, err2 := TemporalClosenessOpts(g, root, oracle)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s mode %v: closeness errors: %v / %v", label, mode, err1, err2)
+			}
+			if got != want {
+				t.Fatalf("%s mode %v root %v: closeness diverges: csr %v, maps %v",
+					label, mode, root, got, want)
+			}
+		}
+	}
+}
+
+func TestEngineEquivalenceRandom(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := egraph.NewBuilder(directed)
+		n := 2 + rng.Intn(8)
+		stamps := 1 + rng.Intn(4)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), int64(1+rng.Intn(stamps)))
+		}
+		b.AddEdge(0, 1, 1)
+		assertEnginesAgree(t, b.Build(), "random")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineEquivalenceGeneratorWorkloads(t *testing.T) {
+	cfg := gen.DefaultCitationConfig()
+	cfg.Authors = 50
+	cfg.Stamps = 6
+	cite, _ := gen.Citation(cfg)
+	assertEnginesAgree(t, cite, "citation")
+	assertEnginesAgree(t, gen.GNP(30, 4, 0.05, true, 5), "gnp")
 }

@@ -8,10 +8,16 @@
 //     iteration counts vs cold starts while converging to the same
 //     ranking.
 //   - TemporalKatz: Katz centrality over the unfolded temporal graph,
-//     computed as the power series Σ_k α^k (A_nᵀ)^k 1 through the block
-//     matrix-vector kernel (never materialising A_n). On acyclic
-//     snapshots A_n is nilpotent (Lemma 1) and the series is exact and
-//     finite.
+//     computed as the power series Σ_k α^k (A_nᵀ)^k 1 (never
+//     materialising A_n). On acyclic snapshots A_n is nilpotent
+//     (Lemma 1) and the series is exact and finite.
+//
+// TemporalKatz evaluates its series terms by a neighbour gather over
+// the graph's cached flat CSR view (DESIGN.md §8-9) by default;
+// KatzOptions.UseBlockKernel selects the assembled block matrix kernel
+// instead — the differential-testing oracle, bit-identical scores.
+// EvolvingPageRank is per-snapshot by construction and runs directly on
+// the per-stamp adjacency.
 package rank
 
 import (
@@ -186,6 +192,12 @@ type KatzOptions struct {
 	Tol float64
 	// MaxTerms caps the series length (default 10·stamps + 100).
 	MaxTerms int
+	// UseBlockKernel evaluates the series through the assembled block
+	// matrix A_nᵀ (matrix.Block.TMatVec) instead of the default gather
+	// over the graph's flat CSR view. The two kernels accumulate in the
+	// same order and return bit-identical scores; the block path is kept
+	// as the differential-testing oracle.
+	UseBlockKernel bool
 }
 
 // ErrKatzDiverged is returned when the power series fails to attenuate
@@ -195,8 +207,9 @@ var ErrKatzDiverged = errors.New("rank: Katz series did not converge (alpha too 
 // TemporalKatz returns, for every temporal node id (stamp-major t·N+v),
 // the Katz score Σ_k α^k · (#temporal walks of length k ending there,
 // from anywhere). High scores mark temporal nodes that many temporal
-// paths flow into. Computed with the blocked A_nᵀ kernel; inactive slots
-// stay 0.
+// paths flow into. The series terms are evaluated by an A_nᵀ
+// neighbour-gather over the graph's flat CSR view (or the block matrix
+// kernel under UseBlockKernel — same scores); inactive slots stay 0.
 func TemporalKatz(g *egraph.IntEvolvingGraph, opts KatzOptions) ([]float64, error) {
 	if opts.Alpha == 0 {
 		opts.Alpha = 0.1
@@ -210,8 +223,15 @@ func TemporalKatz(g *egraph.IntEvolvingGraph, opts KatzOptions) ([]float64, erro
 	if opts.MaxTerms == 0 {
 		opts.MaxTerms = 10*g.NumStamps() + 100
 	}
-	blk := g.BlockMatrix(opts.Mode)
-	dim := blk.Dim()
+	var kernel func(dst, src []float64)
+	if opts.UseBlockKernel {
+		kernel = g.BlockMatrix(opts.Mode).TMatVec
+	} else {
+		csr := g.CSR()
+		consecutive := opts.Mode == egraph.CausalConsecutive
+		kernel = func(dst, src []float64) { csrTMatVec(csr, consecutive, dst, src) }
+	}
+	dim := g.NumStamps() * g.NumNodes()
 	// Seed with 1 on every *active* temporal node.
 	term := make([]float64, dim)
 	for t := 0; t < g.NumStamps(); t++ {
@@ -223,7 +243,7 @@ func TemporalKatz(g *egraph.IntEvolvingGraph, opts KatzOptions) ([]float64, erro
 	score := append([]float64(nil), term...)
 	next := make([]float64, dim)
 	for k := 1; k <= opts.MaxTerms; k++ {
-		blk.TMatVec(next, term)
+		kernel(next, term)
 		var mass float64
 		for i := range next {
 			next[i] *= opts.Alpha
@@ -238,4 +258,35 @@ func TemporalKatz(g *egraph.IntEvolvingGraph, opts KatzOptions) ([]float64, erro
 		term, next = next, term
 	}
 	return nil, ErrKatzDiverged
+}
+
+// csrTMatVec computes dst = A_nᵀ·src by gathering over the flat CSR
+// view: the score flowing into temporal node (v, t) is the sum of src
+// over v's static in-neighbours at t (ascending) plus v's earlier
+// active stamps (ascending; just the previous one under consecutive
+// mode). That is exactly the accumulation order of the block kernel —
+// matrix.Block.TMatVec runs the diagonal CSC column sum first, then the
+// ⊙-masked causal blocks in ascending stamp order — so the two kernels
+// produce bit-identical floating-point results, which the package's
+// differential test asserts. Inactive slots are written 0, matching the
+// block kernel's empty columns.
+func csrTMatVec(csr *egraph.CSR, consecutive bool, dst, src []float64) {
+	n := int32(csr.N)
+	for id := range dst {
+		if csr.ActPos[id] < 0 {
+			dst[id] = 0
+			continue
+		}
+		var s float64
+		for _, u := range csr.InArcs(int32(id)) {
+			s += src[u]
+		}
+		stamps, v := csr.CausalArcs(int32(id), false, consecutive)
+		for _, t := range stamps {
+			if x := src[t*n+v]; x != 0 {
+				s += x
+			}
+		}
+		dst[id] = s
+	}
 }

@@ -246,3 +246,57 @@ func TestPageRankOnCitationNetwork(t *testing.T) {
 	}
 	t.Logf("citation network: warm %d iters vs cold %d", warmIters, cold.TotalIterations())
 }
+
+// Differential kernel equivalence: the CSR gather and the block matrix
+// kernel accumulate each temporal node's in-flow in the same order, so
+// TemporalKatz must return float-bit-identical scores either way, across
+// causal modes and generator workloads.
+func assertKatzKernelsAgree(t *testing.T, g *egraph.IntEvolvingGraph, alpha float64, label string) {
+	t.Helper()
+	for _, mode := range []egraph.CausalMode{egraph.CausalAllPairs, egraph.CausalConsecutive} {
+		opts := KatzOptions{Alpha: alpha, Mode: mode}
+		got, err1 := TemporalKatz(g, opts)
+		opts.UseBlockKernel = true
+		want, err2 := TemporalKatz(g, opts)
+		if err1 != err2 {
+			t.Fatalf("%s mode %v: kernel errors diverge: csr %v, block %v", label, mode, err1, err2)
+		}
+		if err1 != nil {
+			continue // both diverged identically
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s mode %v: score lengths diverge: %d vs %d", label, mode, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s mode %v: score[%d] diverges: csr %v, block %v", label, mode, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTemporalKatzKernelEquivalence(t *testing.T) {
+	assertKatzKernelsAgree(t, egraph.Figure1Graph(), 0.5, "figure1")
+	cfg := gen.DefaultCitationConfig()
+	cfg.Authors = 50
+	cfg.Stamps = 6
+	cite, _ := gen.Citation(cfg)
+	assertKatzKernelsAgree(t, cite, 0.05, "citation")
+	assertKatzKernelsAgree(t, gen.GNP(30, 4, 0.05, true, 5), 0.05, "gnp")
+
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := egraph.NewBuilder(directed)
+		n := 2 + rng.Intn(8)
+		stamps := 1 + rng.Intn(4)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), int64(1+rng.Intn(stamps)))
+		}
+		b.AddEdge(0, 1, 1)
+		assertKatzKernelsAgree(t, b.Build(), 0.02, "random")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
