@@ -69,8 +69,30 @@ func ReplayJournal(r io.Reader) (store *DynamicStore, batches int, err error) {
 	return dynadj.Replay(r)
 }
 
-// HTTPHandler serves g as a JSON query API (/stats, /bfs, /path,
-// /reach, /neighbors, /criteria — see internal/server). The graph must
-// not be mutated while served; Graph values are immutable, so any graph
-// built through this package qualifies.
+// HTTPHandler serves g as a JSON query API with default configuration:
+// the seed query endpoints (/stats, /bfs, /path, /reach, /neighbors,
+// /criteria) plus the cached analytics endpoints (/components/*,
+// /influence/greedy, /closeness, /efficiency, /katz) and the /healthz
+// and /metrics operational endpoints — see internal/server and
+// DESIGN.md §10. The graph must not be mutated while served; Graph
+// values are immutable, so any graph built through this package
+// qualifies.
 func HTTPHandler(g *Graph) http.Handler { return server.Handler(g) }
+
+// ServerConfig tunes the query service: analytics result-cache
+// capacity and sharding, the in-flight expensive-computation bound,
+// and the per-computation worker fan-out.
+type ServerConfig = server.Config
+
+// QueryServer is the production query service over an immutable Graph:
+// analytics served from the shared CSR engine through a versioned
+// result cache (internal/qcache) with singleflight collapse of
+// concurrent identical requests and a worker-pool semaphore bounding
+// in-flight computations. It implements http.Handler. ReplaceGraph
+// atomically swaps the served graph and invalidates every cached
+// result; CacheStats exposes the cache counters.
+type QueryServer = server.Server
+
+// NewQueryServer returns a QueryServer serving g under cfg (the zero
+// ServerConfig picks machine-sized defaults).
+func NewQueryServer(g *Graph, cfg ServerConfig) *QueryServer { return server.New(g, cfg) }

@@ -25,7 +25,10 @@
 // outputs are checked for equality before any time is reported.
 //
 // -json FILE writes every measurement (either mode) as a JSON array so
-// results can be tracked across runs.
+// results can be tracked across runs. -failBelow X is the CI
+// regression gate: with -compare it exits non-zero if the csr engine's
+// speedup over the maps oracle at the largest graph of any workload
+// falls below X (cross-engine result mismatches always abort).
 //
 // Usage:
 //
@@ -43,6 +46,7 @@ import (
 	"math"
 	"os"
 	"reflect"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -80,6 +84,7 @@ func main() {
 		suiteNodes = flag.Int("suiteNodes", 500, "node-id space of the analytics-suite workload ladder")
 		suiteEdges = flag.String("suiteEdges", "5000,10000,20000,40000", "comma-separated |E~| ladder for the analytics suites")
 		jsonPath   = flag.String("json", "", "write measurements to FILE as a JSON array")
+		failBelow  = flag.Float64("failBelow", 0, "with -compare: exit 1 if the csr engine's speedup vs maps at the largest graph of any workload falls below this (0 disables) — the CI regression gate")
 	)
 	flag.Parse()
 	if *reps < 1 {
@@ -115,6 +120,42 @@ func main() {
 		}
 		fmt.Printf("\nwrote %d measurements to %s\n", len(records), *jsonPath)
 	}
+	if *compare && *failBelow > 0 {
+		if failures := checkRegression(records, *failBelow); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "egbench: REGRESSION: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("regression gate: csr speedup ≥ %.2fx at the largest graph of every workload\n", *failBelow)
+	}
+}
+
+// checkRegression enforces the CI perf gate: at the largest graph of
+// every compared workload the csr engine must beat the adjacency-map
+// oracle by at least threshold. Only the largest size counts — small
+// graphs are noise-dominated on shared runners. (Cross-engine result
+// mismatches already abort before any record is emitted.)
+func checkRegression(records []record, threshold float64) []string {
+	largest := make(map[string]record)
+	for _, r := range records {
+		if r.Engine != "csr" {
+			continue
+		}
+		if best, ok := largest[r.Workload]; !ok || r.StaticEdges > best.StaticEdges {
+			largest[r.Workload] = r
+		}
+	}
+	var failures []string
+	for _, r := range largest {
+		if r.SpeedupVsMaps < threshold {
+			failures = append(failures, fmt.Sprintf(
+				"%s (%s, |E~|=%d): csr speedup %.2fx < %.2fx vs maps oracle",
+				r.Workload, r.Graph, r.StaticEdges, r.SpeedupVsMaps, threshold))
+		}
+	}
+	sort.Strings(failures)
+	return failures
 }
 
 // runFigure5 is the paper's scaling experiment over the random workload.

@@ -1,0 +1,411 @@
+// Command egload replays a mixed read workload against a live egserve
+// instance and reports per-endpoint latency percentiles, throughput and
+// the server's cache hit rate — the harness that demonstrates the
+// result-cache/singleflight win on repeated analytics queries
+// (DESIGN.md §10).
+//
+// Usage:
+//
+//	egload [-url http://host:8080] [-duration 5s | -requests N]
+//	       [-concurrency 8] [-distinct 4] [-seed 1]
+//	       [-mix bfs:4,stats:2,weak:2,sizes:2,efficiency:2,katz:2,closeness:3,influence:1]
+//	       [-nodes 500] [-stamps 8] [-edges 5000]
+//	       [-json FILE]
+//
+// Without -url the harness self-serves: it builds a random graph from
+// -nodes/-stamps/-edges/-seed, mounts internal/server on a loopback
+// listener in-process and hammers that — one command to go from zero
+// to a load report. With -url those three flags are ignored; the graph
+// shape is read from the target's /stats.
+//
+// Each endpoint draws its parameters from a pool of -distinct variants,
+// so the workload repeats queries the way production traffic does and
+// the analytics endpoints go hot after one cold computation each. The
+// final report (stdout table, plus a JSON document under -json) gives
+// p50/p90/p99 per endpoint and the server-side cache counters scraped
+// from /metrics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	evolving "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		target      = flag.String("url", "", "base URL of a running egserve (empty: self-serve an in-process server)")
+		duration    = flag.Duration("duration", 5*time.Second, "how long to run (ignored when -requests > 0)")
+		requests    = flag.Int("requests", 0, "stop after this many requests (0: run for -duration)")
+		concurrency = flag.Int("concurrency", 8, "concurrent client workers")
+		distinct    = flag.Int("distinct", 4, "distinct parameter variants per endpoint (smaller = hotter cache)")
+		mix         = flag.String("mix", "bfs:4,stats:2,weak:2,sizes:2,efficiency:2,katz:2,closeness:3,influence:1",
+			"endpoint:weight list; endpoints: stats, bfs, reach, weak, strong, sizes, efficiency, katz, closeness, influence")
+		seed     = flag.Int64("seed", 1, "workload seed (and self-serve graph seed)")
+		nodes    = flag.Int("nodes", 500, "self-serve: node count")
+		stamps   = flag.Int("stamps", 8, "self-serve: stamp count")
+		edges    = flag.Int("edges", 5_000, "self-serve: static edge count")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		jsonPath = flag.String("json", "", "write the report to FILE as JSON")
+	)
+	flag.Parse()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egload: %v\n", err)
+		os.Exit(2)
+	}
+	if *concurrency < 1 || *distinct < 1 {
+		fmt.Fprintln(os.Stderr, "egload: -concurrency and -distinct must be positive")
+		os.Exit(2)
+	}
+
+	base := *target
+	if base == "" {
+		g := evolving.Random(evolving.RandomConfig{
+			Nodes: *nodes, Stamps: *stamps, Edges: *edges, Directed: true, Seed: *seed,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "egload: listen: %v\n", err)
+			os.Exit(1)
+		}
+		go http.Serve(ln, server.New(g, server.Config{})) //nolint:errcheck // torn down with the process
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("self-serving random graph (nodes=%d stamps=%d edges=%d seed=%d) at %s\n",
+			*nodes, *stamps, *edges, *seed, base)
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: *timeout}
+
+	// The graph shape drives parameter generation for both modes.
+	var stats server.StatsResponse
+	if err := getJSON(client, base+"/stats", &stats); err != nil {
+		fmt.Fprintf(os.Stderr, "egload: probing %s/stats: %v\n", base, err)
+		os.Exit(1)
+	}
+
+	rep := run(client, base, stats, weights, *concurrency, *distinct, *requests, *duration, *seed)
+
+	// Scrape the server-side counters; optional (a non-repro target has
+	// no /metrics).
+	var m server.MetricsResponse
+	if err := getJSON(client, base+"/metrics", &m); err == nil {
+		rep.ServerMetrics = &m
+		rep.CacheHitRate = m.CacheHitRate
+	}
+
+	printReport(rep)
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "egload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote report to %s\n", *jsonPath)
+	}
+}
+
+// endpointReport is the per-endpoint slice of the JSON report.
+type endpointReport struct {
+	Name     string  `json:"name"`
+	Count    int     `json:"count"`
+	Errors   int     `json:"errors"`
+	NotFound int     `json:"notFound"`
+	P50NS    int64   `json:"p50ns"`
+	P90NS    int64   `json:"p90ns"`
+	P99NS    int64   `json:"p99ns"`
+	MaxNS    int64   `json:"maxNs"`
+	MeanNS   int64   `json:"meanNs"`
+	HitRate  float64 `json:"xCacheHitRate"`
+}
+
+// report is the egload -json document.
+type report struct {
+	Target          string                  `json:"target"`
+	Concurrency     int                     `json:"concurrency"`
+	Distinct        int                     `json:"distinct"`
+	Seed            int64                   `json:"seed"`
+	DurationSeconds float64                 `json:"durationSeconds"`
+	TotalRequests   int                     `json:"totalRequests"`
+	Errors          int                     `json:"errors"`
+	Throughput      float64                 `json:"requestsPerSecond"`
+	Endpoints       []endpointReport        `json:"endpoints"`
+	CacheHitRate    float64                 `json:"cacheHitRate"`
+	ServerMetrics   *server.MetricsResponse `json:"serverMetrics,omitempty"`
+}
+
+// sample is one completed request.
+type sample struct {
+	endpoint string
+	dur      time.Duration
+	status   int
+	xcache   string
+	failed   bool
+}
+
+// run drives the workers and folds their samples into a report.
+func run(client *http.Client, base string, stats server.StatsResponse, weights []weighted,
+	concurrency, distinct, maxRequests int, duration time.Duration, seed int64) *report {
+
+	var (
+		issued  atomic.Int64
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			var local []sample
+			for {
+				if maxRequests > 0 {
+					if issued.Add(1) > int64(maxRequests) {
+						break
+					}
+				} else if time.Now().After(deadline) {
+					break
+				}
+				ep := pick(rng, weights)
+				url := base + buildPath(ep, rng.Intn(distinct), stats)
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				el := time.Since(t0)
+				s := sample{endpoint: ep, dur: el}
+				if err != nil {
+					s.failed = true
+				} else {
+					s.status = resp.StatusCode
+					s.xcache = resp.Header.Get("X-Cache")
+					resp.Body.Close()
+					// 5xx is a server failure; 404 on a randomly drawn
+					// inactive root is an expected answer.
+					if resp.StatusCode >= 500 {
+						s.failed = true
+					}
+				}
+				local = append(local, s)
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &report{
+		Target:          base,
+		Concurrency:     concurrency,
+		Distinct:        distinct,
+		Seed:            seed,
+		DurationSeconds: elapsed.Seconds(),
+		TotalRequests:   len(samples),
+		Throughput:      float64(len(samples)) / elapsed.Seconds(),
+	}
+	byEndpoint := make(map[string][]sample)
+	for _, s := range samples {
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s)
+		if s.failed {
+			rep.Errors++
+		}
+	}
+	names := make([]string, 0, len(byEndpoint))
+	for name := range byEndpoint {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := byEndpoint[name]
+		durs := make([]time.Duration, 0, len(ss))
+		er := endpointReport{Name: name, Count: len(ss)}
+		hits := 0
+		cacheable := 0
+		var sum time.Duration
+		for _, s := range ss {
+			durs = append(durs, s.dur)
+			sum += s.dur
+			if s.failed {
+				er.Errors++
+			}
+			if s.status == http.StatusNotFound {
+				er.NotFound++
+			}
+			if s.xcache != "" {
+				cacheable++
+				if s.xcache != "miss" {
+					hits++
+				}
+			}
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		er.P50NS = percentile(durs, 50).Nanoseconds()
+		er.P90NS = percentile(durs, 90).Nanoseconds()
+		er.P99NS = percentile(durs, 99).Nanoseconds()
+		er.MaxNS = durs[len(durs)-1].Nanoseconds()
+		er.MeanNS = (sum / time.Duration(len(ss))).Nanoseconds()
+		if cacheable > 0 {
+			er.HitRate = float64(hits) / float64(cacheable)
+		}
+		rep.Endpoints = append(rep.Endpoints, er)
+	}
+	return rep
+}
+
+// buildPath maps an endpoint name and a variant index to a concrete
+// request path. Variants cycle through a small pool of parameter
+// combinations so the workload repeats queries.
+func buildPath(endpoint string, variant int, stats server.StatsResponse) string {
+	mode := [...]string{"allpairs", "consecutive"}[variant%2]
+	node := (variant * 7919) % stats.Nodes
+	stamp := variant % stats.Stamps
+	switch endpoint {
+	case "stats":
+		return "/stats"
+	case "bfs":
+		return fmt.Sprintf("/bfs?node=%d&stamp=%d", node, stamp)
+	case "reach":
+		return fmt.Sprintf("/reach?node=%d&stamp=%d", node, stamp)
+	case "weak":
+		return "/components/weak?mode=" + mode
+	case "strong":
+		return fmt.Sprintf("/components/strong?minSize=%d", 2+variant%3)
+	case "sizes":
+		return "/components/sizes?mode=" + mode
+	case "efficiency":
+		return "/efficiency?mode=" + mode
+	case "katz":
+		return fmt.Sprintf("/katz?alpha=%g&top=10", 0.05+0.01*float64(variant%5))
+	case "closeness":
+		return fmt.Sprintf("/closeness?node=%d&stamp=%d", node, stamp)
+	case "influence":
+		return fmt.Sprintf("/influence/greedy?k=%d", 1+variant%5)
+	default:
+		return "/stats"
+	}
+}
+
+type weighted struct {
+	name   string
+	weight int
+}
+
+var knownEndpoints = map[string]bool{
+	"stats": true, "bfs": true, "reach": true, "weak": true, "strong": true,
+	"sizes": true, "efficiency": true, "katz": true, "closeness": true, "influence": true,
+}
+
+func parseMix(s string) ([]weighted, error) {
+	var out []weighted
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, found := strings.Cut(part, ":")
+		weight := 1
+		if found {
+			var err error
+			weight, err = strconv.Atoi(weightStr)
+			if err != nil || weight < 1 {
+				return nil, fmt.Errorf("bad weight in %q", part)
+			}
+		}
+		if !knownEndpoints[name] {
+			return nil, fmt.Errorf("unknown endpoint %q in -mix", name)
+		}
+		out = append(out, weighted{name, weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -mix")
+	}
+	return out, nil
+}
+
+func pick(rng *rand.Rand, weights []weighted) string {
+	total := 0
+	for _, w := range weights {
+		total += w.weight
+	}
+	n := rng.Intn(total)
+	for _, w := range weights {
+		n -= w.weight
+		if n < 0 {
+			return w.name
+		}
+	}
+	return weights[len(weights)-1].name
+}
+
+// percentile returns the pth percentile of sorted durations
+// (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+func getJSON(client *http.Client, url string, into interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func printReport(rep *report) {
+	fmt.Printf("\n# egload: %d requests in %.2fs (%.0f req/s, concurrency %d, distinct %d), %d errors\n",
+		rep.TotalRequests, rep.DurationSeconds, rep.Throughput, rep.Concurrency, rep.Distinct, rep.Errors)
+	fmt.Printf("%-12s %8s %7s %5s %12s %12s %12s %8s\n",
+		"endpoint", "count", "errors", "404s", "p50", "p90", "p99", "hit")
+	for _, ep := range rep.Endpoints {
+		hit := "-"
+		if ep.HitRate > 0 || strings.Contains("weak strong sizes efficiency katz closeness influence", ep.Name) {
+			hit = fmt.Sprintf("%5.1f%%", 100*ep.HitRate)
+		}
+		fmt.Printf("%-12s %8d %7d %5d %12s %12s %12s %8s\n",
+			ep.Name, ep.Count, ep.Errors, ep.NotFound,
+			time.Duration(ep.P50NS).Round(time.Microsecond),
+			time.Duration(ep.P90NS).Round(time.Microsecond),
+			time.Duration(ep.P99NS).Round(time.Microsecond),
+			hit)
+	}
+	if rep.ServerMetrics != nil {
+		c := rep.ServerMetrics.Cache
+		fmt.Printf("\nserver cache: hitRate=%.1f%% hits=%d misses=%d collapsed=%d entries=%d evictions=%d inFlight=%d/%d\n",
+			100*rep.CacheHitRate, c.Hits, c.Misses, c.Collapsed, c.Entries, c.Evictions,
+			rep.ServerMetrics.InFlight, rep.ServerMetrics.MaxInFlight)
+	}
+}

@@ -1,29 +1,44 @@
-// Command egserve serves an evolving graph over HTTP: BFS distances,
-// shortest temporal paths, reachability, forward neighbours, and the
-// four path-optimality criteria as JSON endpoints (see internal/server
-// for the endpoint reference).
+// Command egserve serves an evolving graph over HTTP: the seed query
+// endpoints (BFS distances, shortest temporal paths, reachability,
+// forward neighbours, path-optimality criteria) plus the analytics
+// layer (components, influence maximisation, closeness, efficiency,
+// temporal Katz) behind a versioned result cache with singleflight
+// collapse and a bounded in-flight computation gate. See
+// internal/server for the endpoint reference and DESIGN.md §10 for the
+// serving architecture.
 //
 // Usage:
 //
 //	egserve [-addr :8080] [-graph edges.txt]
 //	        [-nodes 1000] [-stamps 10] [-edges 10000] [-seed 42]
+//	        [-cache 1024] [-inflight 0] [-workers 0]
+//	        [-write-timeout 0] [-shutdown-timeout 10s]
 //
-// Without -graph a random evolving graph is generated and served.
+// Without -graph a random evolving graph is generated and served. The
+// process shuts down gracefully on SIGINT/SIGTERM: the listener stops,
+// in-flight requests get -shutdown-timeout to drain, then the process
+// exits.
 //
 // Example session:
 //
 //	$ egserve &
 //	$ curl 'localhost:8080/stats'
-//	$ curl 'localhost:8080/bfs?node=0&stamp=0'
-//	$ curl 'localhost:8080/criteria?src=0&dst=7'
+//	$ curl 'localhost:8080/components/weak'
+//	$ curl 'localhost:8080/influence/greedy?k=5'
+//	$ curl 'localhost:8080/metrics'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	evolving "repro"
 	"repro/internal/server"
@@ -37,6 +52,13 @@ func main() {
 		stamps    = flag.Int("stamps", 10, "random: stamp count")
 		edges     = flag.Int("edges", 10_000, "random: static edge count")
 		seed      = flag.Int64("seed", 42, "random: generator seed")
+
+		cacheCap = flag.Int("cache", 1024, "analytics result-cache capacity (entries)")
+		inflight = flag.Int("inflight", 0, "max concurrently computing expensive queries (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "per-computation analytics fan-out (0 = GOMAXPROCS)")
+
+		writeTimeout    = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none; cold analytics queries can be slow)")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -58,6 +80,45 @@ func main() {
 		fmt.Printf("serving random graph: nodes=%d stamps=%d edges=%d seed=%d\n",
 			*nodes, *stamps, *edges, *seed)
 	}
-	fmt.Printf("listening on %s — try /stats, /bfs?node=0&stamp=0, /criteria?src=0&dst=1\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.Handler(g)))
+
+	handler := server.New(g, server.Config{
+		CacheCapacity: *cacheCap,
+		MaxInFlight:   *inflight,
+		Workers:       *workers,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Slowloris protection on headers; write deadline is opt-in
+		// because a cold all-sources analytics query may legitimately
+		// outlive any fixed response budget.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("listening on %s — try /stats, /components/weak, /influence/greedy?k=5, /metrics\n", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("egserve: %v", err)
+	case <-ctx.Done():
+		stop()
+		fmt.Println("\nshutting down (signal received)…")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("egserve: shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("egserve: %v", err)
+		}
+		fmt.Println("drained; bye")
+	}
 }

@@ -1,0 +1,279 @@
+// Package qcache is the result cache behind the query service
+// (internal/server, DESIGN.md §10): a sharded LRU keyed by caller
+// string keys, versioned by a graph revision, with singleflight
+// collapse of concurrent identical computations.
+//
+// The cache is designed for read-heavy analytics serving where a miss
+// is expensive (an all-sources BFS sweep, a CELF influence run) and the
+// same handful of queries arrive hot:
+//
+//   - Sharding spreads lock contention: each key lives in the shard
+//     picked by an FNV-1a hash, every shard has its own mutex, LRU list
+//     and in-flight table.
+//   - Versioning makes invalidation O(1): Bump advances the revision
+//     counter and every key formed after it misses, because the
+//     revision is folded into the stored key. Stale entries are not
+//     swept eagerly; the LRU simply ages them out.
+//   - Singleflight means a cold hot-key computes once under load: the
+//     first Do runs compute, concurrent Dos for the same key park on
+//     the leader's WaitGroup and share its result (Collapsed outcome).
+//
+// Errors are never cached — a failed compute is retried by the next
+// caller — but collapsed waiters do share the leader's error.
+package qcache
+
+import (
+	"container/list"
+	"errors"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome says how a Do call obtained its value.
+type Outcome int
+
+const (
+	// Miss: this call ran compute itself.
+	Miss Outcome = iota
+	// Hit: the value was already cached.
+	Hit
+	// Collapsed: an identical computation was in flight; this call
+	// waited for it and shares its result.
+	Collapsed
+)
+
+// String returns the wire name used in X-Cache headers and load
+// reports.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Collapsed:
+		return "collapsed"
+	default:
+		return "miss"
+	}
+}
+
+// Options sizes a Cache. The zero value is usable.
+type Options struct {
+	// Capacity bounds the total number of cached entries across all
+	// shards (default 1024). Oldest entries per shard are evicted.
+	Capacity int
+	// Shards is the number of independent lock domains (default 8).
+	Shards int
+}
+
+// Cache is a versioned, sharded LRU with singleflight. The zero value
+// is not usable; construct with New.
+type Cache struct {
+	shards  []shard
+	seed    maphash.Seed
+	version atomic.Uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	collapsed atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	lru     *list.List // front = most recently used
+	entries map[string]*list.Element
+	flight  map[string]*call
+	cap     int
+}
+
+type entry struct {
+	key string
+	val interface{}
+}
+
+type call struct {
+	wg  sync.WaitGroup
+	val interface{}
+	err error
+}
+
+// New returns a Cache sized by opts.
+func New(opts Options) *Cache {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 1024
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 8
+	}
+	if opts.Shards > opts.Capacity {
+		opts.Shards = opts.Capacity
+	}
+	c := &Cache{shards: make([]shard, opts.Shards), seed: maphash.MakeSeed()}
+	per := (opts.Capacity + opts.Shards - 1) / opts.Shards
+	for i := range c.shards {
+		c.shards[i] = shard{
+			lru:     list.New(),
+			entries: make(map[string]*list.Element),
+			flight:  make(map[string]*call),
+			cap:     per,
+		}
+	}
+	return c
+}
+
+// Version returns the current revision. Keys formed under an older
+// revision can no longer hit.
+func (c *Cache) Version() uint64 { return c.version.Load() }
+
+// Bump advances the revision, invalidating every cached entry in O(1).
+// It returns the new revision. Call it whenever the data the cache is
+// keyed over changes (the served graph is swapped).
+func (c *Cache) Bump() uint64 { return c.version.Add(1) }
+
+// Do returns the cached value for key at the current revision, or runs
+// compute to produce it. Concurrent Do calls with an equal key collapse
+// onto one compute; the others wait and share the result. A compute
+// error is returned to the leader and every collapsed waiter but is not
+// cached. compute runs without any shard lock held, so it may be slow
+// and may itself block (e.g. on a concurrency gate).
+func (c *Cache) Do(key string, compute func() (interface{}, error)) (val interface{}, outcome Outcome, err error) {
+	return c.DoAt(c.version.Load(), key, compute)
+}
+
+// DoAt is Do pinned to an explicit revision. Callers that capture a
+// data snapshot together with the revision it belongs to (e.g. an HTTP
+// handler serving an atomically swappable graph) must use DoAt with
+// the captured revision: forming the key from Version() at lookup time
+// would let a computation over the *old* snapshot be stored under the
+// *new* revision if a Bump lands in between, and that stale entry
+// would then be served indefinitely.
+func (c *Cache) DoAt(version uint64, key string, compute func() (interface{}, error)) (val interface{}, outcome Outcome, err error) {
+	vkey := versionedKey(version, key)
+	s := &c.shards[c.shardOf(vkey)]
+
+	s.mu.Lock()
+	if el, ok := s.entries[vkey]; ok {
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*entry).val, Hit, nil
+	}
+	if cl, ok := s.flight[vkey]; ok {
+		s.mu.Unlock()
+		c.collapsed.Add(1)
+		cl.wg.Wait()
+		return cl.val, Collapsed, cl.err
+	}
+	cl := &call{}
+	cl.wg.Add(1)
+	s.flight[vkey] = cl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	// Run compute unlocked; guarantee waiters are released and the
+	// flight slot is cleared even if compute panics.
+	completed := false
+	defer func() {
+		if !completed {
+			cl.err = ErrPanic
+			s.mu.Lock()
+			delete(s.flight, vkey)
+			s.mu.Unlock()
+			cl.wg.Done()
+		}
+	}()
+	cl.val, cl.err = compute()
+	completed = true
+
+	s.mu.Lock()
+	delete(s.flight, vkey)
+	if cl.err == nil {
+		s.insert(vkey, cl.val, &c.evictions)
+	}
+	s.mu.Unlock()
+	cl.wg.Done()
+	return cl.val, Miss, cl.err
+}
+
+// insert adds a key to the shard's LRU, evicting from the back past
+// capacity. Caller holds s.mu.
+func (s *shard) insert(key string, val interface{}, evictions *atomic.Int64) {
+	if el, ok := s.entries[key]; ok { // lost a bump race; refresh
+		el.Value.(*entry).val = val
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&entry{key: key, val: val})
+	for s.lru.Len() > s.cap {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.entries, back.Value.(*entry).key)
+		evictions.Add(1)
+	}
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Collapsed int64  `json:"collapsed"`
+	Evictions int64  `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Version   uint64 `json:"version"`
+}
+
+// HitRate is the fraction of Do calls that avoided a computation —
+// hits plus collapsed waiters over all calls (0 when idle).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Collapsed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Collapsed) / float64(total)
+}
+
+// Stats returns the current counters. Entries counts stored values
+// including not-yet-evicted entries from older revisions.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Collapsed: c.collapsed.Load(),
+		Evictions: c.evictions.Load(),
+		Version:   c.version.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return st
+}
+
+func (c *Cache) shardOf(key string) int {
+	return int(maphash.String(c.seed, key) % uint64(len(c.shards)))
+}
+
+// versionedKey folds the revision into the stored key so Bump
+// invalidates without sweeping. NUL separates the fields; caller keys
+// are URL-ish strings that never contain it.
+func versionedKey(v uint64, key string) string {
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	i := len(b)
+	for {
+		i--
+		b[i] = hex[v&0xf]
+		v >>= 4
+		if v == 0 {
+			break
+		}
+	}
+	return string(b[i:]) + "\x00" + key
+}
+
+// ErrPanic is handed to collapsed waiters when the leading compute
+// panicked (the panic itself propagates on the leader's goroutine).
+// It marks a server-side failure, not a request problem.
+var ErrPanic = errors.New("qcache: compute panicked")

@@ -1,0 +1,239 @@
+package qcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mustDo(t *testing.T, c *Cache, key string, val interface{}) Outcome {
+	t.Helper()
+	got, outcome, err := c.Do(key, func() (interface{}, error) { return val, nil })
+	if err != nil {
+		t.Fatalf("Do(%q): %v", key, err)
+	}
+	if got != val && outcome == Miss {
+		t.Fatalf("Do(%q) = %v, want %v", key, got, val)
+	}
+	return outcome
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New(Options{})
+	if out := mustDo(t, c, "a", 1); out != Miss {
+		t.Fatalf("first Do = %v, want Miss", out)
+	}
+	if out := mustDo(t, c, "a", 2); out != Hit {
+		t.Fatalf("second Do = %v, want Hit", out)
+	}
+	// A hit returns the cached value, not the new compute's.
+	got, _, _ := c.Do("a", func() (interface{}, error) { return 99, nil })
+	if got != 1 {
+		t.Fatalf("cached value = %v, want 1", got)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if r := st.HitRate(); r < 0.66 || r > 0.67 {
+		t.Fatalf("hit rate = %v, want 2/3", r)
+	}
+}
+
+func TestVersionBumpInvalidates(t *testing.T) {
+	c := New(Options{})
+	mustDo(t, c, "k", "v0")
+	if got := c.Bump(); got != 1 {
+		t.Fatalf("Bump = %d, want 1", got)
+	}
+	if out := mustDo(t, c, "k", "v1"); out != Miss {
+		t.Fatalf("post-bump Do = %v, want Miss", out)
+	}
+	got, _, _ := c.Do("k", func() (interface{}, error) { return "nope", nil })
+	if got != "v1" {
+		t.Fatalf("post-bump cached value = %v, want v1", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard, capacity 2: inserting a third key evicts the coldest.
+	c := New(Options{Capacity: 2, Shards: 1})
+	mustDo(t, c, "a", 1)
+	mustDo(t, c, "b", 2)
+	mustDo(t, c, "a", 0) // touch a → b is now coldest
+	mustDo(t, c, "c", 3) // evicts b
+	if out := mustDo(t, c, "a", 0); out != Hit {
+		t.Fatalf("a = %v, want Hit", out)
+	}
+	if out := mustDo(t, c, "b", 9); out != Miss {
+		t.Fatalf("b = %v, want Miss after eviction", out)
+	}
+	if st := c.Stats(); st.Evictions < 1 {
+		t.Fatalf("evictions = %d, want ≥ 1", st.Evictions)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(Options{})
+	boom := errors.New("boom")
+	_, _, err := c.Do("k", func() (interface{}, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if out := mustDo(t, c, "k", "ok"); out != Miss {
+		t.Fatalf("Do after error = %v, want Miss (errors must not cache)", out)
+	}
+	if out := mustDo(t, c, "k", "ok"); out != Hit {
+		t.Fatalf("Do after recovery = %v, want Hit", out)
+	}
+}
+
+// TestSingleflightCollapses parks N concurrent Do calls for one key on
+// a gate and asserts exactly one compute ran; everyone shares its
+// value and the others report Collapsed.
+func TestSingleflightCollapses(t *testing.T) {
+	c := New(Options{})
+	const n = 16
+	var computes atomic.Int64
+	started := make(chan struct{}) // leader entered compute
+	release := make(chan struct{}) // let the leader finish
+	waiting := make(chan struct{}, n)
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		val, outcome, err := c.Do("hot", func() (interface{}, error) {
+			computes.Add(1)
+			close(started)
+			<-release
+			return "answer", nil
+		})
+		if outcome != Miss || val != "answer" {
+			leaderDone <- fmt.Errorf("leader: outcome %v val %v", outcome, val)
+			return
+		}
+		leaderDone <- err
+	}()
+	<-started
+
+	var wg sync.WaitGroup
+	results := make([]Outcome, n)
+	vals := make([]interface{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			waiting <- struct{}{}
+			val, outcome, err := c.Do("hot", func() (interface{}, error) {
+				computes.Add(1)
+				return "wrong", nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i], vals[i] = outcome, val
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-waiting
+	}
+	close(release)
+	wg.Wait()
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want exactly 1", got)
+	}
+	for i := range results {
+		if vals[i] != "answer" {
+			t.Fatalf("waiter %d got %v, want leader's answer", i, vals[i])
+		}
+		if results[i] != Collapsed && results[i] != Hit {
+			t.Fatalf("waiter %d outcome = %v, want Collapsed or Hit", i, results[i])
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Collapsed != n {
+		t.Fatalf("stats = %+v, want 1 miss and %d hit+collapsed", st, n)
+	}
+}
+
+func TestComputePanicReleasesWaiters(t *testing.T) {
+	c := New(Options{})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		c.Do("k", func() (interface{}, error) { panic("kaboom") })
+	}()
+	// The flight slot must be clear: a fresh Do runs compute again.
+	if out := mustDo(t, c, "k", "fine"); out != Miss {
+		t.Fatalf("Do after panic = %v, want Miss", out)
+	}
+}
+
+func TestShardedConcurrentUse(t *testing.T) {
+	c := New(Options{Capacity: 64, Shards: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				val, _, err := c.Do(key, func() (interface{}, error) { return i % 32, nil })
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				if val.(int) != i%32 {
+					t.Errorf("Do(%s) = %v, want %d", key, val, i%32)
+					return
+				}
+				if i%50 == 0 && w == 0 {
+					c.Bump()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestOutcomeString(t *testing.T) {
+	for out, want := range map[Outcome]string{Miss: "miss", Hit: "hit", Collapsed: "collapsed"} {
+		if out.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", out, out.String(), want)
+		}
+	}
+}
+
+// TestDoAtPinsRevision asserts a computation keyed at an old revision
+// can never be read back after a Bump — the property that stops a
+// compute racing a data swap from serving stale results forever.
+func TestDoAtPinsRevision(t *testing.T) {
+	c := New(Options{})
+	rev := c.Version()
+	newRev := c.Bump() // the swap lands while the old compute is conceptually in flight
+	if _, out, _ := c.DoAt(rev, "k", func() (interface{}, error) { return "stale", nil }); out != Miss {
+		t.Fatalf("DoAt(old) = %v, want Miss", out)
+	}
+	// A lookup at the new revision must not see the old result.
+	val, out, _ := c.DoAt(newRev, "k", func() (interface{}, error) { return "fresh", nil })
+	if out != Miss || val != "fresh" {
+		t.Fatalf("DoAt(new) = %v %v, want Miss fresh", out, val)
+	}
+	// The old revision's entry is still readable at the old revision
+	// (in-flight requests of the old generation share it) …
+	if val, out, _ := c.DoAt(rev, "k", func() (interface{}, error) { return nil, nil }); out != Hit || val != "stale" {
+		t.Fatalf("DoAt(old) again = %v %v, want Hit stale", out, val)
+	}
+	// … and Do (current revision) serves the fresh one.
+	if val, out, _ := c.Do("k", func() (interface{}, error) { return nil, nil }); out != Hit || val != "fresh" {
+		t.Fatalf("Do = %v %v, want Hit fresh", out, val)
+	}
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+
+	"repro/internal/components"
+	"repro/internal/influence"
+	"repro/internal/metrics"
+	"repro/internal/rank"
+)
+
+// The analytics endpoints: whole-graph computations (one BFS per active
+// temporal node, a CELF influence run, a Katz power series) served
+// through the versioned result cache. Each handler parses and
+// canonicalises its parameters, forms the cache key from the parsed
+// values — "?mode=" and "?mode=allpairs" share one entry — and hands
+// the computation to Server.cached, which collapses concurrent
+// identical requests and admits the compute through the in-flight
+// gate.
+
+// maxListLimit bounds the limit parameter of the size-list endpoints.
+const maxListLimit = 1 << 20
+
+// defaultListLimit is the sizes-list cap when limit is absent.
+const defaultListLimit = 100
+
+// ComponentsResponse is the wire form of /components/weak and
+// /components/strong: the component count and the size of each
+// component, largest first, capped by the limit parameter (0 = all).
+type ComponentsResponse struct {
+	Mode      string `json:"mode,omitempty"`
+	MinSize   int    `json:"minSize,omitempty"`
+	Count     int    `json:"count"`
+	Largest   int    `json:"largestSize"`
+	Sizes     []int  `json:"sizes"`
+	Truncated bool   `json:"truncated,omitempty"`
+}
+
+func (s *Server) componentsWeak(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	mode := p.mode()
+	limit := p.intRange("limit", defaultListLimit, 0, maxListLimit)
+	if !s.okParams(w, p) {
+		return
+	}
+	key := fmt.Sprintf("components/weak?mode=%s&limit=%d", modeName(mode), limit)
+	s.cached(w, p, key, func() (interface{}, error) {
+		comps := components.WeakOpts(p.g, components.Options{Mode: mode})
+		return componentsResponse(comps, modeName(mode), 0, limit), nil
+	})
+}
+
+func (s *Server) componentsStrong(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	minSize := p.intRange("minSize", 2, 1, maxListLimit)
+	limit := p.intRange("limit", defaultListLimit, 0, maxListLimit)
+	if !s.okParams(w, p) {
+		return
+	}
+	key := fmt.Sprintf("components/strong?minSize=%d&limit=%d", minSize, limit)
+	s.cached(w, p, key, func() (interface{}, error) {
+		comps := components.StrongOpts(p.g, minSize, components.Options{})
+		return componentsResponse(comps, "", minSize, limit), nil
+	})
+}
+
+func componentsResponse(comps []components.Component, mode string, minSize, limit int) *ComponentsResponse {
+	resp := &ComponentsResponse{Mode: mode, MinSize: minSize, Count: len(comps), Sizes: []int{}}
+	for i, c := range comps {
+		if i == 0 {
+			resp.Largest = len(c)
+		}
+		if limit > 0 && i >= limit {
+			resp.Truncated = true
+			break
+		}
+		resp.Sizes = append(resp.Sizes, len(c))
+	}
+	return resp
+}
+
+// SizeDistributionResponse is the wire form of /components/sizes: the
+// out-component size of every active temporal node, sorted descending
+// (Def. 7's influence profile), capped by limit (0 = all).
+type SizeDistributionResponse struct {
+	Mode      string  `json:"mode"`
+	Count     int     `json:"count"`
+	MaxSize   int     `json:"maxSize"`
+	MeanSize  float64 `json:"meanSize"`
+	Sizes     []int   `json:"sizes"`
+	Truncated bool    `json:"truncated,omitempty"`
+}
+
+func (s *Server) componentsSizes(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	mode := p.mode()
+	limit := p.intRange("limit", defaultListLimit, 0, maxListLimit)
+	if !s.okParams(w, p) {
+		return
+	}
+	key := fmt.Sprintf("components/sizes?mode=%s&limit=%d", modeName(mode), limit)
+	s.cached(w, p, key, func() (interface{}, error) {
+		sizes := components.SizeDistributionOpts(p.g, components.Options{Mode: mode, Workers: s.cfg.Workers})
+		resp := &SizeDistributionResponse{Mode: modeName(mode), Count: len(sizes), Sizes: []int{}}
+		var sum int
+		for _, sz := range sizes {
+			sum += sz
+		}
+		if len(sizes) > 0 {
+			resp.MaxSize = sizes[0]
+			resp.MeanSize = float64(sum) / float64(len(sizes))
+		}
+		if limit > 0 && len(sizes) > limit {
+			sizes = sizes[:limit]
+			resp.Truncated = true
+		}
+		resp.Sizes = append(resp.Sizes, sizes...)
+		return resp, nil
+	})
+}
+
+// InfluenceSeedJSON is one greedy selection step of /influence/greedy.
+type InfluenceSeedJSON struct {
+	Node    int32 `json:"node"`
+	Gain    int   `json:"gain"`
+	Covered int   `json:"covered"`
+}
+
+// InfluenceResponse is the wire form of /influence/greedy.
+type InfluenceResponse struct {
+	K       int                 `json:"k"`
+	Mode    string              `json:"mode"`
+	Reverse bool                `json:"reverse"`
+	Seeds   []InfluenceSeedJSON `json:"seeds"`
+	Covered int                 `json:"covered"`
+}
+
+func (s *Server) influenceGreedy(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	k := p.intRange("k", 0, 1, p.g.NumNodes())
+	mode := p.mode()
+	reverse := p.boolean("reverse", false)
+	if p.err == nil && p.q.Get("k") == "" {
+		p.fail("missing parameter %q", "k")
+	}
+	if !s.okParams(w, p) {
+		return
+	}
+	key := fmt.Sprintf("influence/greedy?k=%d&mode=%s&reverse=%t", k, modeName(mode), reverse)
+	s.cached(w, p, key, func() (interface{}, error) {
+		seeds, err := influence.Greedy(p.g, k, influence.Options{
+			Mode: mode, ReverseEdges: reverse, Workers: s.cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp := &InfluenceResponse{K: k, Mode: modeName(mode), Reverse: reverse, Seeds: []InfluenceSeedJSON{}}
+		for _, seed := range seeds {
+			resp.Seeds = append(resp.Seeds, InfluenceSeedJSON{Node: seed.Node, Gain: seed.Gain, Covered: seed.Covered})
+			resp.Covered = seed.Covered
+		}
+		return resp, nil
+	})
+}
+
+// ClosenessResponse is the wire form of /closeness.
+type ClosenessResponse struct {
+	Root      TemporalNodeJSON `json:"root"`
+	Mode      string           `json:"mode"`
+	Closeness float64          `json:"closeness"`
+}
+
+func (s *Server) closeness(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	root := p.temporalNode("node", "stamp")
+	mode := p.mode()
+	if !s.okParams(w, p) {
+		return
+	}
+	key := fmt.Sprintf("closeness?node=%d&stamp=%d&mode=%s", root.Node, root.Stamp, modeName(mode))
+	s.cached(w, p, key, func() (interface{}, error) {
+		c, err := metrics.TemporalClosenessOpts(p.g, root, metrics.Options{Mode: mode, Workers: s.cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		return &ClosenessResponse{Root: wire(p.g, root), Mode: modeName(mode), Closeness: c}, nil
+	})
+}
+
+// EfficiencyResponse is the wire form of /efficiency.
+type EfficiencyResponse struct {
+	Mode              string  `json:"mode"`
+	Efficiency        float64 `json:"efficiency"`
+	ReachableFraction float64 `json:"reachableFraction"`
+	MeanDistance      float64 `json:"meanDistance"`
+	Diameter          int     `json:"diameter"`
+}
+
+func (s *Server) efficiency(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	mode := p.mode()
+	if !s.okParams(w, p) {
+		return
+	}
+	key := fmt.Sprintf("efficiency?mode=%s", modeName(mode))
+	s.cached(w, p, key, func() (interface{}, error) {
+		st := metrics.GlobalEfficiencyOpts(p.g, metrics.Options{Mode: mode, Workers: s.cfg.Workers})
+		return &EfficiencyResponse{
+			Mode:              modeName(mode),
+			Efficiency:        st.Efficiency,
+			ReachableFraction: st.ReachableFraction,
+			MeanDistance:      st.MeanDistance,
+			Diameter:          st.Diameter,
+		}, nil
+	})
+}
+
+// KatzEntry is one ranked temporal node of /katz.
+type KatzEntry struct {
+	TemporalNodeJSON
+	Score float64 `json:"score"`
+}
+
+// KatzResponse is the wire form of /katz: the top temporal nodes by
+// Katz centrality over the unfolded graph.
+type KatzResponse struct {
+	Alpha float64     `json:"alpha"`
+	Mode  string      `json:"mode"`
+	Top   []KatzEntry `json:"top"`
+}
+
+func (s *Server) katz(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	alpha := p.float("alpha", 0.1)
+	mode := p.mode()
+	top := p.intRange("top", 10, 1, 1000)
+	if !s.okParams(w, p) {
+		return
+	}
+	key := fmt.Sprintf("katz?alpha=%g&mode=%s&top=%d", alpha, modeName(mode), top)
+	s.cached(w, p, key, func() (interface{}, error) {
+		scores, err := rank.TemporalKatz(p.g, rank.KatzOptions{Alpha: alpha, Mode: mode})
+		if err != nil {
+			return nil, err
+		}
+		active := p.g.ActiveTemporalNodes()
+		sort.SliceStable(active, func(i, j int) bool {
+			si := scores[p.g.TemporalNodeID(active[i])]
+			sj := scores[p.g.TemporalNodeID(active[j])]
+			return si > sj
+		})
+		if top < len(active) {
+			active = active[:top]
+		}
+		resp := &KatzResponse{Alpha: alpha, Mode: modeName(mode), Top: []KatzEntry{}}
+		for _, tn := range active {
+			resp.Top = append(resp.Top, KatzEntry{
+				TemporalNodeJSON: wire(p.g, tn),
+				Score:            scores[p.g.TemporalNodeID(tn)],
+			})
+		}
+		return resp, nil
+	})
+}

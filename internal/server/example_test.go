@@ -64,6 +64,28 @@ func Example() {
 	fmt.Printf("criteria: reachable=%v, shortest %d hops, earliest arrival t=%d\n",
 		crit.Reachable, crit.ShortestHops, crit.EarliestArrival)
 
+	// GET /components/weak — a cached analytics endpoint: the first
+	// request computes (X-Cache: miss), a repeat is served from the
+	// versioned result cache (X-Cache: hit).
+	var weak server.ComponentsResponse
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "/components/weak")
+		if err != nil {
+			panic(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&weak); err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("weak components: %d (largest %d temporal nodes) — X-Cache: %s\n",
+			weak.Count, weak.Largest, resp.Header.Get("X-Cache"))
+	}
+
+	// GET /influence/greedy?k=K — greedy seed selection (Sec. V).
+	var inf server.InfluenceResponse
+	get("/influence/greedy?k=1", &inf)
+	fmt.Printf("influence: seed node %d covers %d nodes\n", inf.Seeds[0].Node, inf.Covered)
+
 	// Output:
 	// stats: 3 nodes, 3 stamps, 3 static edges
 	// bfs: 6 temporal nodes reached from (0,t1), levels [1 2 2 1]
@@ -71,4 +93,7 @@ func Example() {
 	// reach: 6 temporal nodes over 3 distinct nodes, max dist 3
 	// neighbors: (0,t1) has 2 forward neighbours
 	// criteria: reachable=true, shortest 2 hops, earliest arrival t=2
+	// weak components: 1 (largest 6 temporal nodes) — X-Cache: miss
+	// weak components: 1 (largest 6 temporal nodes) — X-Cache: hit
+	// influence: seed node 0 covers 3 nodes
 }

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/qcache"
+)
+
+// HealthResponse is the wire form of /healthz: liveness plus enough
+// shape information for a load balancer or operator to sanity-check
+// which graph revision this instance is serving.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	GraphRevision uint64  `json:"graphRevision"`
+	Nodes         int     `json:"nodes"`
+	Stamps        int     `json:"stamps"`
+	ActiveNodes   int     `json:"activeTemporalNodes"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	g := s.graph()
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GraphRevision: s.snap.Load().rev,
+		Nodes:         g.NumNodes(),
+		Stamps:        g.NumStamps(),
+		ActiveNodes:   g.NumActiveNodes(),
+	})
+}
+
+// MetricsResponse is the wire form of /metrics: request counts per
+// endpoint, responses per status class, the result-cache counters
+// (hits, misses, singleflight collapses, evictions) and the in-flight
+// computation gauge. cmd/egload reads it to report cache hit rate.
+type MetricsResponse struct {
+	UptimeSeconds    float64          `json:"uptimeSeconds"`
+	GraphRevision    uint64           `json:"graphRevision"`
+	Requests         map[string]int64 `json:"requests"`
+	ResponsesByClass map[string]int64 `json:"responsesByClass"`
+	Cache            qcache.Stats     `json:"cache"`
+	CacheHitRate     float64          `json:"cacheHitRate"`
+	InFlight         int64            `json:"inFlight"`
+	MaxInFlight      int              `json:"maxInFlight"`
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	reqs := make(map[string]int64)
+	for path, c := range s.requests {
+		if n := c.Load(); n > 0 {
+			reqs[path] = n
+		}
+	}
+	st := s.cache.Stats()
+	s.writeJSON(w, http.StatusOK, MetricsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GraphRevision: st.Version,
+		Requests:      reqs,
+		ResponsesByClass: map[string]int64{
+			"2xx": s.class2xx.Load(),
+			"4xx": s.class4xx.Load(),
+			"5xx": s.class5xx.Load(),
+		},
+		Cache:        st,
+		CacheHitRate: st.HitRate(),
+		InFlight:     s.inflight.Load(),
+		MaxInFlight:  cap(s.gate),
+	})
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/egraph"
+	"repro/internal/temporal"
+)
+
+// The seed query endpoints: point lookups answered by a single search.
+// They are cheap relative to the analytics layer, their parameter space
+// is the whole temporal-node set, and they are already safe for
+// unbounded concurrency — so they bypass the result cache and the
+// in-flight gate.
+
+// TemporalNodeJSON is the wire form of a temporal node.
+type TemporalNodeJSON struct {
+	Node  int32 `json:"node"`
+	Stamp int32 `json:"stamp"`
+	Label int64 `json:"label"`
+}
+
+// StatsResponse is the wire form of /stats.
+type StatsResponse struct {
+	Nodes        int     `json:"nodes"`
+	Stamps       int     `json:"stamps"`
+	StaticEdges  int     `json:"staticEdges"`
+	CausalEdges  int     `json:"causalEdges"`
+	ActiveNodes  int     `json:"activeTemporalNodes"`
+	Directed     bool    `json:"directed"`
+	FirstLabel   int64   `json:"firstLabel"`
+	LastLabel    int64   `json:"lastLabel"`
+	EdgesByStamp []int   `json:"edgesByStamp"`
+	Density      float64 `json:"activeDensity"`
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	g := s.graph()
+	edges := make([]int, g.NumStamps())
+	for t := range edges {
+		edges[t] = g.SnapshotEdgeCount(t)
+	}
+	resp := StatsResponse{
+		Nodes:        g.NumNodes(),
+		Stamps:       g.NumStamps(),
+		StaticEdges:  g.StaticEdgeCount(),
+		CausalEdges:  g.CausalEdgeCount(egraph.CausalAllPairs),
+		ActiveNodes:  g.NumActiveNodes(),
+		Directed:     g.Directed(),
+		FirstLabel:   g.TimeLabel(0),
+		LastLabel:    g.TimeLabel(g.NumStamps() - 1),
+		EdgesByStamp: edges,
+		Density:      float64(g.NumActiveNodes()) / float64(g.NumNodes()*g.NumStamps()),
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// BFSEntry is one reached temporal node in /bfs.
+type BFSEntry struct {
+	TemporalNodeJSON
+	Dist int `json:"dist"`
+}
+
+// BFSResponse is the wire form of /bfs.
+type BFSResponse struct {
+	Root    TemporalNodeJSON `json:"root"`
+	Reached []BFSEntry       `json:"reached"`
+	Levels  []int            `json:"levels"`
+}
+
+func (s *Server) bfs(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	root := p.temporalNode("node", "stamp")
+	opts := core.Options{Mode: p.mode(), Direction: p.direction()}
+	if !s.okParams(w, p) {
+		return
+	}
+	res, err := core.BFS(p.g, root, opts)
+	if err != nil {
+		s.writeError(w, errStatus(err), err.Error())
+		return
+	}
+	resp := BFSResponse{Root: wire(p.g, root), Levels: res.LevelSizes()}
+	res.Visit(func(tn egraph.TemporalNode, d int) bool {
+		resp.Reached = append(resp.Reached, BFSEntry{TemporalNodeJSON: wire(p.g, tn), Dist: d})
+		return true
+	})
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// PathResponse is the wire form of /path.
+type PathResponse struct {
+	From TemporalNodeJSON   `json:"from"`
+	To   TemporalNodeJSON   `json:"to"`
+	Hops int                `json:"hops"`
+	Path []TemporalNodeJSON `json:"path"`
+}
+
+func (s *Server) path(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	from := p.pair("from")
+	to := p.pair("to")
+	mode := p.mode()
+	if !s.okParams(w, p) {
+		return
+	}
+	path, err := core.ShortestPath(p.g, from, to, mode)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if path == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("%v is not reachable from %v", to, from))
+		return
+	}
+	resp := PathResponse{From: wire(p.g, from), To: wire(p.g, to), Hops: path.Hops()}
+	for _, tn := range path {
+		resp.Path = append(resp.Path, wire(p.g, tn))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ReachResponse is the wire form of /reach.
+type ReachResponse struct {
+	Root          TemporalNodeJSON `json:"root"`
+	TemporalNodes int              `json:"temporalNodes"`
+	DistinctNodes int              `json:"distinctNodes"`
+	MaxDist       int              `json:"maxDist"`
+}
+
+func (s *Server) reach(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	root := p.temporalNode("node", "stamp")
+	mode := p.mode()
+	if !s.okParams(w, p) {
+		return
+	}
+	res, err := core.BFS(p.g, root, core.Options{Mode: mode})
+	if err != nil {
+		s.writeError(w, errStatus(err), err.Error())
+		return
+	}
+	distinct := make(map[int32]bool)
+	res.Visit(func(tn egraph.TemporalNode, _ int) bool {
+		distinct[tn.Node] = true
+		return true
+	})
+	s.writeJSON(w, http.StatusOK, ReachResponse{
+		Root:          wire(p.g, root),
+		TemporalNodes: res.NumReached(),
+		DistinctNodes: len(distinct),
+		MaxDist:       res.MaxDist(),
+	})
+}
+
+// NeighborsResponse is the wire form of /neighbors.
+type NeighborsResponse struct {
+	Of        TemporalNodeJSON   `json:"of"`
+	Neighbors []TemporalNodeJSON `json:"neighbors"`
+}
+
+func (s *Server) neighbors(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	tn := p.temporalNode("node", "stamp")
+	mode := p.mode()
+	if !s.okParams(w, p) {
+		return
+	}
+	resp := NeighborsResponse{Of: wire(p.g, tn)}
+	for _, nb := range core.ForwardNeighbors(p.g, tn, mode) {
+		resp.Neighbors = append(resp.Neighbors, wire(p.g, nb))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// CriteriaResponse is the wire form of /criteria.
+type CriteriaResponse struct {
+	Source          int32 `json:"source"`
+	Target          int32 `json:"target"`
+	Reachable       bool  `json:"reachable"`
+	ShortestHops    int   `json:"shortestHops"`
+	EarliestArrival int64 `json:"earliestArrival"`
+	LatestDeparture int64 `json:"latestDeparture"`
+	FastestDuration int64 `json:"fastestDuration"`
+}
+
+func (s *Server) criteria(w http.ResponseWriter, r *http.Request) {
+	p := s.params(r)
+	src := p.node("src")
+	dst := p.node("dst")
+	mode := p.mode()
+	if !s.okParams(w, p) {
+		return
+	}
+	sum, err := temporal.Compare(p.g, src, dst, mode)
+	if err != nil {
+		s.writeError(w, errStatus(err), err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, CriteriaResponse{
+		Source:          sum.Source,
+		Target:          sum.Target,
+		Reachable:       sum.Reachable,
+		ShortestHops:    sum.ShortestHops,
+		EarliestArrival: sum.EarliestArrival,
+		LatestDeparture: sum.LatestDeparture,
+		FastestDuration: sum.FastestDuration,
+	})
+}
+
+// wire converts a temporal node to its JSON form under g's time labels.
+func wire(g *egraph.IntEvolvingGraph, tn egraph.TemporalNode) TemporalNodeJSON {
+	return TemporalNodeJSON{Node: tn.Node, Stamp: tn.Stamp, Label: g.TimeLabel(int(tn.Stamp))}
+}

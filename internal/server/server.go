@@ -1,371 +1,257 @@
 // Package server exposes an evolving graph as a JSON-over-HTTP query
-// service: BFS distances, shortest temporal paths, reachability,
-// forward neighbours, and the four path-optimality criteria. The graph
-// is immutable once served, so every handler is safe for concurrent
-// use; cmd/egserve wires this handler to a listener.
+// service: the seed query endpoints (BFS distances, shortest temporal
+// paths, reachability, forward neighbours, path-optimality criteria)
+// plus the analytics layer (connected components, influence
+// maximisation, closeness, global efficiency, temporal Katz) served
+// through a versioned result cache with singleflight collapse
+// (internal/qcache) and a worker-pool semaphore bounding concurrent
+// expensive computations. cmd/egserve wires the handler to a listener;
+// cmd/egload replays mixed workloads against it.
 //
 // Endpoints (all GET, all JSON):
 //
-//	/stats                         graph summary
+//	/stats                          graph summary
 //	/bfs?node=N&stamp=S[&mode=M][&direction=D]
 //	/path?from=N,S&to=N,S[&mode=M]
 //	/reach?node=N&stamp=S[&mode=M]
 //	/neighbors?node=N&stamp=S[&mode=M]
 //	/criteria?src=N&dst=N[&mode=M]
+//	/components/weak[?mode=M][&limit=L]      cached
+//	/components/strong[?minSize=K][&limit=L] cached
+//	/components/sizes[?mode=M][&limit=L]     cached
+//	/influence/greedy?k=K[&mode=M][&reverse=B] cached
+//	/closeness?node=N&stamp=S[&mode=M]       cached
+//	/efficiency[?mode=M]                     cached
+//	/katz[?alpha=A][&mode=M][&top=K]         cached
+//	/healthz                         liveness + graph revision
+//	/metrics                         request/cache/in-flight counters
 //
 // mode is "allpairs" (default) or "consecutive"; direction is "forward"
 // (default) or "backward". Errors come back as {"error": "..."} with
-// status 400 (bad request) or 404 (inactive/unreachable). The package
-// Example exercises every endpoint against the paper's Figure 1 graph.
+// status 400 (bad request) or 404 (inactive/unreachable). Endpoints
+// marked cached set an X-Cache response header to "miss", "hit" or
+// "collapsed"; their results are keyed by (endpoint, canonicalised
+// params, graph revision), so ReplaceGraph invalidates every cached
+// answer at once. The package Example exercises the seed endpoints
+// against the paper's Figure 1 graph; DESIGN.md §10 documents the
+// serving architecture.
 package server
 
 import (
 	"encoding/json"
-	"errors"
-	"fmt"
+	"log"
 	"net/http"
-	"strconv"
-	"strings"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
-	"repro/internal/core"
 	"repro/internal/egraph"
-	"repro/internal/temporal"
+	"repro/internal/qcache"
 )
 
-// Handler returns the HTTP handler serving queries over g.
-func Handler(g *egraph.IntEvolvingGraph) http.Handler {
-	s := &server{g: g}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/stats", s.stats)
-	mux.HandleFunc("/bfs", s.bfs)
-	mux.HandleFunc("/path", s.path)
-	mux.HandleFunc("/reach", s.reach)
-	mux.HandleFunc("/neighbors", s.neighbors)
-	mux.HandleFunc("/criteria", s.criteria)
-	return mux
+// Config tunes the query service. The zero value serves with defaults
+// sized for one process owning the machine.
+type Config struct {
+	// CacheCapacity bounds the number of cached analytics results
+	// (default 1024 entries across CacheShards shards).
+	CacheCapacity int
+	// CacheShards is the cache's lock-domain count (default 8).
+	CacheShards int
+	// MaxInFlight bounds concurrently *computing* expensive queries —
+	// collapsed and cached requests don't consume a slot. 0 means
+	// GOMAXPROCS, the same sizing core.ReachSweep gives its worker
+	// pool: analytics computations saturate the machine on their own,
+	// so admitting more than one per core only adds scheduling churn.
+	MaxInFlight int
+	// Workers is the per-computation fan-out passed to the analytics
+	// worker pools (components sweep, influence reach sets, efficiency
+	// sweep); 0 means GOMAXPROCS.
+	Workers int
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...interface{})
 }
 
-type server struct {
-	g *egraph.IntEvolvingGraph
+// graphSnap pairs the served graph with the cache revision it belongs
+// to. Handlers capture one snapshot per request, so a concurrent
+// ReplaceGraph can never mix an old graph's computation into a new
+// revision's cache entry (or vice versa).
+type graphSnap struct {
+	g   *egraph.IntEvolvingGraph
+	rev uint64
 }
 
-// TemporalNodeJSON is the wire form of a temporal node.
-type TemporalNodeJSON struct {
-	Node  int32 `json:"node"`
-	Stamp int32 `json:"stamp"`
-	Label int64 `json:"label"`
+// Server is the HTTP query service. Construct with New; the zero value
+// is not usable. Server implements http.Handler.
+type Server struct {
+	cfg   Config
+	snap  atomic.Pointer[graphSnap]
+	cache *qcache.Cache
+	mux   *http.ServeMux
+	start time.Time
+
+	// gate is the worker-pool semaphore bounding in-flight expensive
+	// computations; inflight is the gauge /metrics reports.
+	gate     chan struct{}
+	inflight atomic.Int64
+
+	// requests is populated once in New and read-only afterwards, so
+	// concurrent counter loads need no locking.
+	requests map[string]*atomic.Int64
+	class2xx atomic.Int64
+	class4xx atomic.Int64
+	class5xx atomic.Int64
+
+	encodeLogOnce sync.Once
+
+	// replaceMu serialises ReplaceGraph calls (bump + snapshot store
+	// must not interleave between two replacers).
+	replaceMu sync.Mutex
 }
 
-// StatsResponse is the wire form of /stats.
-type StatsResponse struct {
-	Nodes        int     `json:"nodes"`
-	Stamps       int     `json:"stamps"`
-	StaticEdges  int     `json:"staticEdges"`
-	CausalEdges  int     `json:"causalEdges"`
-	ActiveNodes  int     `json:"activeTemporalNodes"`
-	Directed     bool    `json:"directed"`
-	FirstLabel   int64   `json:"firstLabel"`
-	LastLabel    int64   `json:"lastLabel"`
-	EdgesByStamp []int   `json:"edgesByStamp"`
-	Density      float64 `json:"activeDensity"`
-}
-
-func (s *server) stats(w http.ResponseWriter, r *http.Request) {
-	g := s.g
-	edges := make([]int, g.NumStamps())
-	for t := range edges {
-		edges[t] = g.SnapshotEdgeCount(t)
+// New returns a Server serving queries over g.
+func New(g *egraph.IntEvolvingGraph, cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
 	}
-	resp := StatsResponse{
-		Nodes:        g.NumNodes(),
-		Stamps:       g.NumStamps(),
-		StaticEdges:  g.StaticEdgeCount(),
-		CausalEdges:  g.CausalEdgeCount(egraph.CausalAllPairs),
-		ActiveNodes:  g.NumActiveNodes(),
-		Directed:     g.Directed(),
-		FirstLabel:   g.TimeLabel(0),
-		LastLabel:    g.TimeLabel(g.NumStamps() - 1),
-		EdgesByStamp: edges,
-		Density:      float64(g.NumActiveNodes()) / float64(g.NumNodes()*g.NumStamps()),
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s := &Server{
+		cfg:      cfg,
+		cache:    qcache.New(qcache.Options{Capacity: cfg.CacheCapacity, Shards: cfg.CacheShards}),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		gate:     make(chan struct{}, cfg.MaxInFlight),
+		requests: make(map[string]*atomic.Int64),
+	}
+	s.snap.Store(&graphSnap{g: g})
+	for _, ep := range []struct {
+		path string
+		h    http.HandlerFunc
+	}{
+		{"/stats", s.stats},
+		{"/bfs", s.bfs},
+		{"/path", s.path},
+		{"/reach", s.reach},
+		{"/neighbors", s.neighbors},
+		{"/criteria", s.criteria},
+		{"/components/weak", s.componentsWeak},
+		{"/components/strong", s.componentsStrong},
+		{"/components/sizes", s.componentsSizes},
+		{"/influence/greedy", s.influenceGreedy},
+		{"/closeness", s.closeness},
+		{"/efficiency", s.efficiency},
+		{"/katz", s.katz},
+		{"/healthz", s.healthz},
+		{"/metrics", s.metrics},
+	} {
+		s.mux.HandleFunc(ep.path, ep.h)
+		s.requests[ep.path] = new(atomic.Int64)
+	}
+	return s
 }
 
-// BFSEntry is one reached temporal node in /bfs.
-type BFSEntry struct {
-	TemporalNodeJSON
-	Dist int `json:"dist"`
-}
+// Handler returns the HTTP handler serving queries over g with default
+// Config — the seed-era constructor, kept for callers that only need a
+// handler value.
+func Handler(g *egraph.IntEvolvingGraph) http.Handler { return New(g, Config{}) }
 
-// BFSResponse is the wire form of /bfs.
-type BFSResponse struct {
-	Root    TemporalNodeJSON `json:"root"`
-	Reached []BFSEntry       `json:"reached"`
-	Levels  []int            `json:"levels"`
-}
-
-func (s *server) bfs(w http.ResponseWriter, r *http.Request) {
-	root, ok := s.temporalNodeParam(w, r, "node", "stamp")
-	if !ok {
-		return
+// ServeHTTP dispatches to the endpoint handlers, counting requests per
+// endpoint and responses per status class for /metrics.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c, ok := s.requests[r.URL.Path]; ok {
+		c.Add(1)
 	}
-	mode, ok := modeParam(w, r)
-	if !ok {
-		return
-	}
-	opts := core.Options{Mode: mode}
-	switch dir := r.URL.Query().Get("direction"); dir {
-	case "", "forward":
-	case "backward":
-		opts.Direction = core.Backward
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	switch {
+	case rec.status >= 500:
+		s.class5xx.Add(1)
+	case rec.status >= 400:
+		s.class4xx.Add(1)
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown direction %q", dir))
-		return
+		s.class2xx.Add(1)
 	}
-	res, err := core.BFS(s.g, root, opts)
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, core.ErrInactiveRoot) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err.Error())
-		return
-	}
-	resp := BFSResponse{Root: s.wire(root), Levels: res.LevelSizes()}
-	res.Visit(func(tn egraph.TemporalNode, d int) bool {
-		resp.Reached = append(resp.Reached, BFSEntry{TemporalNodeJSON: s.wire(tn), Dist: d})
-		return true
+}
+
+// graph returns the currently served graph. Handlers that also cache
+// must capture the full snapshot via params instead, so the graph and
+// its revision travel together.
+func (s *Server) graph() *egraph.IntEvolvingGraph { return s.snap.Load().g }
+
+// ReplaceGraph swaps the served graph and bumps the cache revision,
+// invalidating every cached analytics result. In-flight requests
+// finish against the (graph, revision) snapshot they captured: a
+// computation started on the old graph is stored under the old
+// revision, which no future request can read, so it ages out of the
+// LRU rather than ever being served as the new graph's answer. It
+// returns the new revision.
+func (s *Server) ReplaceGraph(g *egraph.IntEvolvingGraph) uint64 {
+	s.replaceMu.Lock()
+	defer s.replaceMu.Unlock()
+	// Bump first: between the two stores a request may still capture
+	// the old graph with its old revision (benign brief staleness),
+	// but never the old graph with the new revision.
+	rev := s.cache.Bump()
+	s.snap.Store(&graphSnap{g: g, rev: rev})
+	return rev
+}
+
+// CacheStats exposes the cache counters (for tests and cmd/egload).
+func (s *Server) CacheStats() qcache.Stats { return s.cache.Stats() }
+
+// cached serves one cacheable analytics endpoint: look key up in the
+// versioned cache at the revision captured in p — the revision the
+// handler's graph snapshot belongs to — computing at most once across
+// concurrent identical requests, with the computation itself admitted
+// through the in-flight gate. The outcome is surfaced in the X-Cache
+// header.
+func (s *Server) cached(w http.ResponseWriter, p *params, key string, compute func() (interface{}, error)) {
+	val, outcome, err := s.cache.DoAt(p.rev, key, func() (interface{}, error) {
+		s.gate <- struct{}{}
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.gate
+		}()
+		return compute()
 	})
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// PathResponse is the wire form of /path.
-type PathResponse struct {
-	From TemporalNodeJSON   `json:"from"`
-	To   TemporalNodeJSON   `json:"to"`
-	Hops int                `json:"hops"`
-	Path []TemporalNodeJSON `json:"path"`
-}
-
-func (s *server) path(w http.ResponseWriter, r *http.Request) {
-	from, ok := s.pairParam(w, r, "from")
-	if !ok {
-		return
-	}
-	to, ok := s.pairParam(w, r, "to")
-	if !ok {
-		return
-	}
-	mode, ok := modeParam(w, r)
-	if !ok {
-		return
-	}
-	p, err := core.ShortestPath(s.g, from, to, mode)
+	w.Header().Set("X-Cache", outcome.String())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, errStatus(err), err.Error())
 		return
 	}
-	if p == nil {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("%v is not reachable from %v", to, from))
-		return
-	}
-	resp := PathResponse{From: s.wire(from), To: s.wire(to), Hops: p.Hops()}
-	for _, tn := range p {
-		resp.Path = append(resp.Path, s.wire(tn))
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, val)
 }
 
-// ReachResponse is the wire form of /reach.
-type ReachResponse struct {
-	Root          TemporalNodeJSON `json:"root"`
-	TemporalNodes int              `json:"temporalNodes"`
-	DistinctNodes int              `json:"distinctNodes"`
-	MaxDist       int              `json:"maxDist"`
+// statusRecorder captures the response status for the class counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
 }
 
-func (s *server) reach(w http.ResponseWriter, r *http.Request) {
-	root, ok := s.temporalNodeParam(w, r, "node", "stamp")
-	if !ok {
-		return
-	}
-	mode, ok := modeParam(w, r)
-	if !ok {
-		return
-	}
-	res, err := core.BFS(s.g, root, core.Options{Mode: mode})
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, core.ErrInactiveRoot) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err.Error())
-		return
-	}
-	distinct := make(map[int32]bool)
-	res.Visit(func(tn egraph.TemporalNode, _ int) bool {
-		distinct[tn.Node] = true
-		return true
-	})
-	writeJSON(w, http.StatusOK, ReachResponse{
-		Root:          s.wire(root),
-		TemporalNodes: res.NumReached(),
-		DistinctNodes: len(distinct),
-		MaxDist:       res.MaxDist(),
-	})
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
 }
 
-// NeighborsResponse is the wire form of /neighbors.
-type NeighborsResponse struct {
-	Of        TemporalNodeJSON   `json:"of"`
-	Neighbors []TemporalNodeJSON `json:"neighbors"`
-}
-
-func (s *server) neighbors(w http.ResponseWriter, r *http.Request) {
-	tn, ok := s.temporalNodeParam(w, r, "node", "stamp")
-	if !ok {
-		return
-	}
-	mode, ok := modeParam(w, r)
-	if !ok {
-		return
-	}
-	resp := NeighborsResponse{Of: s.wire(tn)}
-	for _, nb := range core.ForwardNeighbors(s.g, tn, mode) {
-		resp.Neighbors = append(resp.Neighbors, s.wire(nb))
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// CriteriaResponse is the wire form of /criteria.
-type CriteriaResponse struct {
-	Source          int32 `json:"source"`
-	Target          int32 `json:"target"`
-	Reachable       bool  `json:"reachable"`
-	ShortestHops    int   `json:"shortestHops"`
-	EarliestArrival int64 `json:"earliestArrival"`
-	LatestDeparture int64 `json:"latestDeparture"`
-	FastestDuration int64 `json:"fastestDuration"`
-}
-
-func (s *server) criteria(w http.ResponseWriter, r *http.Request) {
-	src, ok := s.nodeParam(w, r, "src")
-	if !ok {
-		return
-	}
-	dst, ok := s.nodeParam(w, r, "dst")
-	if !ok {
-		return
-	}
-	mode, ok := modeParam(w, r)
-	if !ok {
-		return
-	}
-	sum, err := temporal.Compare(s.g, src, dst, mode)
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, core.ErrInactiveRoot) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, CriteriaResponse{
-		Source:          sum.Source,
-		Target:          sum.Target,
-		Reachable:       sum.Reachable,
-		ShortestHops:    sum.ShortestHops,
-		EarliestArrival: sum.EarliestArrival,
-		LatestDeparture: sum.LatestDeparture,
-		FastestDuration: sum.FastestDuration,
-	})
-}
-
-// --- parameter parsing ------------------------------------------------
-
-func (s *server) nodeParam(w http.ResponseWriter, r *http.Request, key string) (int32, bool) {
-	raw := r.URL.Query().Get(key)
-	if raw == "" {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("missing parameter %q", key))
-		return 0, false
-	}
-	v, err := strconv.ParseInt(raw, 10, 32)
-	if err != nil || v < 0 || int(v) >= s.g.NumNodes() {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s=%q out of range (0..%d)", key, raw, s.g.NumNodes()-1))
-		return 0, false
-	}
-	return int32(v), true
-}
-
-func (s *server) stampParam(w http.ResponseWriter, r *http.Request, key string) (int32, bool) {
-	raw := r.URL.Query().Get(key)
-	if raw == "" {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("missing parameter %q", key))
-		return 0, false
-	}
-	v, err := strconv.ParseInt(raw, 10, 32)
-	if err != nil || v < 0 || int(v) >= s.g.NumStamps() {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s=%q out of range (0..%d)", key, raw, s.g.NumStamps()-1))
-		return 0, false
-	}
-	return int32(v), true
-}
-
-func (s *server) temporalNodeParam(w http.ResponseWriter, r *http.Request, nodeKey, stampKey string) (egraph.TemporalNode, bool) {
-	node, ok := s.nodeParam(w, r, nodeKey)
-	if !ok {
-		return egraph.TemporalNode{}, false
-	}
-	stamp, ok := s.stampParam(w, r, stampKey)
-	if !ok {
-		return egraph.TemporalNode{}, false
-	}
-	return egraph.TemporalNode{Node: node, Stamp: stamp}, true
-}
-
-// pairParam parses "N,S" temporal-node literals (the /path endpoint).
-func (s *server) pairParam(w http.ResponseWriter, r *http.Request, key string) (egraph.TemporalNode, bool) {
-	raw := r.URL.Query().Get(key)
-	parts := strings.Split(raw, ",")
-	if raw == "" || len(parts) != 2 {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s must be \"node,stamp\", got %q", key, raw))
-		return egraph.TemporalNode{}, false
-	}
-	node, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 32)
-	stamp, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 32)
-	if err1 != nil || err2 != nil ||
-		node < 0 || int(node) >= s.g.NumNodes() ||
-		stamp < 0 || int(stamp) >= s.g.NumStamps() {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s=%q out of range", key, raw))
-		return egraph.TemporalNode{}, false
-	}
-	return egraph.TemporalNode{Node: int32(node), Stamp: int32(stamp)}, true
-}
-
-func modeParam(w http.ResponseWriter, r *http.Request) (egraph.CausalMode, bool) {
-	switch m := r.URL.Query().Get("mode"); m {
-	case "", "allpairs":
-		return egraph.CausalAllPairs, true
-	case "consecutive":
-		return egraph.CausalConsecutive, true
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (allpairs or consecutive)", m))
-		return 0, false
-	}
-}
-
-func (s *server) wire(tn egraph.TemporalNode) TemporalNodeJSON {
-	return TemporalNodeJSON{Node: tn.Node, Stamp: tn.Stamp, Label: s.g.TimeLabel(int(tn.Stamp))}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // network write failures have no recovery path here
+	if err := enc.Encode(v); err != nil {
+		// Mid-body failures (client gone, marshal bug) have no recovery
+		// path — the status line is already written — but they must not
+		// vanish either. Log the first one; a churning client pool
+		// would otherwise flood the log with one line per disconnect.
+		s.encodeLogOnce.Do(func() {
+			s.cfg.Logf("server: response encode failed (further failures suppressed): %v", err)
+		})
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, map[string]string{"error": msg})
 }
