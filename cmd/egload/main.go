@@ -1,29 +1,40 @@
-// Command egload replays a mixed read workload against a live egserve
-// instance and reports per-endpoint latency percentiles, throughput and
-// the server's cache hit rate — the harness that demonstrates the
-// result-cache/singleflight win on repeated analytics queries
-// (DESIGN.md §10).
+// Command egload replays a mixed read/write workload against a live
+// egserve instance and reports per-endpoint latency percentiles,
+// throughput and the server's cache hit rate — the harness that
+// demonstrates the result-cache/singleflight win on repeated analytics
+// queries (DESIGN.md §10) and, with -writeRatio, exercises the ingest
+// write path and its epoch snapshot swaps under concurrent reads
+// (DESIGN.md §11).
 //
 // Usage:
 //
 //	egload [-url http://host:8080] [-duration 5s | -requests N]
 //	       [-concurrency 8] [-distinct 4] [-seed 1]
 //	       [-mix bfs:4,stats:2,weak:2,sizes:2,efficiency:2,katz:2,closeness:3,influence:1]
+//	       [-writeRatio 0] [-writeBatch 16]
 //	       [-nodes 500] [-stamps 8] [-edges 5000]
 //	       [-json FILE]
 //
 // Without -url the harness self-serves: it builds a random graph from
-// -nodes/-stamps/-edges/-seed, mounts internal/server on a loopback
+// -nodes/-stamps/-edges/-seed, mounts internal/server (with an
+// in-memory ingest pipeline when -writeRatio > 0) on a loopback
 // listener in-process and hammers that — one command to go from zero
 // to a load report. With -url those three flags are ignored; the graph
 // shape is read from the target's /stats.
 //
-// Each endpoint draws its parameters from a pool of -distinct variants,
-// so the workload repeats queries the way production traffic does and
-// the analytics endpoints go hot after one cold computation each. The
-// final report (stdout table, plus a JSON document under -json) gives
-// p50/p90/p99 per endpoint and the server-side cache counters scraped
-// from /metrics.
+// With -writeRatio R each worker turns that fraction of its requests
+// into POST /ingest/arcs batches of -writeBatch events (mostly arc
+// adds, some removes, the occasional new stamp). 429 backpressure
+// responses are counted as throttled, not failed — that is the write
+// path telling the client to slow down, and the report shows how often
+// it did.
+//
+// Each read endpoint draws its parameters from a pool of -distinct
+// variants, so the workload repeats queries the way production traffic
+// does and the analytics endpoints go hot after one cold computation
+// each. The final report (stdout table, plus a JSON document under
+// -json) gives p50/p90/p99 per endpoint and the server-side cache and
+// ingest counters scraped from /metrics.
 package main
 
 import (
@@ -42,6 +53,7 @@ import (
 	"time"
 
 	evolving "repro"
+	"repro/internal/ingest"
 	"repro/internal/server"
 )
 
@@ -54,12 +66,14 @@ func main() {
 		distinct    = flag.Int("distinct", 4, "distinct parameter variants per endpoint (smaller = hotter cache)")
 		mix         = flag.String("mix", "bfs:4,stats:2,weak:2,sizes:2,efficiency:2,katz:2,closeness:3,influence:1",
 			"endpoint:weight list; endpoints: stats, bfs, reach, weak, strong, sizes, efficiency, katz, closeness, influence")
-		seed     = flag.Int64("seed", 1, "workload seed (and self-serve graph seed)")
-		nodes    = flag.Int("nodes", 500, "self-serve: node count")
-		stamps   = flag.Int("stamps", 8, "self-serve: stamp count")
-		edges    = flag.Int("edges", 5_000, "self-serve: static edge count")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
-		jsonPath = flag.String("json", "", "write the report to FILE as JSON")
+		writeRatio = flag.Float64("writeRatio", 0, "fraction of requests that POST /ingest/arcs batches (0 = read-only)")
+		writeBatch = flag.Int("writeBatch", 16, "events per write batch")
+		seed       = flag.Int64("seed", 1, "workload seed (and self-serve graph seed)")
+		nodes      = flag.Int("nodes", 500, "self-serve: node count")
+		stamps     = flag.Int("stamps", 8, "self-serve: stamp count")
+		edges      = flag.Int("edges", 5_000, "self-serve: static edge count")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		jsonPath   = flag.String("json", "", "write the report to FILE as JSON")
 	)
 	flag.Parse()
 
@@ -70,6 +84,10 @@ func main() {
 	}
 	if *concurrency < 1 || *distinct < 1 {
 		fmt.Fprintln(os.Stderr, "egload: -concurrency and -distinct must be positive")
+		os.Exit(2)
+	}
+	if *writeRatio < 0 || *writeRatio > 1 || (*writeRatio > 0 && *writeBatch < 1) {
+		fmt.Fprintln(os.Stderr, "egload: -writeRatio must be in [0,1] and -writeBatch positive")
 		os.Exit(2)
 	}
 
@@ -83,7 +101,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "egload: listen: %v\n", err)
 			os.Exit(1)
 		}
-		go http.Serve(ln, server.New(g, server.Config{})) //nolint:errcheck // torn down with the process
+		srv := server.New(g, server.Config{})
+		if *writeRatio > 0 {
+			// In-memory write path so the self-serve mode can exercise
+			// snapshot swaps without a WAL on disk.
+			lg, err := ingest.New(srv, ingest.Config{
+				CompactEvery:    256,
+				CompactInterval: 500 * time.Millisecond,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "egload: ingest: %v\n", err)
+				os.Exit(1)
+			}
+			defer lg.Close()
+			srv.AttachIngest(lg)
+		}
+		go http.Serve(ln, srv) //nolint:errcheck // torn down with the process
 		base = "http://" + ln.Addr().String()
 		fmt.Printf("self-serving random graph (nodes=%d stamps=%d edges=%d seed=%d) at %s\n",
 			*nodes, *stamps, *edges, *seed, base)
@@ -98,7 +131,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := run(client, base, stats, weights, *concurrency, *distinct, *requests, *duration, *seed)
+	rep := run(client, base, stats, weights, *concurrency, *distinct, *requests, *duration, *seed,
+		*writeRatio, *writeBatch)
 
 	// Scrape the server-side counters; optional (a non-repro target has
 	// no /metrics).
@@ -124,16 +158,17 @@ func main() {
 
 // endpointReport is the per-endpoint slice of the JSON report.
 type endpointReport struct {
-	Name     string  `json:"name"`
-	Count    int     `json:"count"`
-	Errors   int     `json:"errors"`
-	NotFound int     `json:"notFound"`
-	P50NS    int64   `json:"p50ns"`
-	P90NS    int64   `json:"p90ns"`
-	P99NS    int64   `json:"p99ns"`
-	MaxNS    int64   `json:"maxNs"`
-	MeanNS   int64   `json:"meanNs"`
-	HitRate  float64 `json:"xCacheHitRate"`
+	Name      string  `json:"name"`
+	Count     int     `json:"count"`
+	Errors    int     `json:"errors"`
+	NotFound  int     `json:"notFound"`
+	Throttled int     `json:"throttled"`
+	P50NS     int64   `json:"p50ns"`
+	P90NS     int64   `json:"p90ns"`
+	P99NS     int64   `json:"p99ns"`
+	MaxNS     int64   `json:"maxNs"`
+	MeanNS    int64   `json:"meanNs"`
+	HitRate   float64 `json:"xCacheHitRate"`
 }
 
 // report is the egload -json document.
@@ -142,9 +177,11 @@ type report struct {
 	Concurrency     int                     `json:"concurrency"`
 	Distinct        int                     `json:"distinct"`
 	Seed            int64                   `json:"seed"`
+	WriteRatio      float64                 `json:"writeRatio"`
 	DurationSeconds float64                 `json:"durationSeconds"`
 	TotalRequests   int                     `json:"totalRequests"`
 	Errors          int                     `json:"errors"`
+	Throttled       int                     `json:"throttled"`
 	Throughput      float64                 `json:"requestsPerSecond"`
 	Endpoints       []endpointReport        `json:"endpoints"`
 	CacheHitRate    float64                 `json:"cacheHitRate"`
@@ -153,16 +190,97 @@ type report struct {
 
 // sample is one completed request.
 type sample struct {
-	endpoint string
-	dur      time.Duration
-	status   int
-	xcache   string
-	failed   bool
+	endpoint  string
+	dur       time.Duration
+	status    int
+	xcache    string
+	failed    bool
+	throttled bool
+}
+
+// labelPool is the time labels writers may target: the served graph's
+// own labels plus any fresh stamps the workload opened. Fresh labels
+// are allocated above the current maximum so concurrent workers never
+// collide with an existing stamp.
+type labelPool struct {
+	mu     sync.Mutex
+	labels []int64
+	next   int64
+}
+
+func newLabelPool(stats server.StatsResponse) *labelPool {
+	labels := append([]int64(nil), stats.TimeLabels...)
+	if len(labels) == 0 {
+		// Pre-TimeLabels servers: the generators label stamps 1..S.
+		for t := 1; t <= stats.Stamps; t++ {
+			labels = append(labels, int64(t))
+		}
+	}
+	maxL := labels[0]
+	for _, l := range labels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return &labelPool{labels: labels, next: maxL + 1}
+}
+
+func (p *labelPool) random(rng *rand.Rand) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.labels[rng.Intn(len(p.labels))]
+}
+
+// fresh allocates a label above every existing one without publishing
+// it: the allocating worker writes the AddStamp batch first and calls
+// commit once the server acknowledged it. Publishing earlier would let
+// another worker's arc batch race ahead of the stamp registration and
+// draw a 400.
+func (p *labelPool) fresh() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := p.next
+	p.next++
+	return l
+}
+
+func (p *labelPool) commit(l int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.labels = append(p.labels, l)
+}
+
+// buildWriteBody assembles one NDJSON batch: mostly arc adds, ~15%
+// removes, and every ~16th batch opens a fresh stamp and writes into
+// it — the append-mostly shape of an evolving graph. fresh is the
+// newly opened label (commit it on acceptance), or 0 with ok=false.
+func buildWriteBody(rng *rand.Rand, pool *labelPool, nodes, batch int) (body string, fresh int64, ok bool) {
+	var b strings.Builder
+	if rng.Intn(16) == 0 {
+		fresh, ok = pool.fresh(), true
+		fmt.Fprintf(&b, "{\"op\":\"stamp\",\"t\":%d}\n", fresh)
+		fmt.Fprintf(&b, "{\"op\":\"add\",\"u\":%d,\"v\":%d,\"t\":%d}\n",
+			rng.Intn(nodes), nodes, fresh) // first arc into the new stamp
+	}
+	for i := 0; i < batch; i++ {
+		u := rng.Intn(nodes)
+		v := rng.Intn(nodes)
+		if u == v {
+			v = (v + 1) % nodes
+		}
+		op := "add"
+		if rng.Intn(100) < 15 {
+			op = "remove"
+		}
+		fmt.Fprintf(&b, "{\"op\":%q,\"u\":%d,\"v\":%d,\"t\":%d}\n", op, u, v, pool.random(rng))
+	}
+	return b.String(), fresh, ok
 }
 
 // run drives the workers and folds their samples into a report.
 func run(client *http.Client, base string, stats server.StatsResponse, weights []weighted,
-	concurrency, distinct, maxRequests int, duration time.Duration, seed int64) *report {
+	concurrency, distinct, maxRequests int, duration time.Duration, seed int64,
+	writeRatio float64, writeBatch int) *report {
 
 	var (
 		issued  atomic.Int64
@@ -170,6 +288,7 @@ func run(client *http.Client, base string, stats server.StatsResponse, weights [
 		samples []sample
 		wg      sync.WaitGroup
 	)
+	pool := newLabelPool(stats)
 	deadline := time.Now().Add(duration)
 	start := time.Now()
 	for w := 0; w < concurrency; w++ {
@@ -185,6 +304,34 @@ func run(client *http.Client, base string, stats server.StatsResponse, weights [
 					}
 				} else if time.Now().After(deadline) {
 					break
+				}
+				if writeRatio > 0 && rng.Float64() < writeRatio {
+					body, fresh, opened := buildWriteBody(rng, pool, stats.Nodes, writeBatch)
+					t0 := time.Now()
+					resp, err := client.Post(base+"/ingest/arcs", "application/x-ndjson", strings.NewReader(body))
+					s := sample{endpoint: "ingest", dur: time.Since(t0)}
+					if err != nil {
+						s.failed = true
+					} else {
+						s.status = resp.StatusCode
+						resp.Body.Close()
+						switch {
+						case resp.StatusCode == http.StatusTooManyRequests:
+							// Backpressure is the contract working, not
+							// a failure; count it separately.
+							s.throttled = true
+						case resp.StatusCode != http.StatusAccepted:
+							s.failed = true
+						default:
+							if opened {
+								// The stamp is registered server-side;
+								// other workers may target it now.
+								pool.commit(fresh)
+							}
+						}
+					}
+					local = append(local, s)
+					continue
 				}
 				ep := pick(rng, weights)
 				url := base + buildPath(ep, rng.Intn(distinct), stats)
@@ -219,6 +366,7 @@ func run(client *http.Client, base string, stats server.StatsResponse, weights [
 		Concurrency:     concurrency,
 		Distinct:        distinct,
 		Seed:            seed,
+		WriteRatio:      writeRatio,
 		DurationSeconds: elapsed.Seconds(),
 		TotalRequests:   len(samples),
 		Throughput:      float64(len(samples)) / elapsed.Seconds(),
@@ -228,6 +376,9 @@ func run(client *http.Client, base string, stats server.StatsResponse, weights [
 		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s)
 		if s.failed {
 			rep.Errors++
+		}
+		if s.throttled {
+			rep.Throttled++
 		}
 	}
 	names := make([]string, 0, len(byEndpoint))
@@ -247,6 +398,9 @@ func run(client *http.Client, base string, stats server.StatsResponse, weights [
 			sum += s.dur
 			if s.failed {
 				er.Errors++
+			}
+			if s.throttled {
+				er.Throttled++
 			}
 			if s.status == http.StatusNotFound {
 				er.NotFound++
@@ -386,17 +540,17 @@ func getJSON(client *http.Client, url string, into interface{}) error {
 }
 
 func printReport(rep *report) {
-	fmt.Printf("\n# egload: %d requests in %.2fs (%.0f req/s, concurrency %d, distinct %d), %d errors\n",
-		rep.TotalRequests, rep.DurationSeconds, rep.Throughput, rep.Concurrency, rep.Distinct, rep.Errors)
-	fmt.Printf("%-12s %8s %7s %5s %12s %12s %12s %8s\n",
-		"endpoint", "count", "errors", "404s", "p50", "p90", "p99", "hit")
+	fmt.Printf("\n# egload: %d requests in %.2fs (%.0f req/s, concurrency %d, distinct %d), %d errors, %d throttled\n",
+		rep.TotalRequests, rep.DurationSeconds, rep.Throughput, rep.Concurrency, rep.Distinct, rep.Errors, rep.Throttled)
+	fmt.Printf("%-12s %8s %7s %5s %5s %12s %12s %12s %8s\n",
+		"endpoint", "count", "errors", "429s", "404s", "p50", "p90", "p99", "hit")
 	for _, ep := range rep.Endpoints {
 		hit := "-"
 		if ep.HitRate > 0 || strings.Contains("weak strong sizes efficiency katz closeness influence", ep.Name) {
 			hit = fmt.Sprintf("%5.1f%%", 100*ep.HitRate)
 		}
-		fmt.Printf("%-12s %8d %7d %5d %12s %12s %12s %8s\n",
-			ep.Name, ep.Count, ep.Errors, ep.NotFound,
+		fmt.Printf("%-12s %8d %7d %5d %5d %12s %12s %12s %8s\n",
+			ep.Name, ep.Count, ep.Errors, ep.Throttled, ep.NotFound,
 			time.Duration(ep.P50NS).Round(time.Microsecond),
 			time.Duration(ep.P90NS).Round(time.Microsecond),
 			time.Duration(ep.P99NS).Round(time.Microsecond),
@@ -407,5 +561,10 @@ func printReport(rep *report) {
 		fmt.Printf("\nserver cache: hitRate=%.1f%% hits=%d misses=%d collapsed=%d entries=%d evictions=%d inFlight=%d/%d\n",
 			100*rep.CacheHitRate, c.Hits, c.Misses, c.Collapsed, c.Entries, c.Evictions,
 			rep.ServerMetrics.InFlight, rep.ServerMetrics.MaxInFlight)
+		if ig := rep.ServerMetrics.Ingest; ig != nil {
+			fmt.Printf("server ingest: appended=%d pending=%d epochs=%d compacted=%d throttled=%d lastCompact=%.1fms\n",
+				ig.AppendedEvents, ig.PendingEvents, ig.Epochs, ig.CompactedEvents,
+				ig.ThrottledBatches, ig.LastCompactMs)
+		}
 	}
 }

@@ -3,29 +3,38 @@
 // forward neighbours, path-optimality criteria) plus the analytics
 // layer (components, influence maximisation, closeness, efficiency,
 // temporal Katz) behind a versioned result cache with singleflight
-// collapse and a bounded in-flight computation gate. See
-// internal/server for the endpoint reference and DESIGN.md §10 for the
-// serving architecture.
+// collapse and a bounded in-flight computation gate. With -wal the
+// server is live: POST /ingest/arcs appends durable mutation batches
+// that an epoch compactor folds into fresh snapshots while reads keep
+// flowing. See internal/server for the endpoint reference and
+// DESIGN.md §10–11 for the serving architecture and the write path.
 //
 // Usage:
 //
 //	egserve [-addr :8080] [-graph edges.txt]
 //	        [-nodes 1000] [-stamps 10] [-edges 10000] [-seed 42]
 //	        [-cache 1024] [-inflight 0] [-workers 0]
+//	        [-wal events.wal] [-fsync interval] [-fsync-interval 100ms]
+//	        [-compact-every 4096] [-compact-interval 2s] [-max-pending 65536]
 //	        [-write-timeout 0] [-shutdown-timeout 10s]
 //
-// Without -graph a random evolving graph is generated and served. The
-// process shuts down gracefully on SIGINT/SIGTERM: the listener stops,
-// in-flight requests get -shutdown-timeout to drain, then the process
-// exits.
+// Without -graph a random evolving graph is generated and served. With
+// -wal the file's event stream is replayed onto that base graph before
+// serving (recover-then-serve: restarting with the same -graph/-seed
+// flags and the same WAL always reproduces the pre-crash graph), and
+// the write endpoints accept new batches. The process shuts down
+// gracefully on SIGINT/SIGTERM: the listener stops, in-flight requests
+// get -shutdown-timeout to drain, pending events are folded and the
+// WAL is synced, then the process exits.
 //
 // Example session:
 //
-//	$ egserve &
+//	$ egserve -wal events.wal &
 //	$ curl 'localhost:8080/stats'
+//	$ printf '{"op":"stamp","t":11}\n{"op":"add","u":1,"v":2,"t":11}\n' | \
+//	    curl -s -XPOST --data-binary @- 'localhost:8080/ingest/arcs'
+//	$ curl 'localhost:8080/ingest/stats'
 //	$ curl 'localhost:8080/components/weak'
-//	$ curl 'localhost:8080/influence/greedy?k=5'
-//	$ curl 'localhost:8080/metrics'
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	evolving "repro"
+	"repro/internal/ingest"
 	"repro/internal/server"
 )
 
@@ -57,6 +67,13 @@ func main() {
 		inflight = flag.Int("inflight", 0, "max concurrently computing expensive queries (0 = GOMAXPROCS)")
 		workers  = flag.Int("workers", 0, "per-computation analytics fan-out (0 = GOMAXPROCS)")
 
+		walPath         = flag.String("wal", "", "write-ahead log path; enables the ingest endpoints (recover-then-serve)")
+		fsyncPolicy     = flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
+		fsyncInterval   = flag.Duration("fsync-interval", 100*time.Millisecond, "WAL background fsync period (policy interval)")
+		compactEvery    = flag.Int("compact-every", 4096, "fold the pending delta after this many events")
+		compactInterval = flag.Duration("compact-interval", 2*time.Second, "fold any pending delta at least this often")
+		maxPending      = flag.Int("max-pending", 1<<16, "pending-delta bound; writes beyond it get 429")
+
 		writeTimeout    = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none; cold analytics queries can be slow)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
@@ -68,10 +85,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("egserve: open: %v", err)
 		}
-		g, err = evolving.ReadEdgeList(f, true)
+		var rerr error
+		g, rerr = evolving.ReadEdgeList(f, true)
 		f.Close()
-		if err != nil {
-			log.Fatalf("egserve: parse: %v", err)
+		if rerr != nil {
+			log.Fatalf("egserve: parse: %v", rerr)
 		}
 	} else {
 		g = evolving.Random(evolving.RandomConfig{
@@ -81,11 +99,63 @@ func main() {
 			*nodes, *stamps, *edges, *seed)
 	}
 
+	// Recover-then-serve: replay the WAL's event stream onto the base
+	// graph before taking traffic, so a restarted server picks up
+	// exactly where the killed one left off.
+	var (
+		wal *ingest.WAL
+		rec *ingest.Recovery
+	)
+	if *walPath != "" {
+		policy, err := ingest.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("egserve: %v", err)
+		}
+		wal, rec, err = ingest.OpenWAL(*walPath, ingest.WALOptions{Policy: policy, Interval: *fsyncInterval})
+		if err != nil {
+			log.Fatalf("egserve: %v", err)
+		}
+		if rec.Torn {
+			fmt.Printf("WAL %s: torn tail (%d bytes) truncated at the last complete record\n",
+				*walPath, rec.TruncatedBytes)
+		}
+		if len(rec.Events) > 0 {
+			t0 := time.Now()
+			g = ingest.Fold(g, rec.Events)
+			fmt.Printf("WAL %s: recovered %d events in %d batches, folded in %s (%d nodes, %d stamps)\n",
+				*walPath, len(rec.Events), rec.Batches, time.Since(t0).Round(time.Millisecond),
+				g.NumNodes(), g.NumStamps())
+		}
+	}
+
 	handler := server.New(g, server.Config{
 		CacheCapacity: *cacheCap,
 		MaxInFlight:   *inflight,
 		Workers:       *workers,
 	})
+	var lg *ingest.Log
+	if wal != nil {
+		// Labels the event stream mentioned stay writable even when
+		// the fold dropped their stamps (e.g. all arcs removed).
+		extra := make([]int64, 0, len(rec.Events))
+		for _, e := range rec.Events {
+			extra = append(extra, e.T)
+		}
+		var err error
+		lg, err = ingest.New(handler, ingest.Config{
+			WAL:             wal,
+			CompactEvery:    *compactEvery,
+			CompactInterval: *compactInterval,
+			MaxPending:      *maxPending,
+			ExtraLabels:     extra,
+		})
+		if err != nil {
+			log.Fatalf("egserve: %v", err)
+		}
+		handler.AttachIngest(lg)
+		fmt.Printf("ingest enabled: wal=%s fsync=%s compact-every=%d compact-interval=%s\n",
+			*walPath, *fsyncPolicy, *compactEvery, *compactInterval)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: handler,
@@ -118,6 +188,12 @@ func main() {
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("egserve: %v", err)
+		}
+		if lg != nil {
+			// Final fold + WAL sync so nothing acknowledged is lost.
+			if err := lg.Close(); err != nil {
+				log.Fatalf("egserve: closing ingest: %v", err)
+			}
 		}
 		fmt.Println("drained; bye")
 	}

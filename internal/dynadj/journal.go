@@ -3,7 +3,10 @@
 // journal reconstructs the store. A torn tail (crash mid-append) is
 // detected by frame length or checksum and the replay stops cleanly at
 // the last complete batch — the recovery contract of any write-ahead
-// log.
+// log. internal/ingest generalises this framing for the serving
+// pipeline's WAL, where the node universe and stamp axis grow: its
+// records carry time *labels* instead of this journal's fixed-geometry
+// stamp indices, and appends go through a group-commit writer.
 package dynadj
 
 import (

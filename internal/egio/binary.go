@@ -73,26 +73,51 @@ func WriteBinary(w io.Writer, g *egraph.IntEvolvingGraph) error {
 	return bw.Flush()
 }
 
-// ReadBinary decodes the binary format.
+// countingReader tracks the byte offset of the decode position so
+// every ReadBinary error can say where in the stream it happened —
+// WAL recovery and CLI tools surface these messages to operators, who
+// need the offset to inspect the damaged file.
+type countingReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+// ReadBinary decodes the binary format. Errors name the byte offset of
+// the offending element and, for the magic/version prologue, both the
+// expected and the actual bytes.
 func ReadBinary(r io.Reader) (*egraph.IntEvolvingGraph, error) {
-	br := bufio.NewReader(r)
+	cr := &countingReader{br: bufio.NewReader(r)}
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("egio: read magic: %w", err)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("egio: read magic at offset 0: %w", err)
 	}
 	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("egio: bad magic %q", magic)
+		return nil, fmt.Errorf("egio: bad magic at offset 0: got %q, want %q", magic, binaryMagic)
 	}
-	version, err := br.ReadByte()
+	version, err := cr.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("egio: read version: %w", err)
+		return nil, fmt.Errorf("egio: read version at offset 4: %w", err)
 	}
 	if version != binaryVersion {
-		return nil, fmt.Errorf("egio: unsupported version %d", version)
+		return nil, fmt.Errorf("egio: unsupported version at offset 4: got %d, want %d", version, binaryVersion)
 	}
-	flags, err := br.ReadByte()
+	flags, err := cr.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("egio: read flags: %w", err)
+		return nil, fmt.Errorf("egio: read flags at offset 5: %w", err)
 	}
 	directed := flags&1 != 0
 	weighted := flags&2 != 0
@@ -103,39 +128,43 @@ func ReadBinary(r io.Reader) (*egraph.IntEvolvingGraph, error) {
 	} else {
 		b = egraph.NewBuilder(directed)
 	}
-	stamps, err := binary.ReadUvarint(br)
+	at := cr.off
+	stamps, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("egio: read stamp count: %w", err)
+		return nil, fmt.Errorf("egio: read stamp count at offset %d: %w", at, err)
 	}
 	if stamps > 1<<32 {
-		return nil, fmt.Errorf("egio: implausible stamp count %d", stamps)
+		return nil, fmt.Errorf("egio: implausible stamp count %d at offset %d", stamps, at)
 	}
 	for s := uint64(0); s < stamps; s++ {
-		label, err := binary.ReadVarint(br)
+		at = cr.off
+		label, err := binary.ReadVarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("egio: stamp %d label: %w", s, err)
+			return nil, fmt.Errorf("egio: stamp %d label at offset %d: %w", s, at, err)
 		}
-		count, err := binary.ReadUvarint(br)
+		at = cr.off
+		count, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("egio: stamp %d edge count: %w", s, err)
+			return nil, fmt.Errorf("egio: stamp %d edge count at offset %d: %w", s, at, err)
 		}
 		for e := uint64(0); e < count; e++ {
-			u, err := binary.ReadUvarint(br)
+			at = cr.off
+			u, err := binary.ReadUvarint(cr)
 			if err != nil {
-				return nil, fmt.Errorf("egio: stamp %d edge %d: %w", s, e, err)
+				return nil, fmt.Errorf("egio: stamp %d edge %d/%d at offset %d: %w", s, e, count, at, err)
 			}
-			v, err := binary.ReadUvarint(br)
+			v, err := binary.ReadUvarint(cr)
 			if err != nil {
-				return nil, fmt.Errorf("egio: stamp %d edge %d: %w", s, e, err)
+				return nil, fmt.Errorf("egio: stamp %d edge %d/%d at offset %d: %w", s, e, count, at, err)
 			}
 			if u > math.MaxInt32 || v > math.MaxInt32 {
-				return nil, fmt.Errorf("egio: node id overflow (%d,%d)", u, v)
+				return nil, fmt.Errorf("egio: stamp %d edge %d at offset %d: node id overflow (%d,%d), max %d", s, e, at, u, v, math.MaxInt32)
 			}
 			w := 1.0
 			if weighted {
 				var wb [8]byte
-				if _, err := io.ReadFull(br, wb[:]); err != nil {
-					return nil, fmt.Errorf("egio: stamp %d edge %d weight: %w", s, e, err)
+				if _, err := io.ReadFull(cr, wb[:]); err != nil {
+					return nil, fmt.Errorf("egio: stamp %d edge %d/%d weight at offset %d: %w", s, e, count, at, err)
 				}
 				w = math.Float64frombits(binary.LittleEndian.Uint64(wb[:]))
 			}

@@ -110,6 +110,45 @@ func TestBinaryErrors(t *testing.T) {
 	}
 }
 
+// TestBinaryErrorsAreDescriptive pins down the operator-facing error
+// contract: every decode failure names the byte offset it happened at,
+// and the magic/version errors state both expected and actual — WAL
+// recovery surfaces these messages, so "bare failure" is not enough.
+func TestBinaryErrorsAreDescriptive(t *testing.T) {
+	wantAll := func(t *testing.T, err error, subs ...string) {
+		t.Helper()
+		if err == nil {
+			t.Fatal("decode succeeded, want error")
+		}
+		for _, s := range subs {
+			if !strings.Contains(err.Error(), s) {
+				t.Fatalf("error %q missing %q", err, s)
+			}
+		}
+	}
+	_, err := ReadBinary(strings.NewReader("NOPE????"))
+	wantAll(t, err, "offset 0", `"NOPE"`, `"EVGR"`)
+
+	_, err = ReadBinary(bytes.NewReader([]byte("EVGR\x09\x00\x00")))
+	wantAll(t, err, "offset 4", "got 9", "want 1")
+
+	_, err = ReadBinary(strings.NewReader("EVGR\x01"))
+	wantAll(t, err, "flags", "offset 5")
+
+	// Truncate a real graph inside the first stamp's edges and check
+	// the error localises the damage (stamp, edge, offset).
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, egraph.Figure1Graph()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Layout: 4 magic + 1 version + 1 flags + 1 stamp count, then per
+	// stamp (label, count, edges); chop mid-way through stamp 0's edge
+	// list.
+	_, err = ReadBinary(bytes.NewReader(full[:9]))
+	wantAll(t, err, "stamp 0", "offset 9")
+}
+
 func TestBinarySmallerThanText(t *testing.T) {
 	// Sanity: the binary format should not be wildly larger than text.
 	b := egraph.NewBuilder(true)

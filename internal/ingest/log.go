@@ -1,0 +1,478 @@
+package ingest
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/egraph"
+)
+
+// Publisher is the read/write seam between the ingest pipeline and the
+// serving layer: the compactor folds the pending delta onto Graph()
+// and publishes the result through ReplaceGraph, which bumps the graph
+// revision and invalidates the versioned result cache.
+// internal/server.Server implements it. The Log must be the only
+// ReplaceGraph caller for the Publisher it owns — a concurrent
+// replacer would race the fold's read-modify-write.
+type Publisher interface {
+	Graph() *egraph.IntEvolvingGraph
+	ReplaceGraph(*egraph.IntEvolvingGraph) uint64
+}
+
+// Config tunes a Log. The zero value is a WAL-less in-memory pipeline
+// with defaults sized for a single serving process.
+type Config struct {
+	// WAL, when non-nil, makes appends durable: a batch is logged and
+	// committed before it is acknowledged. The Log takes ownership and
+	// closes it in Close.
+	WAL *WAL
+	// CompactEvery folds the pending delta once it holds this many
+	// events (default 4096).
+	CompactEvery int
+	// CompactInterval folds any pending delta at least this often, so
+	// a trickle of writes still reaches the served graph promptly
+	// (default 2s).
+	CompactInterval time.Duration
+	// MaxPending bounds the pending delta; Append returns
+	// ErrBackpressure beyond it (default 65536).
+	MaxPending int
+	// MaxNodeID rejects arc endpoints above it, bounding the dense
+	// node universe a hostile or buggy client can force the fold to
+	// allocate (default 1<<24 - 1).
+	MaxNodeID int32
+	// ExtraLabels pre-registers time labels beyond the base graph's
+	// own — after a WAL recovery these are the labels the event stream
+	// mentioned, which the folded graph may no longer carry (a stamp
+	// whose arcs were all removed, or an AddStamp with no arcs yet).
+	ExtraLabels []int64
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...interface{})
+}
+
+// Stats is a point-in-time snapshot of the pipeline counters, served
+// by /ingest/stats and folded into /metrics.
+type Stats struct {
+	AppendedBatches  int64     `json:"appendedBatches"`
+	AppendedEvents   int64     `json:"appendedEvents"`
+	RejectedBatches  int64     `json:"rejectedBatches"`  // validation failures
+	ThrottledBatches int64     `json:"throttledBatches"` // backpressure drops
+	ThrottledEvents  int64     `json:"throttledEvents"`
+	PendingEvents    int64     `json:"pendingEvents"` // buffered, not yet folded
+	Epochs           int64     `json:"epochs"`        // compactions published
+	CompactedEvents  int64     `json:"compactedEvents"`
+	LastCompactMs    float64   `json:"lastCompactMs"`
+	TotalCompactMs   float64   `json:"totalCompactMs"`
+	WAL              *WALStats `json:"wal,omitempty"`
+}
+
+// Log is the mutation API of the live query service: validated,
+// sequence-numbered batches of events flow through an optional WAL
+// into a pending delta that a background epoch compactor folds into
+// fresh immutable graphs. Construct with New; all methods are safe for
+// concurrent use.
+type Log struct {
+	pub Publisher
+	cfg Config
+	wal *WAL
+
+	mu       sync.Mutex
+	pending  []pendingBatch // sorted by seq; may have transient gaps
+	pendingN int            // total events across pending
+	labels   map[int64]struct{}
+	seq      uint64 // next batch sequence when no WAL assigns one
+	foldNext uint64 // first sequence number the compactor may fold
+	closed   bool
+	poisoned bool
+	stopOnce sync.Once // stops the compactor exactly once
+
+	// foldMu serialises fold+publish between the background compactor
+	// and CompactNow.
+	foldMu sync.Mutex
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	appendedBatches  atomic.Int64
+	appendedEvents   atomic.Int64
+	rejectedBatches  atomic.Int64
+	throttledBatches atomic.Int64
+	throttledEvents  atomic.Int64
+	epochs           atomic.Int64
+	compactedEvents  atomic.Int64
+	lastCompactNS    atomic.Int64
+	totalCompactNS   atomic.Int64
+}
+
+// New builds a Log over pub and starts its epoch compactor. Close it
+// to stop the compactor (and close the WAL, when one is configured).
+func New(pub Publisher, cfg Config) (*Log, error) {
+	if pub == nil {
+		return nil, fmt.Errorf("ingest: nil publisher")
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 4096
+	}
+	if cfg.CompactInterval <= 0 {
+		cfg.CompactInterval = 2 * time.Second
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 1 << 16
+	}
+	if cfg.MaxNodeID <= 0 {
+		cfg.MaxNodeID = 1<<24 - 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	l := &Log{
+		pub:    pub,
+		cfg:    cfg,
+		wal:    cfg.WAL,
+		labels: make(map[int64]struct{}),
+		kick:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, t := range pub.Graph().TimeLabels() {
+		l.labels[t] = struct{}{}
+	}
+	for _, t := range cfg.ExtraLabels {
+		l.labels[t] = struct{}{}
+	}
+	if l.wal != nil {
+		// Sequence numbers continue from the recovered log; the
+		// recovered prefix is already folded into the base graph.
+		l.foldNext = l.wal.NextSeq()
+	}
+	go l.run()
+	return l, nil
+}
+
+// pendingBatch is one accepted batch awaiting its epoch fold. Batches
+// fold strictly in sequence order: a batch enters pending only after
+// its WAL commit, so the compactor can never publish events the log
+// does not durably hold.
+type pendingBatch struct {
+	seq    uint64
+	events []Event
+}
+
+// Append validates events as one atomic batch, makes it durable (when
+// a WAL is configured), buffers it for the next epoch and returns its
+// sequence number. It never touches the served graph: readers keep the
+// current snapshot until the compactor publishes the next one.
+func (l *Log) Append(events []Event) (seq uint64, err error) {
+	if len(events) == 0 {
+		return 0, fmt.Errorf("ingest: empty batch")
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.pendingN+len(events) > l.cfg.MaxPending {
+		l.throttledBatches.Add(1)
+		l.throttledEvents.Add(int64(len(events)))
+		l.mu.Unlock()
+		return 0, ErrBackpressure
+	}
+	newLabels, err := l.validateLocked(events)
+	if err != nil {
+		l.rejectedBatches.Add(1)
+		l.mu.Unlock()
+		return 0, err
+	}
+	if l.wal != nil {
+		seq, err = l.wal.Append(events)
+		if err != nil {
+			// The WAL is sticky-failed; accepting more writes would let
+			// the served state run ahead of the log.
+			l.mu.Unlock()
+			l.poison()
+			return 0, err
+		}
+	} else {
+		seq = l.seq
+		l.seq++
+	}
+	// Labels register before the commit: a concurrent batch may cite
+	// them, and if this batch's commit fails the whole log halts, so
+	// no arc referencing the label can ever be served without it.
+	for _, t := range newLabels {
+		l.labels[t] = struct{}{}
+	}
+	l.mu.Unlock()
+
+	// Durability before visibility: the batch joins the foldable delta
+	// only after its WAL commit, so even a fold racing this append can
+	// never publish a snapshot containing an unfsynced write.
+	if l.wal != nil {
+		if err := l.wal.Commit(seq); err != nil {
+			l.poison()
+			return seq, err
+		}
+	}
+
+	l.mu.Lock()
+	if l.closed {
+		// The pipeline halted while this batch was committing. With a
+		// WAL the batch is durable — recovery will serve it — so the
+		// append stands; without one there is nothing to recover from,
+		// so the caller must not believe the write landed.
+		l.mu.Unlock()
+		if l.wal == nil {
+			return 0, ErrClosed
+		}
+		return seq, nil
+	}
+	l.insertPendingLocked(pendingBatch{seq: seq, events: events})
+	npend := l.pendingN
+	l.mu.Unlock()
+
+	l.appendedBatches.Add(1)
+	l.appendedEvents.Add(int64(len(events)))
+	if npend >= l.cfg.CompactEvery {
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	return seq, nil
+}
+
+// insertPendingLocked places b into the seq-sorted pending list (l.mu
+// held). Concurrent appenders commit out of order, so an insert may
+// back-fill a gap before already-buffered higher sequences.
+func (l *Log) insertPendingLocked(b pendingBatch) {
+	i := len(l.pending)
+	for i > 0 && l.pending[i-1].seq > b.seq {
+		i--
+	}
+	l.pending = append(l.pending, pendingBatch{})
+	copy(l.pending[i+1:], l.pending[i:])
+	l.pending[i] = b
+	l.pendingN += len(b.events)
+}
+
+// poison halts the write path after a WAL failure: the durability of
+// recent writes is unknown, so nothing further may be acknowledged or
+// published. Appends fail with ErrClosed and the compactor stops
+// without folding the buffered delta — its batches are durable in the
+// WAL (they committed before entering pending) and will be served
+// after a restart's recovery replay, but publishing them now could
+// order them around the failed write. The served graph freezes at the
+// last published revision; reads continue.
+func (l *Log) poison() {
+	l.mu.Lock()
+	l.closed = true
+	l.poisoned = true
+	l.pending = nil
+	l.pendingN = 0
+	l.mu.Unlock()
+	l.stopOnce.Do(func() {
+		close(l.quit)
+		<-l.done
+	})
+	l.cfg.Logf("ingest: WAL failure poisoned the log; write path halted (reads continue on the last published snapshot)")
+}
+
+// validateLocked checks the batch as a unit against the label/node
+// universe (l.mu held) and returns the labels the batch introduces.
+// Within a batch, an AddStamp makes its label valid for later events
+// of the same batch — the natural "open a stamp, fill it" idiom.
+func (l *Log) validateLocked(events []Event) ([]int64, error) {
+	var newLabels []int64
+	batch := make(map[int64]struct{})
+	known := func(t int64) bool {
+		if _, ok := l.labels[t]; ok {
+			return true
+		}
+		_, ok := batch[t]
+		return ok
+	}
+	for i, e := range events {
+		switch e.Op {
+		case AddArc, RemoveArc:
+			if e.U < 0 || e.V < 0 || e.U > l.cfg.MaxNodeID || e.V > l.cfg.MaxNodeID {
+				return nil, fmt.Errorf("ingest: event %d: node out of range [0, %d]: %d→%d", i, l.cfg.MaxNodeID, e.U, e.V)
+			}
+			if e.U == e.V {
+				return nil, fmt.Errorf("ingest: event %d: self-loop %d→%d rejected (a self-loop never activates a node, Def. 3)", i, e.U, e.V)
+			}
+			if !known(e.T) {
+				return nil, fmt.Errorf("ingest: event %d: unknown time label %d (AddStamp it first)", i, e.T)
+			}
+		case AddStamp:
+			if !known(e.T) {
+				batch[e.T] = struct{}{}
+				newLabels = append(newLabels, e.T)
+			}
+		default:
+			return nil, fmt.Errorf("ingest: event %d: unknown op %d", i, e.Op)
+		}
+	}
+	return newLabels, nil
+}
+
+// run is the epoch compactor: fold the pending delta on a size kick or
+// an interval tick, whichever comes first, and once more on shutdown.
+func (l *Log) run() {
+	defer close(l.done)
+	t := time.NewTicker(l.cfg.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.quit:
+			l.CompactNow()
+			return
+		case <-l.kick:
+		case <-t.C:
+		}
+		l.CompactNow()
+	}
+}
+
+// CompactNow synchronously folds the pending delta into a fresh graph
+// and publishes it, returning the number of events folded. Batches
+// fold strictly in sequence order: if an appender has committed seq N+1
+// but seq N is still mid-commit, both wait for the next epoch — fold
+// order must match WAL replay order or recovery could disagree with
+// what was served. The background compactor calls CompactNow on its
+// own schedule; tests and shutdown paths call it to make the served
+// graph catch up immediately.
+func (l *Log) CompactNow() int {
+	l.foldMu.Lock()
+	defer l.foldMu.Unlock()
+	l.mu.Lock()
+	var events []Event
+	n := 0
+	for n < len(l.pending) && l.pending[n].seq == l.foldNext+uint64(n) {
+		events = append(events, l.pending[n].events...)
+		n++
+	}
+	if n > 0 {
+		l.foldNext += uint64(n)
+		l.pending = append(l.pending[:0:0], l.pending[n:]...)
+		l.pendingN -= len(events)
+	}
+	l.mu.Unlock()
+	if len(events) == 0 {
+		return 0
+	}
+	start := time.Now()
+	g := Fold(l.pub.Graph(), events)
+	rev := l.pub.ReplaceGraph(g)
+	dur := time.Since(start)
+	l.epochs.Add(1)
+	l.compactedEvents.Add(int64(len(events)))
+	l.lastCompactNS.Store(dur.Nanoseconds())
+	l.totalCompactNS.Add(dur.Nanoseconds())
+	l.cfg.Logf("ingest: epoch %d: folded %d events in %s, published revision %d (%d nodes, %d stamps)",
+		l.epochs.Load(), len(events), dur.Round(time.Microsecond), rev, g.NumNodes(), g.NumStamps())
+	return len(events)
+}
+
+// Close stops the compactor after a final fold of any pending delta,
+// then closes the WAL. Subsequent Appends return ErrClosed. Close is
+// idempotent and also reclaims a poisoned log's compactor and WAL
+// handle (the poison path halts the pipeline but leaves the file open
+// for Close to release).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.stopOnce.Do(func() {
+		close(l.quit)
+		<-l.done
+	})
+	if l.wal != nil {
+		return l.wal.Close()
+	}
+	return nil
+}
+
+// Stats snapshots the pipeline counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	pending := l.pendingN
+	l.mu.Unlock()
+	s := Stats{
+		AppendedBatches:  l.appendedBatches.Load(),
+		AppendedEvents:   l.appendedEvents.Load(),
+		RejectedBatches:  l.rejectedBatches.Load(),
+		ThrottledBatches: l.throttledBatches.Load(),
+		ThrottledEvents:  l.throttledEvents.Load(),
+		PendingEvents:    int64(pending),
+		Epochs:           l.epochs.Load(),
+		CompactedEvents:  l.compactedEvents.Load(),
+		LastCompactMs:    float64(l.lastCompactNS.Load()) / 1e6,
+		TotalCompactMs:   float64(l.totalCompactNS.Load()) / 1e6,
+	}
+	if l.wal != nil {
+		ws := l.wal.Stats()
+		s.WAL = &ws
+	}
+	return s
+}
+
+// arcKey identifies one arc of the folded delta; undirected arcs are
+// canonicalised with u < v so (u,v) and (v,u) collide.
+type arcKey struct {
+	u, v int32
+	t    int64
+}
+
+// Fold applies events (in order, last op per arc wins) to base and
+// builds the resulting immutable graph: base's edges minus removals
+// plus additions, rebuilt through egraph.Builder so the stamp axis,
+// active sets and CSR view all come out consistent. Fold is pure — it
+// never mutates base — and deterministic, so replaying a WAL onto the
+// same base always reproduces the same graph. Added arcs carry weight
+// 1; re-adding an arc base already has keeps base's weight.
+func Fold(base *egraph.IntEvolvingGraph, events []Event) *egraph.IntEvolvingGraph {
+	delta := make(map[arcKey]bool, len(events))
+	key := func(u, v int32, t int64) arcKey {
+		if !base.Directed() && u > v {
+			u, v = v, u
+		}
+		return arcKey{u: u, v: v, t: t}
+	}
+	for _, e := range events {
+		switch e.Op {
+		case AddArc:
+			delta[key(e.U, e.V, e.T)] = true
+		case RemoveArc:
+			delta[key(e.U, e.V, e.T)] = false
+		}
+	}
+	var b *egraph.Builder
+	if base.Weighted() {
+		b = egraph.NewWeightedBuilder(base.Directed())
+	} else {
+		b = egraph.NewBuilder(base.Directed())
+	}
+	for t := 0; t < base.NumStamps(); t++ {
+		label := base.TimeLabel(t)
+		base.VisitEdges(int32(t), func(u, v int32, w float64) bool {
+			k := key(u, v, label)
+			if add, ok := delta[k]; ok {
+				if !add {
+					return true // removed
+				}
+				delete(delta, k) // re-added: keep base's weight
+			}
+			b.AddWeightedEdge(u, v, label, w)
+			return true
+		})
+	}
+	for k, add := range delta {
+		if add {
+			b.AddWeightedEdge(k.u, k.v, k.t, 1)
+		}
+	}
+	return b.Build()
+}

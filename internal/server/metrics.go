@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/qcache"
 )
 
@@ -20,7 +21,7 @@ type HealthResponse struct {
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	g := s.graph()
+	g := s.Graph()
 	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -33,8 +34,11 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 
 // MetricsResponse is the wire form of /metrics: request counts per
 // endpoint, responses per status class, the result-cache counters
-// (hits, misses, singleflight collapses, evictions) and the in-flight
-// computation gauge. cmd/egload reads it to report cache hit rate.
+// (hits, misses, singleflight collapses, evictions), the in-flight
+// computation gauge, and — when a write path is attached — the ingest
+// counters (appended/compacted/throttled events, epoch count,
+// compaction latency, WAL totals). cmd/egload reads it to report
+// cache hit rate.
 type MetricsResponse struct {
 	UptimeSeconds    float64          `json:"uptimeSeconds"`
 	GraphRevision    uint64           `json:"graphRevision"`
@@ -44,6 +48,7 @@ type MetricsResponse struct {
 	CacheHitRate     float64          `json:"cacheHitRate"`
 	InFlight         int64            `json:"inFlight"`
 	MaxInFlight      int              `json:"maxInFlight"`
+	Ingest           *ingest.Stats    `json:"ingest,omitempty"`
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
@@ -54,7 +59,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	st := s.cache.Stats()
-	s.writeJSON(w, http.StatusOK, MetricsResponse{
+	resp := MetricsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		GraphRevision: st.Version,
 		Requests:      reqs,
@@ -67,5 +72,10 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		CacheHitRate: st.HitRate(),
 		InFlight:     s.inflight.Load(),
 		MaxInFlight:  cap(s.gate),
-	})
+	}
+	if lg := s.ing.Load(); lg != nil {
+		ist := lg.Stats()
+		resp.Ingest = &ist
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -33,11 +33,12 @@ type StatsResponse struct {
 	FirstLabel   int64   `json:"firstLabel"`
 	LastLabel    int64   `json:"lastLabel"`
 	EdgesByStamp []int   `json:"edgesByStamp"`
+	TimeLabels   []int64 `json:"timeLabels"`
 	Density      float64 `json:"activeDensity"`
 }
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
-	g := s.graph()
+	g := s.Graph()
 	edges := make([]int, g.NumStamps())
 	for t := range edges {
 		edges[t] = g.SnapshotEdgeCount(t)
@@ -52,6 +53,7 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 		FirstLabel:   g.TimeLabel(0),
 		LastLabel:    g.TimeLabel(g.NumStamps() - 1),
 		EdgesByStamp: edges,
+		TimeLabels:   g.TimeLabels(),
 		Density:      float64(g.NumActiveNodes()) / float64(g.NumNodes()*g.NumStamps()),
 	}
 	s.writeJSON(w, http.StatusOK, resp)

@@ -23,6 +23,8 @@
 //	/closeness?node=N&stamp=S[&mode=M]       cached
 //	/efficiency[?mode=M]                     cached
 //	/katz[?alpha=A][&mode=M][&top=K]         cached
+//	/ingest/arcs                     POST an NDJSON mutation batch
+//	/ingest/stats                    write-path counters
 //	/healthz                         liveness + graph revision
 //	/metrics                         request/cache/in-flight counters
 //
@@ -30,11 +32,15 @@
 // (default) or "backward". Errors come back as {"error": "..."} with
 // status 400 (bad request) or 404 (inactive/unreachable). Endpoints
 // marked cached set an X-Cache response header to "miss", "hit" or
-// "collapsed"; their results are keyed by (endpoint, canonicalised
-// params, graph revision), so ReplaceGraph invalidates every cached
-// answer at once. The package Example exercises the seed endpoints
-// against the paper's Figure 1 graph; DESIGN.md §10 documents the
-// serving architecture.
+// "collapsed" and an X-Graph-Revision header naming the snapshot the
+// answer was computed on; their results are keyed by (endpoint,
+// canonicalised params, graph revision), so ReplaceGraph invalidates
+// every cached answer at once. AttachIngest connects the durable write
+// path of internal/ingest, making the served graph live: accepted
+// mutation batches fold into fresh snapshots that the compactor
+// publishes through ReplaceGraph. The package Example exercises the
+// seed endpoints against the paper's Figure 1 graph; DESIGN.md §10–11
+// document the serving architecture and the write path.
 package server
 
 import (
@@ -42,11 +48,13 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/egraph"
+	"repro/internal/ingest"
 	"repro/internal/qcache"
 )
 
@@ -107,6 +115,10 @@ type Server struct {
 	// replaceMu serialises ReplaceGraph calls (bump + snapshot store
 	// must not interleave between two replacers).
 	replaceMu sync.Mutex
+
+	// ing is the optional write path (AttachIngest); nil means the
+	// server is read-only and /ingest/arcs answers 503.
+	ing atomic.Pointer[ingest.Log]
 }
 
 // New returns a Server serving queries over g.
@@ -143,6 +155,8 @@ func New(g *egraph.IntEvolvingGraph, cfg Config) *Server {
 		{"/closeness", s.closeness},
 		{"/efficiency", s.efficiency},
 		{"/katz", s.katz},
+		{"/ingest/arcs", s.ingestArcs},
+		{"/ingest/stats", s.ingestStats},
 		{"/healthz", s.healthz},
 		{"/metrics", s.metrics},
 	} {
@@ -175,10 +189,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// graph returns the currently served graph. Handlers that also cache
-// must capture the full snapshot via params instead, so the graph and
-// its revision travel together.
-func (s *Server) graph() *egraph.IntEvolvingGraph { return s.snap.Load().g }
+// Graph returns the currently served graph snapshot — the read side of
+// ReplaceGraph. The ingest compactor folds pending deltas onto it
+// without holding its own reference, so a restarted or re-attached
+// pipeline always builds on what is actually being served. Handlers
+// that also cache must capture the full snapshot via params instead,
+// so the graph and its revision travel together.
+func (s *Server) Graph() *egraph.IntEvolvingGraph { return s.snap.Load().g }
+
+// Revision returns the cache revision of the currently served graph
+// (0 for the graph the server was constructed with, bumped by every
+// ReplaceGraph).
+func (s *Server) Revision() uint64 { return s.snap.Load().rev }
 
 // ReplaceGraph swaps the served graph and bumps the cache revision,
 // invalidating every cached analytics result. In-flight requests
@@ -218,6 +240,10 @@ func (s *Server) cached(w http.ResponseWriter, p *params, key string, compute fu
 		return compute()
 	})
 	w.Header().Set("X-Cache", outcome.String())
+	// The revision the answer belongs to: responses carrying the same
+	// value are computed from the same graph snapshot, which is what
+	// the read-during-swap consistency harness asserts on.
+	w.Header().Set("X-Graph-Revision", strconv.FormatUint(p.rev, 10))
 	if err != nil {
 		s.writeError(w, errStatus(err), err.Error())
 		return

@@ -1,0 +1,98 @@
+package evolving
+
+// The live ingestion surface: the durable write path that turns a
+// read-only QueryServer into a live one (internal/ingest, DESIGN.md
+// §11). Batches of IngestEvent flow through an optional write-ahead
+// log into a pending delta; a background epoch compactor folds the
+// delta into a fresh immutable Graph and publishes it through the
+// server's ReplaceGraph, invalidating the versioned result cache.
+//
+//	srv := evolving.NewQueryServer(g, evolving.ServerConfig{})
+//	wal, rec, _ := evolving.OpenWAL("events.wal", evolving.WALOptions{})
+//	if len(rec.Events) > 0 {
+//		srv.ReplaceGraph(evolving.FoldEvents(srv.Graph(), rec.Events))
+//	}
+//	log, _ := evolving.NewIngestLog(srv, evolving.IngestConfig{WAL: wal})
+//	defer log.Close()
+//	srv.AttachIngest(log)
+//
+// cmd/egserve wires exactly this (flag -wal); examples/ingestion is a
+// self-contained walkthrough including a simulated crash.
+
+import (
+	"repro/internal/ingest"
+)
+
+// IngestEvent is one mutation of a live evolving graph: an arc
+// insertion/removal at a time label, or the registration of a new
+// label.
+type IngestEvent = ingest.Event
+
+// IngestEventOp enumerates the mutation kinds.
+type IngestEventOp = ingest.EventOp
+
+// Mutation kinds accepted by an IngestLog.
+const (
+	IngestAddArc    = ingest.AddArc
+	IngestRemoveArc = ingest.RemoveArc
+	IngestAddStamp  = ingest.AddStamp
+)
+
+// IngestLog is the mutation API of the live query service; construct
+// with NewIngestLog.
+type IngestLog = ingest.Log
+
+// IngestConfig tunes an IngestLog (WAL, epoch thresholds,
+// backpressure bound).
+type IngestConfig = ingest.Config
+
+// IngestStats is the write-path counter snapshot (/ingest/stats).
+type IngestStats = ingest.Stats
+
+// IngestPublisher is the seam the compactor publishes through;
+// QueryServer implements it.
+type IngestPublisher = ingest.Publisher
+
+// WAL is the write-ahead log backing durable ingestion.
+type WAL = ingest.WAL
+
+// WALOptions tunes WAL durability (fsync policy and interval).
+type WALOptions = ingest.WALOptions
+
+// WALRecovery reports what OpenWAL found in an existing log.
+type WALRecovery = ingest.Recovery
+
+// WAL fsync policies.
+const (
+	WALSyncInterval = ingest.SyncInterval
+	WALSyncAlways   = ingest.SyncAlways
+	WALSyncNever    = ingest.SyncNever
+)
+
+// ErrIngestBackpressure is returned by IngestLog.Append when the
+// compactor lags the write rate.
+var ErrIngestBackpressure = ingest.ErrBackpressure
+
+// NewIngestLog builds the write path over a publisher (normally a
+// QueryServer) and starts its epoch compactor.
+func NewIngestLog(pub IngestPublisher, cfg IngestConfig) (*IngestLog, error) {
+	return ingest.New(pub, cfg)
+}
+
+// OpenWAL opens (creating if absent) a write-ahead log, replaying any
+// existing records and truncating a torn tail at the last complete
+// record.
+func OpenWAL(path string, opts WALOptions) (*WAL, *WALRecovery, error) {
+	return ingest.OpenWAL(path, opts)
+}
+
+// FoldEvents applies an event stream to a base graph and builds the
+// resulting immutable graph — the epoch compactor's core, exposed for
+// recovery and offline compaction.
+func FoldEvents(base *Graph, events []IngestEvent) *Graph {
+	return ingest.Fold(base, events)
+}
+
+// A QueryServer is a valid publisher: Graph/ReplaceGraph/AttachIngest
+// form the read-write seam the compactor swaps snapshots through.
+var _ IngestPublisher = (*QueryServer)(nil)
