@@ -17,7 +17,17 @@
 //   - influence: influence.Greedy seed selection (k=5, CELF) with
 //     concurrent CSR reach-set evaluation;
 //   - closeness: metrics.GlobalEfficiency — the all-pairs efficiency
-//     sweep.
+//     sweep;
+//   - compact: epoch-compaction latency vs delta size — the
+//     incremental copy-on-write PatchEvents + parallel arena-reused
+//     CSR build (engine "patch") raced against the full FoldEvents
+//     rebuild + sequential build (engine "fold", the seed behaviour)
+//     on a -compactNodes/-compactEdges base graph, one row pair per
+//     -compactDeltas entry, with a bit-identical-graph assertion
+//     before any time is reported;
+//   - csr: flat-CSR build time, sequential (engine "csr-seq") vs
+//     parallel with arena reuse (engine "csr-par"), on the same base
+//     graph, asserting bit-identical views.
 //
 // The analytics suites run on a random-workload ladder sized by
 // -suiteNodes/-suiteEdges (they cost one BFS per active temporal node
@@ -26,17 +36,20 @@
 //
 // -json FILE writes every measurement (either mode) as a JSON array so
 // results can be tracked across runs. -failBelow X is the CI
-// regression gate: with -compare it exits non-zero if the csr engine's
-// speedup over the maps oracle at the largest graph of any workload
-// falls below X (cross-engine result mismatches always abort).
+// regression gate: with -compare it exits non-zero if the new engine's
+// speedup over its oracle (csr vs maps, patch vs fold, csr-par vs
+// csr-seq) at the largest graph of any workload falls below X
+// (cross-engine result mismatches always abort).
 //
 // Usage:
 //
 //	egbench [-nodes 100000] [-stamps 10] [-edges 500000,1000000,...]
 //	        [-seed 2016] [-reps 3] [-parallel] [-workers N]
-//	        [-compare] [-suites bfs,components,influence,closeness]
+//	        [-compare] [-suites bfs,components,influence,closeness,compact,csr]
 //	        [-workloads random,citation,gnp,pref]
-//	        [-suiteNodes 500] [-suiteEdges 5000,10000,20000,40000] [-json FILE]
+//	        [-suiteNodes 500] [-suiteEdges 5000,10000,20000,40000]
+//	        [-compactNodes 100000] [-compactEdges 1000000]
+//	        [-compactDeltas 10,1000,100000] [-json FILE]
 package main
 
 import (
@@ -44,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"reflect"
 	"sort"
@@ -64,8 +78,9 @@ type record struct {
 	StaticEdges   int     `json:"staticEdges"`
 	UnfoldedEdges int     `json:"unfoldedEdges"`
 	Reached       int     `json:"reached"`
+	DeltaEvents   int     `json:"deltaEvents,omitempty"` // compact suite: events per epoch
 	NS            int64   `json:"ns"`
-	SpeedupVsMaps float64 `json:"speedupVsMaps,omitempty"`
+	SpeedupVsMaps float64 `json:"speedupVsMaps,omitempty"` // speedup vs the row's oracle engine
 }
 
 func main() {
@@ -74,17 +89,20 @@ func main() {
 		stamps   = flag.Int("stamps", 10, "time stamps (paper: 10)")
 		edgeList = flag.String("edges", "500000,1000000,2000000,3000000,4000000",
 			"comma-separated |E~| sweep (paper: 1e8..5e8)")
-		seed       = flag.Int64("seed", 2016, "generator seed")
-		reps       = flag.Int("reps", 3, "timing repetitions per size (min is reported)")
-		parallel   = flag.Bool("parallel", false, "time the parallel BFS instead (Figure 5 mode)")
-		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		compare    = flag.Bool("compare", false, "race the CSR/bitset engine against the adjacency-map oracle")
-		suites     = flag.String("suites", "bfs,components,influence,closeness", "comma-separated -compare suites: bfs, components, influence, closeness")
-		workloads  = flag.String("workloads", "random,citation", "comma-separated workloads for the bfs suite: random, citation, gnp, pref")
-		suiteNodes = flag.Int("suiteNodes", 500, "node-id space of the analytics-suite workload ladder")
-		suiteEdges = flag.String("suiteEdges", "5000,10000,20000,40000", "comma-separated |E~| ladder for the analytics suites")
-		jsonPath   = flag.String("json", "", "write measurements to FILE as a JSON array")
-		failBelow  = flag.Float64("failBelow", 0, "with -compare: exit 1 if the csr engine's speedup vs maps at the largest graph of any workload falls below this (0 disables) — the CI regression gate")
+		seed          = flag.Int64("seed", 2016, "generator seed")
+		reps          = flag.Int("reps", 3, "timing repetitions per size (min is reported)")
+		parallel      = flag.Bool("parallel", false, "time the parallel BFS instead (Figure 5 mode)")
+		workers       = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		compare       = flag.Bool("compare", false, "race the CSR/bitset engine against the adjacency-map oracle")
+		suites        = flag.String("suites", "bfs,components,influence,closeness", "comma-separated -compare suites: bfs, components, influence, closeness")
+		workloads     = flag.String("workloads", "random,citation", "comma-separated workloads for the bfs suite: random, citation, gnp, pref")
+		suiteNodes    = flag.Int("suiteNodes", 500, "node-id space of the analytics-suite workload ladder")
+		suiteEdges    = flag.String("suiteEdges", "5000,10000,20000,40000", "comma-separated |E~| ladder for the analytics suites")
+		compactNodes  = flag.Int("compactNodes", 100_000, "node-id space of the compact/csr suites' base graph")
+		compactEdges  = flag.Int("compactEdges", 1_000_000, "static edges of the compact/csr suites' base graph")
+		compactDeltas = flag.String("compactDeltas", "10,1000,100000", "comma-separated delta sizes (events per epoch) for the compact suite")
+		jsonPath      = flag.String("json", "", "write measurements to FILE as a JSON array")
+		failBelow     = flag.Float64("failBelow", 0, "with -compare: exit 1 if a gated engine's speedup vs its oracle at the largest graph of any workload falls below this (0 disables) — the CI regression gate")
 	)
 	flag.Parse()
 	if *reps < 1 {
@@ -100,8 +118,12 @@ func main() {
 				records = append(records, runCompare(*workloads, *nodes, *stamps, *edgeList, *seed, *reps, *workers)...)
 			case "components", "influence", "closeness":
 				records = append(records, runAnalyticsSuite(s, *suiteNodes, *stamps, *suiteEdges, *seed, *reps, *workers)...)
+			case "compact":
+				records = append(records, runCompactSuite(*compactNodes, *stamps, *compactEdges, *compactDeltas, *seed, *reps, *workers)...)
+			case "csr":
+				records = append(records, runCSRSuite(*compactNodes, *stamps, *compactEdges, *seed, *reps, *workers)...)
 			default:
-				fmt.Fprintf(os.Stderr, "egbench: unknown suite %q (bfs, components, influence, closeness)\n", s)
+				fmt.Fprintf(os.Stderr, "egbench: unknown suite %q (bfs, components, influence, closeness, compact, csr)\n", s)
 				os.Exit(2)
 			}
 		}
@@ -127,19 +149,29 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("regression gate: csr speedup ≥ %.2fx at the largest graph of every workload\n", *failBelow)
+		fmt.Printf("regression gate: every gated engine ≥ %.2fx vs its oracle at the largest graph of every workload\n", *failBelow)
 	}
 }
 
+// gatedEngines names the engines -failBelow gates, each against the
+// oracle its SpeedupVsMaps field was computed from: csr vs the
+// adjacency-map oracle, patch vs the full fold rebuild, csr-par vs the
+// sequential CSR build.
+var gatedEngines = map[string]string{
+	"csr":     "maps oracle",
+	"patch":   "fold oracle",
+	"csr-par": "sequential build",
+}
+
 // checkRegression enforces the CI perf gate: at the largest graph of
-// every compared workload the csr engine must beat the adjacency-map
-// oracle by at least threshold. Only the largest size counts — small
-// graphs are noise-dominated on shared runners. (Cross-engine result
-// mismatches already abort before any record is emitted.)
+// every compared workload each gated engine must beat its oracle by at
+// least threshold. Only the largest size counts — small graphs are
+// noise-dominated on shared runners. (Cross-engine result mismatches
+// already abort before any record is emitted.)
 func checkRegression(records []record, threshold float64) []string {
 	largest := make(map[string]record)
 	for _, r := range records {
-		if r.Engine != "csr" {
+		if _, gated := gatedEngines[r.Engine]; !gated {
 			continue
 		}
 		if best, ok := largest[r.Workload]; !ok || r.StaticEdges > best.StaticEdges {
@@ -150,8 +182,9 @@ func checkRegression(records []record, threshold float64) []string {
 	for _, r := range largest {
 		if r.SpeedupVsMaps < threshold {
 			failures = append(failures, fmt.Sprintf(
-				"%s (%s, |E~|=%d): csr speedup %.2fx < %.2fx vs maps oracle",
-				r.Workload, r.Graph, r.StaticEdges, r.SpeedupVsMaps, threshold))
+				"%s (%s, |E~|=%d): %s speedup %.2fx < %.2fx vs %s",
+				r.Workload, r.Graph, r.StaticEdges, r.Engine, r.SpeedupVsMaps,
+				threshold, gatedEngines[r.Engine]))
 		}
 	}
 	sort.Strings(failures)
@@ -379,6 +412,196 @@ func runAnalyticsSuite(name string, nodes, stamps int, edgeList string, seed int
 		row("csr", csrBest)
 	}
 	return records
+}
+
+// runCompactSuite races one epoch of the ingest compactor per delta
+// size: the incremental PatchEvents fold plus a parallel arena-reused
+// CSR build ("patch") against the seed behaviour — FoldEvents full
+// rebuild plus a sequential CSR build ("fold"). Both paths must
+// produce bit-identical graphs (flat views compared byte for byte)
+// before any time is reported; the patch rows carry speedup vs fold
+// and are gated by -failBelow.
+func runCompactSuite(nodes, stamps, edges int, deltaList string, seed int64, reps, workers int) []record {
+	deltas, err := parseCounts(deltaList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egbench: -compactDeltas: %v\n", err)
+		os.Exit(2)
+	}
+	base := evolving.Random(evolving.RandomConfig{
+		Nodes: nodes, Stamps: stamps, Edges: edges, Directed: true, Seed: seed,
+	})
+	built := base.StaticEdgeCount()
+	unfolded := base.EdgeCount(evolving.CausalAllPairs)
+	fmt.Printf("\n# compact suite: epoch latency vs delta size on a %d-node / %d-arc / %d-stamp base, %d reps (min reported), csr workers=%d (0 = GOMAXPROCS)\n",
+		base.NumNodes(), built, base.NumStamps(), reps, workers)
+	fmt.Printf("%-24s %-14s %14s %14s %12s %10s\n", "graph", "engine", "|E~|", "delta", "time", "speedup")
+
+	var records []record
+	for _, k := range deltas {
+		events := genCompactEvents(base, k, seed)
+		// Bit-identical-graph assertion: the two fold paths and the two
+		// build paths must agree exactly before their times mean anything.
+		foldG := evolving.FoldEvents(base, events)
+		patchG := evolving.PatchEvents(base, events)
+		if err := graphsBitIdentical(foldG, patchG); err != nil {
+			fmt.Fprintf(os.Stderr, "egbench: compact delta-%d: patch diverged from fold oracle: %v\n", k, err)
+			os.Exit(1)
+		}
+
+		foldBest := timeRuns(reps, func() {
+			g := evolving.FoldEvents(base, events)
+			evolving.BuildFlatCSR(g, evolving.CSRBuildOptions{Workers: 1})
+		})
+		var arena *evolving.CSRArena
+		patchBest := timeRuns(reps, func() {
+			g := evolving.PatchEvents(base, events)
+			c := evolving.BuildFlatCSR(g, evolving.CSRBuildOptions{Workers: workers, Arena: arena})
+			arena = c.Recycle() // steady state: every epoch rebuilds into the retiring buffers
+		})
+
+		graph := fmt.Sprintf("delta-%d", k)
+		row := func(engine string, d time.Duration) {
+			speedup := float64(foldBest.Nanoseconds()) / float64(d.Nanoseconds())
+			fmt.Printf("%-24s %-14s %14d %14d %12s %9.2fx\n",
+				graph, engine, built, len(events), d.Round(time.Microsecond), speedup)
+			records = append(records, record{
+				Workload: fmt.Sprintf("compact-%d", k), Graph: graph, Engine: engine,
+				Nodes: base.NumNodes(), Stamps: base.NumStamps(), StaticEdges: built,
+				UnfoldedEdges: unfolded, DeltaEvents: len(events), NS: d.Nanoseconds(),
+				SpeedupVsMaps: speedup,
+			})
+		}
+		row("fold", foldBest)
+		row("patch", patchBest)
+	}
+	return records
+}
+
+// runCSRSuite races the flat-CSR build sequential vs parallel (with
+// arena reuse) on the compact suite's base graph, asserting the views
+// come out bit-identical.
+func runCSRSuite(nodes, stamps, edges int, seed int64, reps, workers int) []record {
+	base := evolving.Random(evolving.RandomConfig{
+		Nodes: nodes, Stamps: stamps, Edges: edges, Directed: true, Seed: seed,
+	})
+	built := base.StaticEdgeCount()
+	unfolded := base.EdgeCount(evolving.CausalAllPairs)
+	fmt.Printf("\n# csr suite: flat-view build on a %d-node / %d-arc / %d-stamp graph, %d reps (min reported), workers=%d (0 = GOMAXPROCS)\n",
+		base.NumNodes(), built, base.NumStamps(), reps, workers)
+	fmt.Printf("%-24s %-14s %14s %14s %12s %10s\n", "graph", "engine", "|E~|", "ids", "time", "speedup")
+
+	seq := evolving.BuildFlatCSR(base, evolving.CSRBuildOptions{Workers: 1})
+	par := evolving.BuildFlatCSR(base, evolving.CSRBuildOptions{Workers: workers})
+	if !reflect.DeepEqual(seq, par) {
+		fmt.Fprintln(os.Stderr, "egbench: csr: parallel build differs from sequential")
+		os.Exit(1)
+	}
+	seqBest := timeRuns(reps, func() {
+		evolving.BuildFlatCSR(base, evolving.CSRBuildOptions{Workers: 1})
+	})
+	var arena *evolving.CSRArena
+	parBest := timeRuns(reps, func() {
+		c := evolving.BuildFlatCSR(base, evolving.CSRBuildOptions{Workers: workers, Arena: arena})
+		arena = c.Recycle()
+	})
+
+	graph := fmt.Sprintf("random-%d", built)
+	var records []record
+	row := func(engine string, d time.Duration) {
+		speedup := float64(seqBest.Nanoseconds()) / float64(d.Nanoseconds())
+		fmt.Printf("%-24s %-14s %14d %14d %12s %9.2fx\n",
+			graph, engine, built, seq.Size(), d.Round(time.Microsecond), speedup)
+		records = append(records, record{
+			Workload: "csr", Graph: graph, Engine: engine,
+			Nodes: base.NumNodes(), Stamps: base.NumStamps(), StaticEdges: built,
+			UnfoldedEdges: unfolded, Reached: seq.Size(), NS: d.Nanoseconds(),
+			SpeedupVsMaps: speedup,
+		})
+	}
+	row("csr-seq", seqBest)
+	row("csr-par", parBest)
+	return records
+}
+
+// genCompactEvents builds a deterministic ~k-event epoch delta over
+// base: mostly arc insertions at existing labels, ~25% removals of
+// arcs base actually holds, and roughly one fresh stamp per 97 events
+// — the append-mostly shape of live ingestion.
+func genCompactEvents(base *evolving.Graph, k int, seed int64) []evolving.IngestEvent {
+	rng := rand.New(rand.NewSource(seed + int64(k)*7919))
+	labels := base.TimeLabels()
+	n := base.NumNodes()
+	next := labels[len(labels)-1] + 1
+	events := make([]evolving.IngestEvent, 0, k)
+	for len(events) < k {
+		switch {
+		case len(events)%97 == 96: // open a fresh stamp and seed it
+			u := int32(rng.Intn(n))
+			events = append(events,
+				evolving.IngestEvent{Op: evolving.IngestAddStamp, T: next},
+				evolving.IngestEvent{Op: evolving.IngestAddArc, U: u, V: (u + 1) % int32(n), T: next})
+			next++
+		case rng.Intn(4) == 0: // remove an arc base actually holds
+			removed := false
+			for tries := 0; tries < 16 && !removed; tries++ {
+				u := int32(rng.Intn(n))
+				ti := rng.Intn(base.NumStamps())
+				if nbrs := base.OutNeighbors(u, int32(ti)); len(nbrs) > 0 {
+					events = append(events, evolving.IngestEvent{
+						Op: evolving.IngestRemoveArc, U: u, V: nbrs[rng.Intn(len(nbrs))], T: labels[ti],
+					})
+					removed = true
+				}
+			}
+		default: // plain insertion at an existing label
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				v = (v + 1) % int32(n)
+			}
+			events = append(events, evolving.IngestEvent{
+				Op: evolving.IngestAddArc, U: u, V: v, T: labels[rng.Intn(len(labels))],
+			})
+		}
+	}
+	return events[:k]
+}
+
+// graphsBitIdentical compares two graphs the strong way: identical
+// shape, labels, per-stamp weighted edge streams, and byte-identical
+// flat CSR views.
+func graphsBitIdentical(a, b *evolving.Graph) error {
+	if a.NumNodes() != b.NumNodes() || a.NumStamps() != b.NumStamps() {
+		return fmt.Errorf("shape (%d nodes, %d stamps) vs (%d nodes, %d stamps)",
+			a.NumNodes(), a.NumStamps(), b.NumNodes(), b.NumStamps())
+	}
+	if !reflect.DeepEqual(a.TimeLabels(), b.TimeLabels()) {
+		return fmt.Errorf("time labels %v vs %v", a.TimeLabels(), b.TimeLabels())
+	}
+	type edge struct {
+		u, v int32
+		w    float64
+	}
+	for t := 0; t < a.NumStamps(); t++ {
+		var ae, be []edge
+		a.VisitEdges(int32(t), func(u, v int32, w float64) bool {
+			ae = append(ae, edge{u, v, w})
+			return true
+		})
+		b.VisitEdges(int32(t), func(u, v int32, w float64) bool {
+			be = append(be, edge{u, v, w})
+			return true
+		})
+		if !reflect.DeepEqual(ae, be) {
+			return fmt.Errorf("stamp %d: %d vs %d edges or differing streams", t, len(ae), len(be))
+		}
+	}
+	ac := evolving.BuildFlatCSR(a, evolving.CSRBuildOptions{Workers: 1})
+	bc := evolving.BuildFlatCSR(b, evolving.CSRBuildOptions{Workers: 1})
+	if !reflect.DeepEqual(ac, bc) {
+		return fmt.Errorf("flat CSR views differ")
+	}
+	return nil
 }
 
 // timeRuns reports the minimum wall-clock time of reps invocations,

@@ -27,7 +27,12 @@
 // adds, some removes, the occasional new stamp). 429 backpressure
 // responses are counted as throttled, not failed — that is the write
 // path telling the client to slow down, and the report shows how often
-// it did.
+// it did. The report also carries client-observed ingest-to-visible
+// latency: the time from a write batch's 202 ack until some read first
+// carries an X-Graph-Revision newer than the newest revision observed
+// at ack time (p50/p99; a fold already in flight at ack time can
+// attribute a write to one epoch early, so the number is exact to
+// within one epoch).
 //
 // Each read endpoint draws its parameters from a pool of -distinct
 // variants, so the workload repeats queries the way production traffic
@@ -173,19 +178,94 @@ type endpointReport struct {
 
 // report is the egload -json document.
 type report struct {
-	Target          string                  `json:"target"`
-	Concurrency     int                     `json:"concurrency"`
-	Distinct        int                     `json:"distinct"`
-	Seed            int64                   `json:"seed"`
-	WriteRatio      float64                 `json:"writeRatio"`
-	DurationSeconds float64                 `json:"durationSeconds"`
-	TotalRequests   int                     `json:"totalRequests"`
-	Errors          int                     `json:"errors"`
-	Throttled       int                     `json:"throttled"`
-	Throughput      float64                 `json:"requestsPerSecond"`
-	Endpoints       []endpointReport        `json:"endpoints"`
-	CacheHitRate    float64                 `json:"cacheHitRate"`
-	ServerMetrics   *server.MetricsResponse `json:"serverMetrics,omitempty"`
+	Target          string           `json:"target"`
+	Concurrency     int              `json:"concurrency"`
+	Distinct        int              `json:"distinct"`
+	Seed            int64            `json:"seed"`
+	WriteRatio      float64          `json:"writeRatio"`
+	DurationSeconds float64          `json:"durationSeconds"`
+	TotalRequests   int              `json:"totalRequests"`
+	Errors          int              `json:"errors"`
+	Throttled       int              `json:"throttled"`
+	Throughput      float64          `json:"requestsPerSecond"`
+	Endpoints       []endpointReport `json:"endpoints"`
+	CacheHitRate    float64          `json:"cacheHitRate"`
+	// Ingest-to-visible latency (write ack → first read observing a
+	// newer X-Graph-Revision), measured client-side across the whole
+	// run; zero counts mean the run had no writes or no revision ever
+	// advanced past an acked write.
+	VisibleCount      int                     `json:"ingestVisibleCount,omitempty"`
+	VisibleUnresolved int                     `json:"ingestVisibleUnresolved,omitempty"`
+	VisibleP50NS      int64                   `json:"ingestVisibleP50Ns,omitempty"`
+	VisibleP99NS      int64                   `json:"ingestVisibleP99Ns,omitempty"`
+	ServerMetrics     *server.MetricsResponse `json:"serverMetrics,omitempty"`
+}
+
+// visTracker resolves ingest-to-visible latencies: every write ack
+// registers (ack time, newest revision seen so far); every read
+// response advances the high-water revision and resolves the pending
+// acks older than it.
+type visTracker struct {
+	maxRev atomic.Uint64
+	mu     sync.Mutex
+	pend   []visPending
+	lats   []time.Duration
+}
+
+type visPending struct {
+	ack time.Time
+	rev uint64
+}
+
+func (vt *visTracker) acked() {
+	vt.mu.Lock()
+	vt.pend = append(vt.pend, visPending{ack: time.Now(), rev: vt.maxRev.Load()})
+	vt.mu.Unlock()
+}
+
+func (vt *visTracker) observe(revStr string) {
+	if revStr == "" {
+		return
+	}
+	r, err := strconv.ParseUint(revStr, 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := vt.maxRev.Load()
+		if r <= cur {
+			return
+		}
+		if vt.maxRev.CompareAndSwap(cur, r) {
+			break
+		}
+	}
+	now := time.Now()
+	vt.mu.Lock()
+	keep := vt.pend[:0]
+	for _, p := range vt.pend {
+		if p.rev < r {
+			vt.lats = append(vt.lats, now.Sub(p.ack))
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	vt.pend = keep
+	vt.mu.Unlock()
+}
+
+// fold writes the tracker's percentiles into the report.
+func (vt *visTracker) fold(rep *report) {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	rep.VisibleUnresolved = len(vt.pend)
+	if len(vt.lats) == 0 {
+		return
+	}
+	sort.Slice(vt.lats, func(i, j int) bool { return vt.lats[i] < vt.lats[j] })
+	rep.VisibleCount = len(vt.lats)
+	rep.VisibleP50NS = percentile(vt.lats, 50).Nanoseconds()
+	rep.VisibleP99NS = percentile(vt.lats, 99).Nanoseconds()
 }
 
 // sample is one completed request.
@@ -287,6 +367,7 @@ func run(client *http.Client, base string, stats server.StatsResponse, weights [
 		mu      sync.Mutex
 		samples []sample
 		wg      sync.WaitGroup
+		vis     visTracker
 	)
 	pool := newLabelPool(stats)
 	deadline := time.Now().Add(duration)
@@ -323,6 +404,7 @@ func run(client *http.Client, base string, stats server.StatsResponse, weights [
 						case resp.StatusCode != http.StatusAccepted:
 							s.failed = true
 						default:
+							vis.acked()
 							if opened {
 								// The stamp is registered server-side;
 								// other workers may target it now.
@@ -344,6 +426,7 @@ func run(client *http.Client, base string, stats server.StatsResponse, weights [
 				} else {
 					s.status = resp.StatusCode
 					s.xcache = resp.Header.Get("X-Cache")
+					vis.observe(resp.Header.Get("X-Graph-Revision"))
 					resp.Body.Close()
 					// 5xx is a server failure; 404 on a randomly drawn
 					// inactive root is an expected answer.
@@ -423,6 +506,7 @@ func run(client *http.Client, base string, stats server.StatsResponse, weights [
 		}
 		rep.Endpoints = append(rep.Endpoints, er)
 	}
+	vis.fold(rep)
 	return rep
 }
 
@@ -556,15 +640,21 @@ func printReport(rep *report) {
 			time.Duration(ep.P99NS).Round(time.Microsecond),
 			hit)
 	}
+	if rep.VisibleCount > 0 {
+		fmt.Printf("\ningest-to-visible (ack → first read on a newer revision): p50=%s p99=%s over %d writes (%d unresolved at shutdown)\n",
+			time.Duration(rep.VisibleP50NS).Round(time.Microsecond),
+			time.Duration(rep.VisibleP99NS).Round(time.Microsecond),
+			rep.VisibleCount, rep.VisibleUnresolved)
+	}
 	if rep.ServerMetrics != nil {
 		c := rep.ServerMetrics.Cache
 		fmt.Printf("\nserver cache: hitRate=%.1f%% hits=%d misses=%d collapsed=%d entries=%d evictions=%d inFlight=%d/%d\n",
 			100*rep.CacheHitRate, c.Hits, c.Misses, c.Collapsed, c.Entries, c.Evictions,
 			rep.ServerMetrics.InFlight, rep.ServerMetrics.MaxInFlight)
 		if ig := rep.ServerMetrics.Ingest; ig != nil {
-			fmt.Printf("server ingest: appended=%d pending=%d epochs=%d compacted=%d throttled=%d lastCompact=%.1fms\n",
-				ig.AppendedEvents, ig.PendingEvents, ig.Epochs, ig.CompactedEvents,
-				ig.ThrottledBatches, ig.LastCompactMs)
+			fmt.Printf("server ingest: appended=%d pending=%d epochs=%d (patch=%d full=%d) compacted=%d throttled=%d lastCompact=%.1fms lastCsrBuild=%.1fms lastVisible=%.1fms\n",
+				ig.AppendedEvents, ig.PendingEvents, ig.Epochs, ig.PatchEpochs, ig.FullRebuildEpochs,
+				ig.CompactedEvents, ig.ThrottledBatches, ig.LastCompactMs, ig.LastCSRBuildMs, ig.LastVisibleMs)
 		}
 	}
 }

@@ -16,7 +16,7 @@
 //	        [-cache 1024] [-inflight 0] [-workers 0]
 //	        [-wal events.wal] [-fsync interval] [-fsync-interval 100ms]
 //	        [-compact-every 4096] [-compact-interval 2s] [-max-pending 65536]
-//	        [-write-timeout 0] [-shutdown-timeout 10s]
+//	        [-full-rebuild] [-write-timeout 0] [-shutdown-timeout 10s]
 //
 // Without -graph a random evolving graph is generated and served. With
 // -wal the file's event stream is replayed onto that base graph before
@@ -73,6 +73,7 @@ func main() {
 		compactEvery    = flag.Int("compact-every", 4096, "fold the pending delta after this many events")
 		compactInterval = flag.Duration("compact-interval", 2*time.Second, "fold any pending delta at least this often")
 		maxPending      = flag.Int("max-pending", 1<<16, "pending-delta bound; writes beyond it get 429")
+		fullRebuild     = flag.Bool("full-rebuild", false, "compact via the full Fold rebuild instead of the incremental Patch (the differential oracle; slower, same results)")
 
 		writeTimeout    = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none; cold analytics queries can be slow)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
@@ -148,6 +149,7 @@ func main() {
 			CompactInterval: *compactInterval,
 			MaxPending:      *maxPending,
 			ExtraLabels:     extra,
+			UseFullRebuild:  *fullRebuild,
 		})
 		if err != nil {
 			log.Fatalf("egserve: %v", err)

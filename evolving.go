@@ -112,8 +112,30 @@ type Unfolding = egraph.Unfolding
 
 // CSRView is the flat compressed-sparse-row layout of the unfolded
 // temporal graph that the default BFS engine traverses (DESIGN.md §8);
-// obtain one with Graph.CSR.
+// obtain one with Graph.CSR (cached) or BuildFlatCSR (uncached, with
+// explicit worker/arena control).
 type CSRView = egraph.CSR
+
+// CSRBuildOptions tunes BuildFlatCSR / Graph.EnsureCSR: parallel fill
+// fan-out and the recycled-buffer arena (DESIGN.md §12).
+type CSRBuildOptions = egraph.CSRBuildOptions
+
+// CSRArena recycles a retired flat view's buffers into the next build.
+type CSRArena = egraph.CSRArena
+
+// BuildFlatCSR builds a flat CSR view without touching the graph's
+// cache — sequential and parallel builds are bit-identical.
+func BuildFlatCSR(g *Graph, opts CSRBuildOptions) *CSRView { return egraph.BuildFlatCSR(g, opts) }
+
+// ArcDelta is one arc-level mutation consumed by PatchGraph.
+type ArcDelta = egraph.ArcDelta
+
+// PatchGraph applies an arc delta to base by copy-on-write and returns
+// the resulting immutable graph: only stamps the delta touches are
+// rebuilt, untouched snapshots and active-stamp rows are shared with
+// base by reference (DESIGN.md §12). An empty or no-op delta returns
+// base itself.
+func PatchGraph(base *Graph, delta []ArcDelta) *Graph { return egraph.Patch(base, delta) }
 
 // ErrInactiveRoot is returned when a search root is inactive.
 var ErrInactiveRoot = core.ErrInactiveRoot

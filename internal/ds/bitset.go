@@ -182,6 +182,70 @@ func (b *BitSet) Clone() *BitSet {
 	return c
 }
 
+// CloneGrow returns an independent copy with capacity for n bits,
+// n ≥ b.Len(); the grown tail is zero. It is the copy-on-write path of
+// egraph.Patch, where a delta introduces node ids beyond the base
+// graph's universe.
+func (b *BitSet) CloneGrow(n int) *BitSet {
+	if n < b.n {
+		panic("ds: CloneGrow capacity below current size")
+	}
+	c := NewBitSet(n)
+	copy(c.words, b.words)
+	return c
+}
+
+// Recap returns a BitSet of capacity n, reusing b's word storage when
+// it is large enough (b may be nil). The result is zeroed either way.
+// The caller must guarantee b is no longer in use — this is the
+// arena-recycling path of the flat CSR build.
+func Recap(b *BitSet, n int) *BitSet {
+	words := (n + wordBits - 1) / wordBits
+	if b == nil || cap(b.words) < words {
+		return NewBitSet(n)
+	}
+	b.words = b.words[:words]
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.n = n
+	return b
+}
+
+// Blit ORs the first n bits of src into b starting at bit offset off
+// (off+n must fit in b). It works word-at-a-time with shifts, so
+// flattening T per-stamp active sets of n bits each into one N·T-bit
+// set costs O(N·T/64) word operations rather than one Set per active
+// node.
+func (b *BitSet) Blit(src *BitSet, n, off int) {
+	if n < 0 || off < 0 || off+n > b.n {
+		panic("ds: Blit range out of bounds")
+	}
+	if n > src.n {
+		panic("ds: Blit length exceeds source capacity")
+	}
+	words := n / wordBits
+	shift := uint(off % wordBits)
+	wi := off / wordBits
+	if shift == 0 {
+		for i := 0; i < words; i++ {
+			b.words[wi+i] |= src.words[i]
+		}
+	} else {
+		for i := 0; i < words; i++ {
+			w := src.words[i]
+			b.words[wi+i] |= w << shift
+			b.words[wi+i+1] |= w >> (wordBits - shift)
+		}
+	}
+	// Tail bits beyond the last whole source word.
+	for i := words * wordBits; i < n; i++ {
+		if src.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0 {
+			b.Set(off + i)
+		}
+	}
+}
+
 // Equal reports whether b and other hold the same bits and capacity.
 func (b *BitSet) Equal(other *BitSet) bool {
 	if b.n != other.n {

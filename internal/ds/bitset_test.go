@@ -265,3 +265,71 @@ func TestBitSetMismatchedAndNotCountPanics(t *testing.T) {
 	}()
 	NewBitSet(10).AndNotCount(NewBitSet(20))
 }
+
+func TestBitSetCloneGrow(t *testing.T) {
+	b := NewBitSet(70)
+	b.Set(0)
+	b.Set(69)
+	g := b.CloneGrow(200)
+	if g.Len() != 200 || !g.Get(0) || !g.Get(69) || g.Count() != 2 {
+		t.Fatalf("CloneGrow lost bits: len=%d count=%d", g.Len(), g.Count())
+	}
+	g.Set(150)
+	if b.Count() != 2 {
+		t.Fatal("CloneGrow shares storage with the source")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CloneGrow below current size did not panic")
+		}
+	}()
+	b.CloneGrow(10)
+}
+
+func TestBitSetRecap(t *testing.T) {
+	if b := Recap(nil, 100); b.Len() != 100 || b.Any() {
+		t.Fatalf("Recap(nil) = len %d, any %v", b.Len(), b.Any())
+	}
+	big := NewBitSet(1000)
+	big.Set(3)
+	big.Set(999)
+	words := &big.words[0]
+	r := Recap(big, 500)
+	if r.Len() != 500 || r.Any() {
+		t.Fatalf("Recap did not zero: len=%d any=%v", r.Len(), r.Any())
+	}
+	if &r.words[0] != words {
+		t.Fatal("Recap with sufficient capacity reallocated")
+	}
+	small := NewBitSet(10)
+	if r := Recap(small, 640); r.Len() != 640 || r.Any() {
+		t.Fatalf("Recap grow = len %d, any %v", r.Len(), r.Any())
+	}
+}
+
+func TestBitSetBlit(t *testing.T) {
+	// Property-check Blit against a bit-by-bit model across unaligned
+	// offsets and lengths — the stamp-major Active flattening depends
+	// on the shift arithmetic being exact.
+	for _, tc := range []struct{ n, off, srcN int }{
+		{64, 0, 64}, {64, 64, 64}, {63, 1, 70}, {130, 37, 200},
+		{1, 63, 5}, {100, 101, 150}, {0, 10, 3},
+	} {
+		src := NewBitSet(tc.srcN)
+		for i := 0; i < tc.srcN; i += 3 {
+			src.Set(i)
+		}
+		dst := NewBitSet(tc.off + tc.n + 7)
+		dst.Set(0) // pre-existing bits must survive (Blit ORs)
+		dst.Blit(src, tc.n, tc.off)
+		for i := 0; i < dst.Len(); i++ {
+			want := i == 0
+			if i >= tc.off && i < tc.off+tc.n {
+				want = want || src.Get(i-tc.off)
+			}
+			if dst.Get(i) != want {
+				t.Fatalf("n=%d off=%d: bit %d = %v, want %v", tc.n, tc.off, i, dst.Get(i), want)
+			}
+		}
+	}
+}

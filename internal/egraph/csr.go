@@ -1,7 +1,9 @@
 package egraph
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ds"
 )
@@ -23,7 +25,8 @@ import (
 // before it — an array scan either way, O(1) per arc.
 //
 // A CSR is immutable once built and safe for concurrent use. Build one
-// with IntEvolvingGraph.CSR, which caches the view on the graph.
+// with IntEvolvingGraph.CSR, which caches the view on the graph, or
+// BuildFlatCSR for an uncached build with explicit worker/arena control.
 type CSR struct {
 	// N and T are the node-id-space size and stamp count of the source
 	// graph; ids run in [0, N·T).
@@ -105,81 +108,265 @@ func (c *CSR) CausalArcs(id int32, forward, consecutive bool) (stamps []int32, v
 	return c.ActStamps[start:pos], v
 }
 
+// CSRArena holds the flat-view buffers of a retired CSR so the next
+// epoch's build can reuse them instead of allocating ~|V|+|E| of fresh
+// memory. Obtain one with CSR.Recycle or IntEvolvingGraph.RecycleCSR
+// once the owning graph is provably unreachable (the ingest write path
+// learns this through the server's unpin notification, DESIGN.md §12);
+// hand it to BuildFlatCSR or EnsureCSR. The zero value is an empty
+// arena.
+type CSRArena struct {
+	outPtr, inPtr             []int64
+	outAdj, inAdj             []int32
+	actPtr, actStamps, actPos []int32
+	active                    *ds.BitSet
+}
+
+// Recycle extracts c's buffers into an arena for the next build. The
+// CSR must no longer be reachable by any reader: the returned arena
+// aliases its storage, and the next build will overwrite it.
+func (c *CSR) Recycle() *CSRArena {
+	return &CSRArena{
+		outPtr: c.OutPtr, inPtr: c.InPtr,
+		outAdj: c.OutAdj, inAdj: c.InAdj,
+		actPtr: c.ActPtr, actStamps: c.ActStamps, actPos: c.ActPos,
+		active: c.Active,
+	}
+}
+
+// RecycleCSR extracts the graph's cached flat view into an arena, or
+// returns nil if the view was never built. It also severs the graph's
+// reference to the view, so a late accidental query fails fast on a nil
+// CSR instead of silently reading recycled memory. The caller must
+// guarantee no concurrent reader of g exists — this is only safe for a
+// retired, unpinned snapshot.
+func (g *IntEvolvingGraph) RecycleCSR() *CSRArena {
+	c := g.csr
+	if c == nil {
+		return nil
+	}
+	g.csr = nil
+	return c.Recycle()
+}
+
+// CSRBuildOptions tunes BuildFlatCSR / EnsureCSR.
+type CSRBuildOptions struct {
+	// Workers fans the stamp-major fill out across this many goroutines
+	// (0 = GOMAXPROCS, 1 = fully sequential). Graphs too small to repay
+	// the fan-out are built sequentially regardless.
+	Workers int
+	// Arena recycles the buffers of a retired CSR (see CSRArena).
+	// Buffers with insufficient capacity are reallocated individually.
+	Arena *CSRArena
+}
+
 // CSR returns the flat CSR view of g, building it on first use. The
 // view is cached on the graph and shared by all callers; like every
 // other query method it is safe for concurrent use.
-func (g *IntEvolvingGraph) CSR() *CSR {
-	g.csrOnce.Do(func() { g.csr = buildCSR(g) })
+func (g *IntEvolvingGraph) CSR() *CSR { return g.EnsureCSR(CSRBuildOptions{}) }
+
+// EnsureCSR returns the cached flat CSR view, building it with opts on
+// first use — the ingest compactor prebuilds each epoch's view here,
+// parallel and into a recycled arena, so the first query after a
+// snapshot swap pays nothing. Safe for concurrent use; opts only
+// matter for the call that actually builds.
+func (g *IntEvolvingGraph) EnsureCSR(opts CSRBuildOptions) *CSR {
+	g.csrOnce.Do(func() { g.csr = BuildFlatCSR(g, opts) })
 	return g.csr
 }
 
-func buildCSR(g *IntEvolvingGraph) *CSR {
+// BuildFlatCSR builds a flat CSR view of g without touching the
+// graph's cache — the entry point egbench's csr suite uses to race
+// sequential against parallel builds on one graph. The build is
+// deterministic: sequential and parallel fills produce bit-identical
+// arrays, because the per-stamp offsets are computed up front from the
+// snapshot totals and every worker writes a disjoint range.
+func BuildFlatCSR(g *IntEvolvingGraph, opts CSRBuildOptions) *CSR {
 	n, t := g.numNodes, len(g.snaps)
 	size := n * t
+	a := opts.Arena
+	if a == nil {
+		a = &CSRArena{}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if size < 1<<15 {
+		workers = 1 // fan-out overhead dominates tiny graphs
+	}
+
 	c := &CSR{
 		N:      n,
 		T:      t,
-		OutPtr: make([]int64, size+1),
-		InPtr:  make([]int64, size+1),
-		ActPtr: make([]int32, n+1),
-		ActPos: make([]int32, size),
-		Active: ds.NewBitSet(size),
+		OutPtr: i64Into(a.outPtr, size+1),
+		InPtr:  i64Into(a.inPtr, size+1),
+		ActPtr: i32Into(a.actPtr, n+1),
+		ActPos: i32Into(a.actPos, size),
+		Active: ds.Recap(a.active, size),
 	}
 
-	// Static arcs: per-stamp CSR rows concatenated in stamp-major order,
-	// targets rebased to temporal-node ids of the same stamp.
-	var outArcs, inArcs int64
+	// Stamp-level base offsets come straight from the per-stamp CSR
+	// totals: no counting pass over temporal nodes is needed, and every
+	// (stamp, node-range) fill below is independent of all others.
+	outBase := make([]int64, t+1)
+	inBase := make([]int64, t+1)
 	for si := range g.snaps {
 		s := &g.snaps[si]
-		base := si * n
-		for v := 0; v < n; v++ {
-			id := base + v
-			outArcs += int64(s.outPtr[v+1] - s.outPtr[v])
-			inArcs += int64(s.inPtr[v+1] - s.inPtr[v])
-			c.OutPtr[id+1] = outArcs
-			c.InPtr[id+1] = inArcs
-		}
+		outBase[si+1] = outBase[si] + int64(len(s.outAdj))
+		inBase[si+1] = inBase[si] + int64(len(s.inAdj))
 	}
-	c.OutAdj = make([]int32, outArcs)
-	c.InAdj = make([]int32, inArcs)
-	for si := range g.snaps {
-		s := &g.snaps[si]
-		base := int32(si * n)
-		for v := 0; v < n; v++ {
-			id := int32(si*n + v)
-			o := c.OutPtr[id]
-			for _, w := range s.outAdj[s.outPtr[v]:s.outPtr[v+1]] {
-				c.OutAdj[o] = base + w
-				o++
-			}
-			i := c.InPtr[id]
-			for _, w := range s.inAdj[s.inPtr[v]:s.inPtr[v+1]] {
-				c.InAdj[i] = base + w
-				i++
-			}
-		}
-	}
+	c.OutAdj = i32Into(a.outAdj, int(outBase[t]))
+	c.InAdj = i32Into(a.inAdj, int(inBase[t]))
+	c.OutPtr[size] = outBase[t]
+	c.InPtr[size] = inBase[t]
 
-	// Causal structure: flatten activeAt and index each (v, t) into it.
-	for i := range c.ActPos {
-		c.ActPos[i] = -1
-	}
+	// Per-node active-row offsets (serial: O(N) additions).
+	c.ActPtr[0] = 0
 	total := 0
 	for v := 0; v < n; v++ {
 		total += len(g.activeAt[v])
 		c.ActPtr[v+1] = int32(total)
 	}
-	c.ActStamps = make([]int32, total)
-	for v := 0; v < n; v++ {
-		row := c.ActPtr[v]
-		for i, s := range g.activeAt[v] {
-			gi := row + int32(i)
-			c.ActStamps[gi] = s
-			c.ActPos[int(s)*n+v] = gi
-			c.Active.Set(int(s)*n + v)
+	c.ActStamps = i32Into(a.actStamps, total)
+
+	// fill materialises the static rows of one stamp's node range:
+	// pointer rows rebased by the stamp offset, adjacency rebased to
+	// temporal-node ids of the same stamp.
+	fill := func(si, v0, v1 int) {
+		s := &g.snaps[si]
+		ob, ib := outBase[si], inBase[si]
+		idBase := si * n
+		rebase := int32(idBase)
+		for v := v0; v < v1; v++ {
+			c.OutPtr[idBase+v] = ob + int64(s.outPtr[v])
+			c.InPtr[idBase+v] = ib + int64(s.inPtr[v])
+		}
+		for j := s.outPtr[v0]; j < s.outPtr[v1]; j++ {
+			c.OutAdj[ob+int64(j)] = rebase + s.outAdj[j]
+		}
+		for j := s.inPtr[v0]; j < s.inPtr[v1]; j++ {
+			c.InAdj[ib+int64(j)] = rebase + s.inAdj[j]
 		}
 	}
+	// causal materialises the active-stamp rows and the ActPos index of
+	// one node range (the ActPos entries of nodes [v0,v1) are the
+	// contiguous sub-rows [t·n+v0, t·n+v1) of every stamp — disjoint
+	// across ranges).
+	causal := func(v0, v1 int) {
+		for si := 0; si < t; si++ {
+			row := c.ActPos[si*n+v0 : si*n+v1]
+			for i := range row {
+				row[i] = -1
+			}
+		}
+		for v := v0; v < v1; v++ {
+			rowStart := c.ActPtr[v]
+			for i, s := range g.activeAt[v] {
+				gi := rowStart + int32(i)
+				c.ActStamps[gi] = s
+				c.ActPos[int(s)*n+v] = gi
+			}
+		}
+	}
+
+	if workers == 1 || n == 0 {
+		for si := 0; si < t; si++ {
+			fill(si, 0, n)
+		}
+		causal(0, n)
+	} else {
+		runCSRTasks(workers, n, t, fill, causal)
+	}
+
+	// Def.-3 activity, stamp-major: each stamp's active set word-blits
+	// into its id block. Serial, but O(N·T/64) word operations.
+	for si := range g.snaps {
+		c.Active.Blit(g.snaps[si].active, n, si*n)
+	}
 	return c
+}
+
+// runCSRTasks fans the fill and causal closures out over (stamp,
+// node-chunk) and (node-chunk) tasks respectively. Chunks are
+// fixed-size node ranges so skewed stamps cannot serialise the build
+// behind one goroutine.
+func runCSRTasks(workers, n, t int, fill func(si, v0, v1 int), causal func(v0, v1 int)) {
+	const chunk = 1 << 14
+	nchunks := (n + chunk - 1) / chunk
+	type task struct {
+		si     int // stamp for fill tasks, -1 for causal tasks
+		v0, v1 int
+	}
+	tasks := make([]task, 0, (t+1)*nchunks)
+	for ci := 0; ci < nchunks; ci++ {
+		v0, v1 := ci*chunk, (ci+1)*chunk
+		if v1 > n {
+			v1 = n
+		}
+		for si := 0; si < t; si++ {
+			tasks = append(tasks, task{si: si, v0: v0, v1: v1})
+		}
+		tasks = append(tasks, task{si: -1, v0: v0, v1: v1})
+	}
+	runTasks(workers, len(tasks), func(i int) {
+		tk := tasks[i]
+		if tk.si >= 0 {
+			fill(tk.si, tk.v0, tk.v1)
+		} else {
+			causal(tk.v0, tk.v1)
+		}
+	})
+}
+
+// runTasks runs fn(0..n-1) across up to workers goroutines dispatched
+// through one shared atomic cursor; workers ≤ 1 (or a single task)
+// runs inline. Both the flat-CSR fill and Patch's per-stamp rebuilds
+// fan out through here.
+func runTasks(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// i64Into returns a length-n int64 slice, reusing buf's storage when
+// its capacity suffices. Contents are unspecified; the build overwrites
+// every entry.
+func i64Into(buf []int64, n int) []int64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int64, n)
+}
+
+// i32Into is i64Into for int32 slices.
+func i32Into(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int32, n)
 }
 
 // csrCache is embedded in IntEvolvingGraph so the lazily built view does

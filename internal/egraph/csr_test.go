@@ -2,6 +2,7 @@ package egraph
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -189,5 +190,77 @@ func TestCSRArcCounts(t *testing.T) {
 		if c.Active.Count() != g.NumActiveNodes() {
 			t.Fatalf("active bits: %d, want %d", c.Active.Count(), g.NumActiveNodes())
 		}
+	}
+}
+
+// The parallel stamp-major fill must be bit-identical to the
+// sequential build — same arrays, same order, no races deciding
+// contents. The graph is sized past the sequential-fallback threshold
+// so the fan-out actually engages.
+func TestCSRParallelBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := NewBuilder(true)
+	for i := 0; i < 60_000; i++ {
+		u := int32(rng.Intn(6000))
+		v := int32(rng.Intn(6000))
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, int64(1+rng.Intn(8)))
+	}
+	g := b.Build()
+	if g.NumNodes()*g.NumStamps() < 1<<15 {
+		t.Fatalf("test graph too small to engage the parallel fill")
+	}
+	seq := BuildFlatCSR(g, CSRBuildOptions{Workers: 1})
+	for _, workers := range []int{2, 3, 8} {
+		par := BuildFlatCSR(g, CSRBuildOptions{Workers: workers})
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("parallel build (workers=%d) differs from sequential", workers)
+		}
+	}
+}
+
+// An arena-reused build must produce the same view as a fresh one and
+// actually reuse the recycled buffers when their capacity suffices.
+func TestCSRArenaReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	big := randomCSRGraph(rng, true)
+	old := BuildFlatCSR(big, CSRBuildOptions{Workers: 1})
+	oldOutPtr, oldActPos := &old.OutPtr[0], &old.ActPos[0]
+	arena := old.Recycle()
+
+	small := randomCSRGraph(rng, false)
+	reused := BuildFlatCSR(small, CSRBuildOptions{Workers: 1, Arena: arena})
+	fresh := BuildFlatCSR(small, CSRBuildOptions{Workers: 1})
+	if !reflect.DeepEqual(reused, fresh) {
+		t.Fatalf("arena-reused build differs from fresh build")
+	}
+	if small.NumNodes()*small.NumStamps() <= big.NumNodes()*big.NumStamps() {
+		if &reused.OutPtr[0] != oldOutPtr || &reused.ActPos[0] != oldActPos {
+			t.Fatalf("arena buffers were not reused despite sufficient capacity")
+		}
+	}
+}
+
+// RecycleCSR severs the graph's cached view (fail-fast against
+// use-after-recycle) and returns nil when no view was ever built.
+func TestRecycleCSR(t *testing.T) {
+	g := Figure1Graph()
+	if a := g.RecycleCSR(); a != nil {
+		t.Fatalf("RecycleCSR before any build returned %v, want nil", a)
+	}
+	g.CSR()
+	if a := g.RecycleCSR(); a == nil {
+		t.Fatalf("RecycleCSR after build returned nil")
+	}
+}
+
+// EnsureCSR caches exactly one view regardless of options.
+func TestEnsureCSRCachesOnce(t *testing.T) {
+	g := Figure1Graph()
+	c := g.EnsureCSR(CSRBuildOptions{Workers: 2})
+	if g.EnsureCSR(CSRBuildOptions{}) != c || g.CSR() != c {
+		t.Fatal("EnsureCSR rebuilt the cached view")
 	}
 }

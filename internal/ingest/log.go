@@ -48,6 +48,14 @@ type Config struct {
 	// mentioned, which the folded graph may no longer carry (a stamp
 	// whose arcs were all removed, or an AddStamp with no arcs yet).
 	ExtraLabels []int64
+	// UseFullRebuild routes every epoch through the full Fold rebuild
+	// (replay all of base through a Builder) instead of the incremental
+	// copy-on-write Patch. Patch and Fold produce equivalent graphs —
+	// egbench's compact suite races them with a bit-identical-CSR
+	// assertion — so this is the differential oracle of the write path,
+	// the same engine-race pattern the traversal and analytics layers
+	// use (DESIGN.md §12).
+	UseFullRebuild bool
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...interface{})
 }
@@ -55,17 +63,32 @@ type Config struct {
 // Stats is a point-in-time snapshot of the pipeline counters, served
 // by /ingest/stats and folded into /metrics.
 type Stats struct {
-	AppendedBatches  int64     `json:"appendedBatches"`
-	AppendedEvents   int64     `json:"appendedEvents"`
-	RejectedBatches  int64     `json:"rejectedBatches"`  // validation failures
-	ThrottledBatches int64     `json:"throttledBatches"` // backpressure drops
-	ThrottledEvents  int64     `json:"throttledEvents"`
-	PendingEvents    int64     `json:"pendingEvents"` // buffered, not yet folded
-	Epochs           int64     `json:"epochs"`        // compactions published
-	CompactedEvents  int64     `json:"compactedEvents"`
-	LastCompactMs    float64   `json:"lastCompactMs"`
-	TotalCompactMs   float64   `json:"totalCompactMs"`
-	WAL              *WALStats `json:"wal,omitempty"`
+	AppendedBatches  int64 `json:"appendedBatches"`
+	AppendedEvents   int64 `json:"appendedEvents"`
+	RejectedBatches  int64 `json:"rejectedBatches"`  // validation failures
+	ThrottledBatches int64 `json:"throttledBatches"` // backpressure drops
+	ThrottledEvents  int64 `json:"throttledEvents"`
+	PendingEvents    int64 `json:"pendingEvents"` // buffered, not yet folded
+	Epochs           int64 `json:"epochs"`        // compactions published
+	CompactedEvents  int64 `json:"compactedEvents"`
+	// PatchEpochs/FullRebuildEpochs split Epochs by fold path: the
+	// incremental copy-on-write Patch (the default) vs the full Builder
+	// replay (Config.UseFullRebuild, the differential oracle).
+	PatchEpochs       int64   `json:"patchEpochs"`
+	FullRebuildEpochs int64   `json:"fullRebuildEpochs"`
+	LastCompactMs     float64 `json:"lastCompactMs"`
+	TotalCompactMs    float64 `json:"totalCompactMs"`
+	// LastCSRBuildMs is the slice of the last epoch spent prebuilding
+	// the new snapshot's flat CSR view (parallel, into a recycled arena
+	// when one was banked) before publishing it.
+	LastCSRBuildMs float64 `json:"lastCsrBuildMs"`
+	// LastVisibleMs / MaxVisibleMs report ingest-to-visible latency:
+	// the age of the oldest event in an epoch at the moment its fold
+	// was published — how stale an acknowledged write can get before
+	// readers observe it.
+	LastVisibleMs float64   `json:"lastVisibleMs"`
+	MaxVisibleMs  float64   `json:"maxVisibleMs"`
+	WAL           *WALStats `json:"wal,omitempty"`
 }
 
 // Log is the mutation API of the live query service: validated,
@@ -96,15 +119,38 @@ type Log struct {
 	quit chan struct{}
 	done chan struct{}
 
+	// arena banks the recycled flat-CSR buffers of the last retired
+	// snapshot; owned tracks the graphs this log published and still
+	// expects a retirement notification for. Both are populated only
+	// when the Publisher supports unpin notification (RetireNotifier).
+	arenaMu sync.Mutex
+	arena   *egraph.CSRArena
+	owned   map[*egraph.IntEvolvingGraph]struct{}
+
 	appendedBatches  atomic.Int64
 	appendedEvents   atomic.Int64
 	rejectedBatches  atomic.Int64
 	throttledBatches atomic.Int64
 	throttledEvents  atomic.Int64
 	epochs           atomic.Int64
+	patchEpochs      atomic.Int64
+	fullEpochs       atomic.Int64
 	compactedEvents  atomic.Int64
 	lastCompactNS    atomic.Int64
 	totalCompactNS   atomic.Int64
+	lastCSRBuildNS   atomic.Int64
+	lastVisibleNS    atomic.Int64
+	maxVisibleNS     atomic.Int64
+}
+
+// RetireNotifier is the optional half of the Publisher seam backing
+// arena reuse: a Publisher that can prove a replaced graph has no
+// remaining readers (internal/server pin-tracks requests per epoch)
+// reports it through the registered callback, and the Log recycles
+// that snapshot's flat-CSR buffers into the next epoch's rebuild. A
+// Publisher without it simply leaves every build allocating fresh.
+type RetireNotifier interface {
+	NotifyRetired(fn func(*egraph.IntEvolvingGraph))
 }
 
 // New builds a Log over pub and starts its epoch compactor. Close it
@@ -148,8 +194,29 @@ func New(pub Publisher, cfg Config) (*Log, error) {
 		// recovered prefix is already folded into the base graph.
 		l.foldNext = l.wal.NextSeq()
 	}
+	if rn, ok := pub.(RetireNotifier); ok {
+		l.owned = make(map[*egraph.IntEvolvingGraph]struct{})
+		rn.NotifyRetired(l.graphRetired)
+	}
 	go l.run()
 	return l, nil
+}
+
+// graphRetired is the unpin callback: the Publisher guarantees g has no
+// remaining readers, so if g is a snapshot this log published, its flat
+// CSR buffers are safe to recycle into the next epoch's build. Graphs
+// the log did not create (the seed base, or anything a caller swapped
+// in directly) are never touched — the caller may still hold them.
+func (l *Log) graphRetired(g *egraph.IntEvolvingGraph) {
+	l.arenaMu.Lock()
+	defer l.arenaMu.Unlock()
+	if _, ok := l.owned[g]; !ok {
+		return
+	}
+	delete(l.owned, g)
+	if l.arena == nil {
+		l.arena = g.RecycleCSR()
+	}
 }
 
 // pendingBatch is one accepted batch awaiting its epoch fold. Batches
@@ -159,6 +226,7 @@ func New(pub Publisher, cfg Config) (*Log, error) {
 type pendingBatch struct {
 	seq    uint64
 	events []Event
+	at     time.Time // buffered (≈ acknowledged); feeds ingest-to-visible latency
 }
 
 // Append validates events as one atomic batch, makes it durable (when
@@ -248,6 +316,7 @@ func (l *Log) Append(events []Event) (seq uint64, err error) {
 // held). Concurrent appenders commit out of order, so an insert may
 // back-fill a gap before already-buffered higher sequences.
 func (l *Log) insertPendingLocked(b pendingBatch) {
+	b.at = time.Now()
 	i := len(l.pending)
 	for i > 0 && l.pending[i-1].seq > b.seq {
 		i--
@@ -349,8 +418,12 @@ func (l *Log) CompactNow() int {
 	defer l.foldMu.Unlock()
 	l.mu.Lock()
 	var events []Event
+	var oldest time.Time
 	n := 0
 	for n < len(l.pending) && l.pending[n].seq == l.foldNext+uint64(n) {
+		if n == 0 {
+			oldest = l.pending[0].at
+		}
 		events = append(events, l.pending[n].events...)
 		n++
 	}
@@ -364,15 +437,61 @@ func (l *Log) CompactNow() int {
 		return 0
 	}
 	start := time.Now()
-	g := Fold(l.pub.Graph(), events)
+	base := l.pub.Graph()
+	var g *egraph.IntEvolvingGraph
+	path := "patched"
+	if l.cfg.UseFullRebuild {
+		g = Fold(base, events)
+		l.fullEpochs.Add(1)
+		path = "full-rebuilt"
+	} else {
+		g = Patch(base, events)
+		l.patchEpochs.Add(1)
+	}
+	if g == base {
+		// Every event was structurally a no-op (pure stamp
+		// registrations, removals of absent arcs): the served graph is
+		// unchanged, and republishing it would only invalidate the
+		// result cache — and worse, retire-and-recycle the snapshot
+		// still being served. Labels were registered at append time.
+		l.epochs.Add(1)
+		l.compactedEvents.Add(int64(len(events)))
+		return len(events)
+	}
+	// Prebuild the flat CSR view off the request path — parallel, and
+	// into the retired snapshot's recycled buffers when the Publisher
+	// has reported the previous-but-one revision unpinned — so the
+	// first query after the swap pays nothing.
+	csrStart := time.Now()
+	l.arenaMu.Lock()
+	arena := l.arena
+	l.arena = nil
+	l.arenaMu.Unlock()
+	g.EnsureCSR(egraph.CSRBuildOptions{Arena: arena})
+	l.lastCSRBuildNS.Store(time.Since(csrStart).Nanoseconds())
+	l.arenaMu.Lock()
+	if l.owned != nil {
+		l.owned[g] = struct{}{}
+	}
+	l.arenaMu.Unlock()
 	rev := l.pub.ReplaceGraph(g)
 	dur := time.Since(start)
+	visible := time.Since(oldest)
 	l.epochs.Add(1)
 	l.compactedEvents.Add(int64(len(events)))
 	l.lastCompactNS.Store(dur.Nanoseconds())
 	l.totalCompactNS.Add(dur.Nanoseconds())
-	l.cfg.Logf("ingest: epoch %d: folded %d events in %s, published revision %d (%d nodes, %d stamps)",
-		l.epochs.Load(), len(events), dur.Round(time.Microsecond), rev, g.NumNodes(), g.NumStamps())
+	l.lastVisibleNS.Store(visible.Nanoseconds())
+	for {
+		max := l.maxVisibleNS.Load()
+		if visible.Nanoseconds() <= max || l.maxVisibleNS.CompareAndSwap(max, visible.Nanoseconds()) {
+			break
+		}
+	}
+	l.cfg.Logf("ingest: epoch %d: %s %d events in %s (csr %s), published revision %d (%d nodes, %d stamps, oldest write visible after %s)",
+		l.epochs.Load(), path, len(events), dur.Round(time.Microsecond),
+		time.Duration(l.lastCSRBuildNS.Load()).Round(time.Microsecond), rev,
+		g.NumNodes(), g.NumStamps(), visible.Round(time.Millisecond))
 	return len(events)
 }
 
@@ -401,16 +520,21 @@ func (l *Log) Stats() Stats {
 	pending := l.pendingN
 	l.mu.Unlock()
 	s := Stats{
-		AppendedBatches:  l.appendedBatches.Load(),
-		AppendedEvents:   l.appendedEvents.Load(),
-		RejectedBatches:  l.rejectedBatches.Load(),
-		ThrottledBatches: l.throttledBatches.Load(),
-		ThrottledEvents:  l.throttledEvents.Load(),
-		PendingEvents:    int64(pending),
-		Epochs:           l.epochs.Load(),
-		CompactedEvents:  l.compactedEvents.Load(),
-		LastCompactMs:    float64(l.lastCompactNS.Load()) / 1e6,
-		TotalCompactMs:   float64(l.totalCompactNS.Load()) / 1e6,
+		AppendedBatches:   l.appendedBatches.Load(),
+		AppendedEvents:    l.appendedEvents.Load(),
+		RejectedBatches:   l.rejectedBatches.Load(),
+		ThrottledBatches:  l.throttledBatches.Load(),
+		ThrottledEvents:   l.throttledEvents.Load(),
+		PendingEvents:     int64(pending),
+		Epochs:            l.epochs.Load(),
+		PatchEpochs:       l.patchEpochs.Load(),
+		FullRebuildEpochs: l.fullEpochs.Load(),
+		CompactedEvents:   l.compactedEvents.Load(),
+		LastCompactMs:     float64(l.lastCompactNS.Load()) / 1e6,
+		TotalCompactMs:    float64(l.totalCompactNS.Load()) / 1e6,
+		LastCSRBuildMs:    float64(l.lastCSRBuildNS.Load()) / 1e6,
+		LastVisibleMs:     float64(l.lastVisibleNS.Load()) / 1e6,
+		MaxVisibleMs:      float64(l.maxVisibleNS.Load()) / 1e6,
 	}
 	if l.wal != nil {
 		ws := l.wal.Stats()
@@ -433,7 +557,17 @@ type arcKey struct {
 // never mutates base — and deterministic, so replaying a WAL onto the
 // same base always reproduces the same graph. Added arcs carry weight
 // 1; re-adding an arc base already has keeps base's weight.
+//
+// Fold is O(base + events) regardless of the delta's size; the epoch
+// compactor uses the delta-proportional Patch by default and keeps
+// Fold as the differential oracle (Config.UseFullRebuild) and the
+// recovery replay path.
 func Fold(base *egraph.IntEvolvingGraph, events []Event) *egraph.IntEvolvingGraph {
+	if len(events) == 0 {
+		// Nothing to fold: a timer-driven epoch with no writes must not
+		// pay for a delta map and a full stamp walk.
+		return base
+	}
 	delta := make(map[arcKey]bool, len(events))
 	key := func(u, v int32, t int64) arcKey {
 		if !base.Directed() && u > v {
@@ -475,4 +609,28 @@ func Fold(base *egraph.IntEvolvingGraph, events []Event) *egraph.IntEvolvingGrap
 		}
 	}
 	return b.Build()
+}
+
+// Patch applies events to base through egraph.Patch, the incremental
+// copy-on-write fold: only stamps the delta touches get their rows
+// rebuilt, everything else is shared with base by reference. Patch and
+// Fold implement the same semantics (last op per arc wins, re-adds
+// keep base's weight, added arcs carry weight 1) and produce
+// equivalent graphs; Patch's cost is proportional to the delta, which
+// is why the epoch compactor uses it by default. Like Fold it is pure
+// and deterministic; an empty or no-op event list returns base itself.
+func Patch(base *egraph.IntEvolvingGraph, events []Event) *egraph.IntEvolvingGraph {
+	if len(events) == 0 {
+		return base
+	}
+	delta := make([]egraph.ArcDelta, 0, len(events))
+	for _, e := range events {
+		switch e.Op {
+		case AddArc:
+			delta = append(delta, egraph.ArcDelta{U: e.U, V: e.V, T: e.T, W: 1})
+		case RemoveArc:
+			delta = append(delta, egraph.ArcDelta{U: e.U, V: e.V, T: e.T, Del: true})
+		}
+	}
+	return egraph.Patch(base, delta)
 }

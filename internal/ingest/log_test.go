@@ -406,3 +406,188 @@ func TestLogBackgroundCompaction(t *testing.T) {
 		t.Fatalf("background fold missing edges")
 	}
 }
+
+// TestPatchMatchesFold races the incremental fold against the full
+// rebuild on the same event streams — the ingest-level slice of the
+// equivalence suite (egraph's patch tests cover the structural cases).
+func TestPatchMatchesFold(t *testing.T) {
+	base := egraph.Figure1Graph()
+	streams := [][]Event{
+		{
+			{Op: AddArc, U: 2, V: 0, T: 1},
+			{Op: RemoveArc, U: 0, V: 1, T: 1},
+			{Op: AddStamp, T: 9},
+			{Op: AddArc, U: 1, V: 2, T: 9},
+			{Op: RemoveArc, U: 5, V: 6, T: 3},
+			{Op: AddArc, U: 3, V: 4, T: 3},
+			{Op: RemoveArc, U: 3, V: 4, T: 3},
+		},
+		{{Op: AddArc, U: 0, V: 11, T: 2}},   // universe growth
+		{{Op: RemoveArc, U: 0, V: 1, T: 1}}, // plain removal
+		{{Op: AddStamp, T: 42}},             // pure stamp registration
+		{{Op: RemoveArc, U: 3, V: 2, T: 1}}, // absent arc: no-op
+	}
+	for i, events := range streams {
+		folded := Fold(base, events)
+		patched := Patch(base, events)
+		if !reflect.DeepEqual(edgeSet(folded), edgeSet(patched)) {
+			t.Fatalf("stream %d: patch edges = %v\nwant %v", i, edgeSet(patched), edgeSet(folded))
+		}
+		if folded.NumNodes() != patched.NumNodes() || folded.NumStamps() != patched.NumStamps() {
+			t.Fatalf("stream %d: shape (%d,%d) vs (%d,%d)", i,
+				patched.NumNodes(), patched.NumStamps(), folded.NumNodes(), folded.NumStamps())
+		}
+	}
+}
+
+// TestFoldEmptyShortCircuit pins the empty-batch fix: a timer-driven
+// epoch with no writes must not pay for a delta map and a stamp walk —
+// both fold paths return base itself.
+func TestFoldEmptyShortCircuit(t *testing.T) {
+	base := egraph.Figure1Graph()
+	if Fold(base, nil) != base {
+		t.Fatal("Fold(base, nil) rebuilt the graph")
+	}
+	if Fold(base, []Event{}) != base {
+		t.Fatal("Fold(base, []) rebuilt the graph")
+	}
+	if Patch(base, nil) != base {
+		t.Fatal("Patch(base, nil) rebuilt the graph")
+	}
+}
+
+// TestCompactSkipsNoopEpoch: an epoch whose events are structurally
+// no-ops (pure stamp registrations) must not republish the served
+// graph — the revision holds and readers keep their cache.
+func TestCompactSkipsNoopEpoch(t *testing.T) {
+	pub := newFakePub(egraph.Figure1Graph())
+	l, err := New(pub, Config{CompactEvery: 1 << 30, CompactInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]Event{{Op: AddStamp, T: 77}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.CompactNow(); n != 1 {
+		t.Fatalf("CompactNow = %d, want 1", n)
+	}
+	if rev := pub.rev.Load(); rev != 0 {
+		t.Fatalf("no-op epoch bumped revision to %d", rev)
+	}
+	st := l.Stats()
+	if st.Epochs != 1 || st.CompactedEvents != 1 {
+		t.Fatalf("stats = %+v, want the drained epoch counted", st)
+	}
+	// A real write at the registered label now publishes.
+	if _, err := l.Append([]Event{{Op: AddArc, U: 0, V: 2, T: 77}}); err != nil {
+		t.Fatal(err)
+	}
+	l.CompactNow()
+	if rev := pub.rev.Load(); rev != 1 {
+		t.Fatalf("revision = %d after a structural epoch, want 1", rev)
+	}
+}
+
+// TestUseFullRebuildOracle drives the same event stream through a
+// patch-path log and a full-rebuild log and requires identical served
+// graphs and the path split reported in Stats.
+func TestUseFullRebuildOracle(t *testing.T) {
+	streamEpochs := [][]Event{
+		{{Op: AddArc, U: 2, V: 0, T: 1}, {Op: RemoveArc, U: 0, V: 1, T: 1}},
+		{{Op: AddStamp, T: 9}, {Op: AddArc, U: 1, V: 2, T: 9}},
+		{{Op: RemoveArc, U: 1, V: 2, T: 9}, {Op: AddArc, U: 4, V: 5, T: 2}},
+	}
+	run := func(full bool) (*egraph.IntEvolvingGraph, Stats) {
+		pub := newFakePub(egraph.Figure1Graph())
+		l, err := New(pub, Config{
+			CompactEvery: 1 << 30, CompactInterval: time.Hour, UseFullRebuild: full,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for _, events := range streamEpochs {
+			if _, err := l.Append(events); err != nil {
+				t.Fatal(err)
+			}
+			l.CompactNow()
+		}
+		return pub.Graph(), l.Stats()
+	}
+	patched, pst := run(false)
+	folded, fst := run(true)
+	if !reflect.DeepEqual(edgeSet(patched), edgeSet(folded)) {
+		t.Fatalf("served graphs diverged:\npatch %v\nfold  %v", edgeSet(patched), edgeSet(folded))
+	}
+	if pst.PatchEpochs != 3 || pst.FullRebuildEpochs != 0 {
+		t.Fatalf("patch log epochs = %+v", pst)
+	}
+	if fst.FullRebuildEpochs != 3 || fst.PatchEpochs != 0 {
+		t.Fatalf("full-rebuild log epochs = %+v", fst)
+	}
+	if pst.LastVisibleMs <= 0 || pst.LastCSRBuildMs < 0 {
+		t.Fatalf("latency stats missing: %+v", pst)
+	}
+}
+
+// retirePub is a Publisher with unpin notification: every replaced
+// graph is reported retired immediately (no readers in this test).
+type retirePub struct {
+	fakePub
+	fn func(*egraph.IntEvolvingGraph)
+}
+
+func (p *retirePub) NotifyRetired(fn func(*egraph.IntEvolvingGraph)) { p.fn = fn }
+func (p *retirePub) ReplaceGraph(g *egraph.IntEvolvingGraph) uint64 {
+	old := p.Graph()
+	rev := p.fakePub.ReplaceGraph(g)
+	if p.fn != nil && old != g {
+		p.fn(old)
+	}
+	return rev
+}
+
+// TestArenaRecycling: with a retire-notifying publisher, the epoch
+// compactor recycles the retired snapshot's CSR buffers into the next
+// build — and never touches the seed graph it did not create.
+func TestArenaRecycling(t *testing.T) {
+	seed := egraph.Figure1Graph()
+	seed.CSR() // built, but must never be recycled: the caller owns it
+	pub := &retirePub{}
+	pub.g.Store(seed)
+	l, err := New(pub, Config{CompactEvery: 1 << 30, CompactInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	epoch := func(u, v int32) {
+		t.Helper()
+		if _, err := l.Append([]Event{{Op: AddArc, U: u, V: v, T: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		l.CompactNow()
+	}
+	// Arcs stay inside the seed's node/stamp universe so every epoch's
+	// view has the same shape and buffer reuse is capacity-exact.
+	epoch(1, 0) // retires the seed: must NOT be recycled
+	if seed.CSR() == nil {
+		t.Fatal("compactor recycled the seed graph's CSR")
+	}
+	g1 := pub.Graph()
+	p1 := &g1.CSR().OutPtr[0] // prebuilt by the compactor
+	epoch(2, 0)               // retires g1, a log-owned graph: its buffers enter the arena
+	l.arenaMu.Lock()
+	banked := l.arena != nil
+	l.arenaMu.Unlock()
+	if !banked {
+		t.Fatal("retired log-owned snapshot was not recycled into the arena")
+	}
+	epoch(2, 1) // consumes the banked arena for its prebuild
+	// Same graph shape, so the new view must sit in g1's recycled
+	// buffers — the steady-state allocation-light epoch.
+	if &pub.Graph().CSR().OutPtr[0] != p1 {
+		t.Fatal("epoch build did not reuse the recycled arena buffers")
+	}
+}

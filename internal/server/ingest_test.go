@@ -229,15 +229,27 @@ func TestReadDuringSwapConsistency(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Writers toggle deterministic arc sets: adds of fresh sets,
+			// removes chasing four cycles behind so they hit arcs whose
+			// adds have already folded. Pure re-adds would stop the
+			// revision counter — the compactor skips publishing epochs
+			// whose delta is structurally a no-op.
 			for i := 0; running(); i++ {
+				op, phase := "add", i/2
+				if i%2 == 1 {
+					op, phase = "remove", i/2-4
+					if phase < 0 {
+						continue
+					}
+				}
 				var b strings.Builder
 				for j := 0; j < 16; j++ {
-					u := (w*7919 + i*31 + j*5) % 120
+					u := (w*7919 + phase*31 + j*5) % 120
 					v := (u + 1 + j) % 120
 					if u == v {
 						continue
 					}
-					fmt.Fprintf(&b, "{\"op\":\"add\",\"u\":%d,\"v\":%d,\"t\":%d}\n", u, v, 1+(i+j)%5)
+					fmt.Fprintf(&b, "{\"op\":%q,\"u\":%d,\"v\":%d,\"t\":%d}\n", op, u, v, 1+(phase+j)%5)
 				}
 				rec := doPost(t, srv, "/ingest/arcs", b.String())
 				if rec.Code != http.StatusAccepted && rec.Code != http.StatusTooManyRequests {

@@ -116,9 +116,35 @@ type Server struct {
 	// must not interleave between two replacers).
 	replaceMu sync.Mutex
 
+	// curEra counts the requests admitted since the last ReplaceGraph;
+	// retired holds replaced graphs (FIFO) until every request that
+	// could still observe them has drained — the pin tracking behind
+	// the ingest arena's buffer recycling (DESIGN.md §12).
+	curEra   atomic.Pointer[era]
+	retireMu sync.Mutex
+	retired  []retiredSnap
+	retireFn atomic.Pointer[func(*egraph.IntEvolvingGraph)]
+
 	// ing is the optional write path (AttachIngest); nil means the
 	// server is read-only and /ingest/arcs answers 503.
 	ing atomic.Pointer[ingest.Log]
+}
+
+// era is the pin domain of one graph generation: every in-flight
+// request holds one reference on the era that was current when it was
+// admitted. A request admitted under era k can only ever observe
+// graphs retired at era k or later, so once eras drain in FIFO order a
+// retired graph is provably unreachable.
+type era struct {
+	refs atomic.Int64
+}
+
+// retiredSnap is one replaced graph awaiting proof that no reader still
+// holds it.
+type retiredSnap struct {
+	e  *era
+	g  *egraph.IntEvolvingGraph
+	fn func(*egraph.IntEvolvingGraph)
 }
 
 // New returns a Server serving queries over g.
@@ -138,6 +164,7 @@ func New(g *egraph.IntEvolvingGraph, cfg Config) *Server {
 		requests: make(map[string]*atomic.Int64),
 	}
 	s.snap.Store(&graphSnap{g: g})
+	s.curEra.Store(&era{})
 	for _, ep := range []struct {
 		path string
 		h    http.HandlerFunc
@@ -172,8 +199,12 @@ func New(g *egraph.IntEvolvingGraph, cfg Config) *Server {
 func Handler(g *egraph.IntEvolvingGraph) http.Handler { return New(g, Config{}) }
 
 // ServeHTTP dispatches to the endpoint handlers, counting requests per
-// endpoint and responses per status class for /metrics.
+// endpoint and responses per status class for /metrics. Every request
+// pins the current era for its whole lifetime, so any graph snapshot
+// it captures stays provably reachable until it returns.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	e := s.pinEra()
+	defer s.unpinEra(e)
 	if c, ok := s.requests[r.URL.Path]; ok {
 		c.Add(1)
 	}
@@ -209,15 +240,87 @@ func (s *Server) Revision() uint64 { return s.snap.Load().rev }
 // revision, which no future request can read, so it ages out of the
 // LRU rather than ever being served as the new graph's answer. It
 // returns the new revision.
+//
+// The replaced graph enters the retired queue; once every request that
+// could still observe it has drained, the NotifyRetired callback (if
+// any) fires — external callers of Graph() that retain snapshots
+// across epochs must not register one, see NotifyRetired.
 func (s *Server) ReplaceGraph(g *egraph.IntEvolvingGraph) uint64 {
 	s.replaceMu.Lock()
-	defer s.replaceMu.Unlock()
 	// Bump first: between the two stores a request may still capture
 	// the old graph with its old revision (benign brief staleness),
 	// but never the old graph with the new revision.
 	rev := s.cache.Bump()
+	old := s.snap.Load()
 	s.snap.Store(&graphSnap{g: g, rev: rev})
+	if old.g != g {
+		// Close the old era: requests admitted from here on can no
+		// longer observe old.g, so it is unreachable once every era up
+		// to this one drains.
+		oldEra := s.curEra.Swap(&era{})
+		var fn func(*egraph.IntEvolvingGraph)
+		if p := s.retireFn.Load(); p != nil {
+			fn = *p
+		}
+		s.retireMu.Lock()
+		s.retired = append(s.retired, retiredSnap{e: oldEra, g: old.g, fn: fn})
+		s.retireMu.Unlock()
+	}
+	s.replaceMu.Unlock()
+	s.sweepRetired()
 	return rev
+}
+
+// NotifyRetired registers fn to be called exactly once per graph
+// replaced by ReplaceGraph, after the pin tracking proves no request
+// can still observe it. The ingest write path registers its arena
+// recycler here. The proof covers request handlers (ServeHTTP pins per
+// request) and the compactor's own fold base; a caller that grabs
+// Graph() outside a request and keeps querying it across epochs is
+// outside the contract and must not combine that pattern with a
+// registered recycler.
+func (s *Server) NotifyRetired(fn func(*egraph.IntEvolvingGraph)) {
+	s.retireFn.Store(&fn)
+}
+
+// pinEra acquires a reference on the current era. The retry loop
+// closes the admit/retire race: a reference only counts if the era is
+// still current after the increment, otherwise the sweeper may already
+// have read the counter.
+func (s *Server) pinEra() *era {
+	for {
+		e := s.curEra.Load()
+		e.refs.Add(1)
+		if s.curEra.Load() == e {
+			return e
+		}
+		s.unpinEra(e) // raced ReplaceGraph: release and pin the new era
+	}
+}
+
+func (s *Server) unpinEra(e *era) {
+	if e.refs.Add(-1) == 0 {
+		s.sweepRetired()
+	}
+}
+
+// sweepRetired releases retired graphs in FIFO order, stopping at the
+// first era that still has readers: a request pinned to era k may
+// observe any graph retired at era ≥ k, so later entries must wait for
+// earlier eras even when their own counter is zero.
+func (s *Server) sweepRetired() {
+	s.retireMu.Lock()
+	var ready []retiredSnap
+	for len(s.retired) > 0 && s.retired[0].e.refs.Load() == 0 {
+		ready = append(ready, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+	s.retireMu.Unlock()
+	for _, r := range ready {
+		if r.fn != nil {
+			r.fn(r.g)
+		}
+	}
 }
 
 // CacheStats exposes the cache counters (for tests and cmd/egload).

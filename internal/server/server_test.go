@@ -169,3 +169,49 @@ func TestConcurrentQueries(t *testing.T) {
 		<-done
 	}
 }
+
+// TestRetireNotification pins the unpin-tracking contract behind arena
+// recycling: a replaced graph is reported retired only after every
+// request that could observe it has drained, strictly in FIFO order.
+func TestRetireNotification(t *testing.T) {
+	g0 := egraph.Figure1Graph()
+	s := New(g0, Config{})
+	var retired []*egraph.IntEvolvingGraph
+	s.NotifyRetired(func(g *egraph.IntEvolvingGraph) { retired = append(retired, g) })
+
+	// No readers: the replaced graph retires immediately.
+	g1 := egraph.Figure1Graph()
+	s.ReplaceGraph(g1)
+	if len(retired) != 1 || retired[0] != g0 {
+		t.Fatalf("idle replace: retired %v, want [g0]", retired)
+	}
+
+	// A pinned "request" blocks retirement of everything it could see —
+	// including graphs published after it was admitted.
+	e := s.pinEra()
+	g2 := egraph.Figure1Graph()
+	s.ReplaceGraph(g2) // retires g1, pinned by e
+	g3 := egraph.Figure1Graph()
+	s.ReplaceGraph(g3) // retires g2: must wait behind g1's era (FIFO)
+	if len(retired) != 1 {
+		t.Fatalf("pinned replace leaked retirements: %d", len(retired))
+	}
+	s.unpinEra(e)
+	if len(retired) != 3 || retired[1] != g1 || retired[2] != g2 {
+		t.Fatalf("after drain: retired %d graphs, want g1 then g2", len(retired)-1)
+	}
+
+	// Republishing the identical graph neither retires nor recycles it.
+	before := len(retired)
+	s.ReplaceGraph(g3)
+	if len(retired) != before {
+		t.Fatalf("self-replace retired the live graph")
+	}
+
+	// Requests through ServeHTTP pin and unpin transparently.
+	var resp StatsResponse
+	get(t, s, "/stats", http.StatusOK, &resp)
+	if s.curEra.Load().refs.Load() != 0 {
+		t.Fatalf("request left a dangling era reference")
+	}
+}

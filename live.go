@@ -87,10 +87,21 @@ func OpenWAL(path string, opts WALOptions) (*WAL, *WALRecovery, error) {
 }
 
 // FoldEvents applies an event stream to a base graph and builds the
-// resulting immutable graph — the epoch compactor's core, exposed for
-// recovery and offline compaction.
+// resulting immutable graph from scratch — the full-rebuild fold,
+// exposed for recovery and offline compaction, and the differential
+// oracle of the incremental PatchEvents path
+// (IngestConfig.UseFullRebuild).
 func FoldEvents(base *Graph, events []IngestEvent) *Graph {
 	return ingest.Fold(base, events)
+}
+
+// PatchEvents applies an event stream to a base graph by copy-on-write:
+// only stamps the delta touches are rebuilt, everything else is shared
+// with base by reference (DESIGN.md §12). Semantically equivalent to
+// FoldEvents at delta-proportional cost; the live epoch compactor uses
+// this path by default.
+func PatchEvents(base *Graph, events []IngestEvent) *Graph {
+	return ingest.Patch(base, events)
 }
 
 // A QueryServer is a valid publisher: Graph/ReplaceGraph/AttachIngest
