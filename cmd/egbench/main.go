@@ -27,7 +27,14 @@
 //     before any time is reported;
 //   - csr: flat-CSR build time, sequential (engine "csr-seq") vs
 //     parallel with arena reuse (engine "csr-par"), on the same base
-//     graph, asserting bit-identical views.
+//     graph, asserting bit-identical views;
+//   - inc: incrementally maintained analytics (internal/inc) — the
+//     maintainer rolling weak components and both causal modes'
+//     temporal Katz across chained epochs of -compactDeltas events
+//     (engine "inc") raced against the verbatim full recomputations
+//     those analytics would otherwise cost per epoch (engine "full"),
+//     on the same -compactNodes/-compactEdges base, with per-epoch
+//     oracle-equivalence assertions before any time is reported.
 //
 // The analytics suites run on a random-workload ladder sized by
 // -suiteNodes/-suiteEdges (they cost one BFS per active temporal node
@@ -45,11 +52,11 @@
 //
 //	egbench [-nodes 100000] [-stamps 10] [-edges 500000,1000000,...]
 //	        [-seed 2016] [-reps 3] [-parallel] [-workers N]
-//	        [-compare] [-suites bfs,components,influence,closeness,compact,csr]
+//	        [-compare] [-suites bfs,components,influence,closeness,compact,csr,inc]
 //	        [-workloads random,citation,gnp,pref]
 //	        [-suiteNodes 500] [-suiteEdges 5000,10000,20000,40000]
 //	        [-compactNodes 100000] [-compactEdges 1000000]
-//	        [-compactDeltas 10,1000,100000] [-json FILE]
+//	        [-compactDeltas 10,1000,100000] [-incAlpha 0.005] [-json FILE]
 package main
 
 import (
@@ -60,6 +67,7 @@ import (
 	"math/rand"
 	"os"
 	"reflect"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -94,13 +102,14 @@ func main() {
 		parallel      = flag.Bool("parallel", false, "time the parallel BFS instead (Figure 5 mode)")
 		workers       = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		compare       = flag.Bool("compare", false, "race the CSR/bitset engine against the adjacency-map oracle")
-		suites        = flag.String("suites", "bfs,components,influence,closeness", "comma-separated -compare suites: bfs, components, influence, closeness")
+		suites        = flag.String("suites", "bfs,components,influence,closeness", "comma-separated -compare suites: bfs, components, influence, closeness, compact, csr, inc")
 		workloads     = flag.String("workloads", "random,citation", "comma-separated workloads for the bfs suite: random, citation, gnp, pref")
 		suiteNodes    = flag.Int("suiteNodes", 500, "node-id space of the analytics-suite workload ladder")
 		suiteEdges    = flag.String("suiteEdges", "5000,10000,20000,40000", "comma-separated |E~| ladder for the analytics suites")
 		compactNodes  = flag.Int("compactNodes", 100_000, "node-id space of the compact/csr suites' base graph")
 		compactEdges  = flag.Int("compactEdges", 1_000_000, "static edges of the compact/csr suites' base graph")
-		compactDeltas = flag.String("compactDeltas", "10,1000,100000", "comma-separated delta sizes (events per epoch) for the compact suite")
+		compactDeltas = flag.String("compactDeltas", "10,1000,100000", "comma-separated delta sizes (events per epoch) for the compact and inc suites")
+		incAlpha      = flag.Float64("incAlpha", 0.005, "inc suite: Katz attenuation factor (must converge on the base graph)")
 		jsonPath      = flag.String("json", "", "write measurements to FILE as a JSON array")
 		failBelow     = flag.Float64("failBelow", 0, "with -compare: exit 1 if a gated engine's speedup vs its oracle at the largest graph of any workload falls below this (0 disables) — the CI regression gate")
 	)
@@ -122,8 +131,10 @@ func main() {
 				records = append(records, runCompactSuite(*compactNodes, *stamps, *compactEdges, *compactDeltas, *seed, *reps, *workers)...)
 			case "csr":
 				records = append(records, runCSRSuite(*compactNodes, *stamps, *compactEdges, *seed, *reps, *workers)...)
+			case "inc":
+				records = append(records, runIncSuite(*compactNodes, *stamps, *compactEdges, *compactDeltas, *incAlpha, *seed, *reps, *workers)...)
 			default:
-				fmt.Fprintf(os.Stderr, "egbench: unknown suite %q (bfs, components, influence, closeness, compact, csr)\n", s)
+				fmt.Fprintf(os.Stderr, "egbench: unknown suite %q (bfs, components, influence, closeness, compact, csr, inc)\n", s)
 				os.Exit(2)
 			}
 		}
@@ -161,6 +172,7 @@ var gatedEngines = map[string]string{
 	"csr":     "maps oracle",
 	"patch":   "fold oracle",
 	"csr-par": "sequential build",
+	"inc":     "full recompute",
 }
 
 // checkRegression enforces the CI perf gate: at the largest graph of
@@ -523,6 +535,138 @@ func runCSRSuite(nodes, stamps, edges int, seed int64, reps, workers int) []reco
 	return records
 }
 
+// runIncSuite races the incrementally maintained analytics
+// (internal/inc) against the verbatim full recomputations they
+// replace. Per delta size, chained epochs of ingest-shaped events are
+// pregenerated and patched; the "inc" engine primes a maintainer once
+// (untimed) and times rolling it through every epoch, the "full"
+// engine times what serving the same analytics without maintenance
+// costs per epoch — the production weak-component partition plus both
+// causal modes' temporal Katz. Maintained results are asserted
+// oracle-equivalent after every epoch (weak partition exactly, Katz
+// within 1e-12) before any time is reported; the inc rows carry
+// speedup vs full and are gated by -failBelow.
+func runIncSuite(nodes, stamps, edges int, deltaList string, alpha float64, seed int64, reps, workers int) []record {
+	deltas, err := parseCounts(deltaList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egbench: -compactDeltas: %v\n", err)
+		os.Exit(2)
+	}
+	base := evolving.Random(evolving.RandomConfig{
+		Nodes: nodes, Stamps: stamps, Edges: edges, Directed: true, Seed: seed,
+	})
+	built := base.StaticEdgeCount()
+	unfolded := base.EdgeCount(evolving.CausalAllPairs)
+	if _, err := evolving.TemporalKatz(base, evolving.KatzOptions{Alpha: alpha}); err != nil {
+		fmt.Fprintf(os.Stderr, "egbench: inc: katz diverges on the base graph at alpha=%g — lower -incAlpha\n", alpha)
+		os.Exit(2)
+	}
+	const epochs = 3
+	modes := []evolving.CausalMode{evolving.CausalAllPairs, evolving.CausalConsecutive}
+	fmt.Printf("\n# inc suite: maintained analytics vs full recompute, %d chained epochs per delta size, on a %d-node / %d-arc / %d-stamp base, alpha=%g, %d reps (min reported)\n",
+		epochs, base.NumNodes(), built, base.NumStamps(), alpha, reps)
+	fmt.Printf("%-24s %-14s %14s %14s %12s %10s\n", "graph", "engine", "|E~|", "delta", "time", "speedup")
+
+	var records []record
+	for _, k := range deltas {
+		graphs := make([]*evolving.Graph, epochs+1)
+		graphs[0] = base
+		ds := make([][]evolving.ArcDelta, epochs)
+		for e := 0; e < epochs; e++ {
+			events := genCompactEvents(graphs[e], k, seed+int64(e)*101)
+			ds[e] = evolving.EventDeltas(events)
+			graphs[e+1] = evolving.PatchGraph(graphs[e], ds[e])
+		}
+
+		// Per-epoch oracle equivalence before any time means anything
+		// (this also warms every graph's lazily built CSR view, so the
+		// timed loops charge neither engine for construction).
+		m := evolving.NewMaintainer(evolving.MaintainerConfig{KatzAlpha: alpha})
+		m.Prime(graphs[0])
+		for e := 0; e < epochs; e++ {
+			res := m.Apply(graphs[e], graphs[e+1], ds[e])
+			g := graphs[e+1]
+			for _, mode := range modes {
+				if err := res.MatchesWeak(g, evolving.WeakComponentsOpts(g, evolving.ComponentOptions{Mode: mode, Workers: workers})); err != nil {
+					fmt.Fprintf(os.Stderr, "egbench: inc delta-%d epoch %d: weak diverged from oracle: %v\n", k, e, err)
+					os.Exit(1)
+				}
+				want, kerr := evolving.TemporalKatz(g, evolving.KatzOptions{Alpha: alpha, Mode: mode, Tol: evolving.MaintainerSeriesTol})
+				got := res.KatzScores(mode)
+				if kerr != nil {
+					if got != nil {
+						fmt.Fprintf(os.Stderr, "egbench: inc delta-%d epoch %d: oracle diverged but maintainer kept scores\n", k, e)
+						os.Exit(1)
+					}
+					continue
+				}
+				if got == nil {
+					fmt.Fprintf(os.Stderr, "egbench: inc delta-%d epoch %d: maintained katz missing (oracle converged)\n", k, e)
+					os.Exit(1)
+				}
+				for i := range want {
+					tol := 1e-12 * math.Max(1, math.Max(math.Abs(got[i]), math.Abs(want[i])))
+					if math.Abs(got[i]-want[i]) > tol {
+						fmt.Fprintf(os.Stderr, "egbench: inc delta-%d epoch %d id %d: maintained %.17g vs oracle %.17g\n", k, e, i, got[i], want[i])
+						os.Exit(1)
+					}
+				}
+			}
+		}
+
+		// Time the maintained path: prime untimed (it is paid once per
+		// process, not per epoch), then roll through every epoch.
+		incBest := time.Duration(math.MaxInt64)
+		for r := -1; r < reps; r++ {
+			mm := evolving.NewMaintainer(evolving.MaintainerConfig{KatzAlpha: alpha})
+			mm.Prime(graphs[0])
+			// Collect the previous rep's maintainer state and Prime's
+			// garbage outside the timed window (see timeRuns).
+			runtime.GC()
+			start := time.Now()
+			for e := 0; e < epochs; e++ {
+				mm.Apply(graphs[e], graphs[e+1], ds[e])
+			}
+			if el := time.Since(start); r >= 0 && el < incBest {
+				incBest = el
+			}
+		}
+		// Time the full path: what the query service would recompute per
+		// epoch without maintenance (production tolerances).
+		fullBest := timeRuns(reps, func() {
+			for e := 0; e < epochs; e++ {
+				g := graphs[e+1]
+				evolving.WeakComponentsOpts(g, evolving.ComponentOptions{Workers: workers})
+				for _, mode := range modes {
+					if _, err := evolving.TemporalKatz(g, evolving.KatzOptions{Alpha: alpha, Mode: mode}); err != nil {
+						fmt.Fprintf(os.Stderr, "egbench: inc delta-%d: full katz: %v\n", k, err)
+						os.Exit(1)
+					}
+				}
+			}
+		})
+
+		st := m.Stats()
+		fmt.Printf("# delta-%d maintainer: weak %d inc / %d full, katz %d inc / %d full\n",
+			k, st.WeakIncremental, st.WeakFull, st.KatzIncremental, st.KatzFull)
+		graph := fmt.Sprintf("delta-%d", k)
+		row := func(engine string, d time.Duration) {
+			speedup := float64(fullBest.Nanoseconds()) / float64(d.Nanoseconds())
+			fmt.Printf("%-24s %-14s %14d %14d %12s %9.2fx\n",
+				graph, engine, built, k, d.Round(time.Microsecond), speedup)
+			records = append(records, record{
+				Workload: fmt.Sprintf("inc-%d", k), Graph: graph, Engine: engine,
+				Nodes: base.NumNodes(), Stamps: base.NumStamps(), StaticEdges: built,
+				UnfoldedEdges: unfolded, DeltaEvents: k, NS: d.Nanoseconds(),
+				SpeedupVsMaps: speedup,
+			})
+		}
+		row("full", fullBest)
+		row("inc", incBest)
+	}
+	return records
+}
+
 // genCompactEvents builds a deterministic ~k-event epoch delta over
 // base: mostly arc insertions at existing labels, ~25% removals of
 // arcs base actually holds, and roughly one fresh stamp per 97 events
@@ -607,9 +751,16 @@ func graphsBitIdentical(a, b *evolving.Graph) error {
 // timeRuns reports the minimum wall-clock time of reps invocations,
 // after one untimed warm-up (the lazily built CSR view and page faults
 // charge neither engine).
+// timeRuns reports the best of reps timed runs of fn after one untimed
+// warmup. Each timed window starts on a clean heap: without the
+// explicit collection, garbage from the previous run is collected
+// *during* the next timed window, and on few-core machines the
+// assist/STW cost lands in whichever run the pacer picks — the
+// dominant noise source for sub-second measurements.
 func timeRuns(reps int, fn func()) time.Duration {
 	best := time.Duration(math.MaxInt64)
 	for r := -1; r < reps; r++ {
+		runtime.GC()
 		start := time.Now()
 		fn()
 		if el := time.Since(start); r >= 0 && el < best {

@@ -16,7 +16,7 @@
 //	        [-cache 1024] [-inflight 0] [-workers 0]
 //	        [-wal events.wal] [-fsync interval] [-fsync-interval 100ms]
 //	        [-compact-every 4096] [-compact-interval 2s] [-max-pending 65536]
-//	        [-full-rebuild] [-write-timeout 0] [-shutdown-timeout 10s]
+//	        [-full-rebuild] [-inc=true] [-write-timeout 0] [-shutdown-timeout 10s]
 //
 // Without -graph a random evolving graph is generated and served. With
 // -wal the file's event stream is replayed onto that base graph before
@@ -50,6 +50,7 @@ import (
 	"time"
 
 	evolving "repro"
+	"repro/internal/inc"
 	"repro/internal/ingest"
 	"repro/internal/server"
 )
@@ -74,6 +75,7 @@ func main() {
 		compactInterval = flag.Duration("compact-interval", 2*time.Second, "fold any pending delta at least this often")
 		maxPending      = flag.Int("max-pending", 1<<16, "pending-delta bound; writes beyond it get 429")
 		fullRebuild     = flag.Bool("full-rebuild", false, "compact via the full Fold rebuild instead of the incremental Patch (the differential oracle; slower, same results)")
+		incAnalytics    = flag.Bool("inc", true, "maintain weak components and temporal Katz incrementally across compactions; /components/weak and /katz serve the maintained results")
 
 		writeTimeout    = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none; cold analytics queries can be slow)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
@@ -142,6 +144,10 @@ func main() {
 		for _, e := range rec.Events {
 			extra = append(extra, e.T)
 		}
+		var maint *inc.Maintainer
+		if *incAnalytics {
+			maint = inc.New(inc.Config{})
+		}
 		var err error
 		lg, err = ingest.New(handler, ingest.Config{
 			WAL:             wal,
@@ -150,13 +156,14 @@ func main() {
 			MaxPending:      *maxPending,
 			ExtraLabels:     extra,
 			UseFullRebuild:  *fullRebuild,
+			Analytics:       maint,
 		})
 		if err != nil {
 			log.Fatalf("egserve: %v", err)
 		}
 		handler.AttachIngest(lg)
-		fmt.Printf("ingest enabled: wal=%s fsync=%s compact-every=%d compact-interval=%s\n",
-			*walPath, *fsyncPolicy, *compactEvery, *compactInterval)
+		fmt.Printf("ingest enabled: wal=%s fsync=%s compact-every=%d compact-interval=%s inc=%t\n",
+			*walPath, *fsyncPolicy, *compactEvery, *compactInterval, *incAnalytics)
 	}
 	srv := &http.Server{
 		Addr:    *addr,

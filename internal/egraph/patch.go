@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+
+	"repro/internal/ds"
 )
 
 // ArcDelta is one arc-level mutation consumed by Patch: insert (Del
@@ -212,10 +214,15 @@ func Patch(base *IntEvolvingGraph, delta []ArcDelta) *IntEvolvingGraph {
 		if e.shared && grown {
 			// A shared snapshot's pointer rows and active set are sized
 			// for the old universe; regrow them (the adjacency and
-			// weight slices — the bulk — stay shared).
-			e.snap.outPtr = extendPtr(e.snap.outPtr, n0, newN)
-			e.snap.inPtr = extendPtr(e.snap.inPtr, n0, newN)
-			e.snap.active = e.snap.active.CloneGrow(newN)
+			// weight slices — the bulk — stay shared). A snapshot kept
+			// across an earlier universe shrink can already be wider
+			// than base.numNodes — its tail rows are empty, so it only
+			// grows when the new universe passes its real capacity.
+			if prevN := e.snap.active.Len(); prevN < newN {
+				e.snap.outPtr = extendPtr(e.snap.outPtr, prevN, newN)
+				e.snap.inPtr = extendPtr(e.snap.inPtr, prevN, newN)
+				e.snap.active = e.snap.active.CloneGrow(newN)
+			}
 		}
 		g.snaps[i] = e.snap
 	}
@@ -354,11 +361,7 @@ func patchStamp(base *IntEvolvingGraph, si int, ops []stampOp, newN int) patched
 	ns := snapshot{edges: edges}
 	ns.outPtr, ns.outAdj, ns.outW = rebuildRows(s.outPtr, s.outAdj, s.outW, outEd, n0, newN, base.weighted)
 	ns.inPtr, ns.inAdj, ns.inW = rebuildRows(s.inPtr, s.inAdj, s.inW, inEd, n0, newN, base.weighted)
-	if newN > n0 {
-		ns.active = s.active.CloneGrow(newN)
-	} else {
-		ns.active = s.active.Clone()
-	}
+	ns.active = cloneActive(s.active, newN)
 	for _, v := range touched {
 		if ns.outPtr[v+1] > ns.outPtr[v] || ns.inPtr[v+1] > ns.inPtr[v] {
 			ns.active.Set(int(v))
@@ -537,6 +540,23 @@ func mergeRow(dst []int32, dstW []float64, src []int32, srcW []float64, adds []n
 		}
 		di++
 	}
+}
+
+// cloneActive copies an active set to exactly n bits. The source may be
+// wider than n when the snapshot survived an earlier universe shrink —
+// every bit past n is guaranteed clear then (those nodes hold no arcs
+// anywhere), so the narrower copy loses nothing and restores the
+// invariant that a rebuilt snapshot's rows and active set agree on
+// capacity.
+func cloneActive(b *ds.BitSet, n int) *ds.BitSet {
+	if n >= b.Len() {
+		return b.CloneGrow(n)
+	}
+	c := ds.NewBitSet(n)
+	for i := b.NextSet(0); i >= 0 && i < n; i = b.NextSet(i + 1) {
+		c.Set(i)
+	}
+	return c
 }
 
 // hasArc reports whether u's out-row of s contains v (rows are sorted).

@@ -359,6 +359,26 @@ func TestPatchUniverseGrowAndShrink(t *testing.T) {
 		t.Fatalf("shrunk NumNodes = %d, want 3", got.NumNodes())
 	}
 	requireEquivalent(t, got, foldOracle(base, shrink))
+
+	// Regrow after the shrink, to a universe between the shrunk and the
+	// original size: the surviving snapshots' rows are still sized for
+	// the pre-shrink universe, which the next patch must tolerate (found
+	// by the internal/inc fuzz harness — this used to panic).
+	shrunk := got
+	regrow := []ArcDelta{{U: 3, V: 6, T: 10, W: 1}}
+	got = Patch(shrunk, regrow)
+	if got.NumNodes() != 7 {
+		t.Fatalf("regrown NumNodes = %d, want 7", got.NumNodes())
+	}
+	requireEquivalent(t, got, foldOracle(shrunk, regrow))
+	// And past the original size, touching both a rebuilt and a shared
+	// stamp.
+	regrow = []ArcDelta{{U: 4, V: 12, T: 20, W: 1}, {U: 0, V: 1, T: 10, Del: true}}
+	got = Patch(shrunk, regrow)
+	if got.NumNodes() != 13 {
+		t.Fatalf("regrown NumNodes = %d, want 13", got.NumNodes())
+	}
+	requireEquivalent(t, got, foldOracle(shrunk, regrow))
 }
 
 // TestPatchIsPure asserts base is untouched by a heavily overlapping

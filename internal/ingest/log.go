@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/egraph"
+	"repro/internal/inc"
 )
 
 // Publisher is the read/write seam between the ingest pipeline and the
@@ -48,6 +49,14 @@ type Config struct {
 	// mentioned, which the folded graph may no longer carry (a stamp
 	// whose arcs were all removed, or an AddStamp with no arcs yet).
 	ExtraLabels []int64
+	// Analytics, when non-nil, maintains whole-graph analytics (weak
+	// components, temporal Katz) incrementally across epochs: the
+	// compactor hands the Maintainer the same resolved deltas it hands
+	// the fold, and publishes the maintained results alongside each
+	// epoch's graph when the Publisher supports it (AnalyticsPublisher;
+	// internal/server.Server does). New primes the Maintainer on the
+	// base graph — a one-time full recompute.
+	Analytics *inc.Maintainer
 	// UseFullRebuild routes every epoch through the full Fold rebuild
 	// (replay all of base through a Builder) instead of the incremental
 	// copy-on-write Patch. Patch and Fold produce equivalent graphs —
@@ -82,6 +91,12 @@ type Stats struct {
 	// the new snapshot's flat CSR view (parallel, into a recycled arena
 	// when one was banked) before publishing it.
 	LastCSRBuildMs float64 `json:"lastCsrBuildMs"`
+	// LastAnalyticsMs is the slice of the last epoch spent rolling the
+	// incremental analytics forward (Config.Analytics); Analytics
+	// breaks down how many epochs each analytic absorbed incrementally
+	// vs recomputed.
+	LastAnalyticsMs float64    `json:"lastAnalyticsMs,omitempty"`
+	Analytics       *inc.Stats `json:"analytics,omitempty"`
 	// LastVisibleMs / MaxVisibleMs report ingest-to-visible latency:
 	// the age of the oldest event in an epoch at the moment its fold
 	// was published — how stale an acknowledged write can get before
@@ -139,8 +154,20 @@ type Log struct {
 	lastCompactNS    atomic.Int64
 	totalCompactNS   atomic.Int64
 	lastCSRBuildNS   atomic.Int64
+	lastAnalyticsNS  atomic.Int64
 	lastVisibleNS    atomic.Int64
 	maxVisibleNS     atomic.Int64
+}
+
+// AnalyticsPublisher is the optional half of the Publisher seam for
+// incrementally maintained analytics: a Publisher that can serve
+// maintained results alongside the graph (internal/server.Server)
+// receives each epoch's inc.Results with the snapshot swap, plus the
+// primed results at startup without a revision bump.
+type AnalyticsPublisher interface {
+	Publisher
+	ReplaceGraphWithAnalytics(*egraph.IntEvolvingGraph, *inc.Results) uint64
+	PublishAnalytics(*inc.Results)
 }
 
 // RetireNotifier is the optional half of the Publisher seam backing
@@ -197,6 +224,14 @@ func New(pub Publisher, cfg Config) (*Log, error) {
 	if rn, ok := pub.(RetireNotifier); ok {
 		l.owned = make(map[*egraph.IntEvolvingGraph]struct{})
 		rn.NotifyRetired(l.graphRetired)
+	}
+	if cfg.Analytics != nil {
+		// One-time full recompute on the base graph; every epoch after
+		// this rolls forward incrementally.
+		res := cfg.Analytics.Prime(pub.Graph())
+		if ap, ok := pub.(AnalyticsPublisher); ok {
+			ap.PublishAnalytics(res)
+		}
 	}
 	go l.run()
 	return l, nil
@@ -474,7 +509,21 @@ func (l *Log) CompactNow() int {
 		l.owned[g] = struct{}{}
 	}
 	l.arenaMu.Unlock()
-	rev := l.pub.ReplaceGraph(g)
+	// Roll the maintained analytics forward over the same delta the fold
+	// consumed, and publish graph and results in one snapshot swap when
+	// the Publisher can carry both.
+	var res *inc.Results
+	if l.cfg.Analytics != nil {
+		aStart := time.Now()
+		res = l.cfg.Analytics.Apply(base, g, Deltas(events))
+		l.lastAnalyticsNS.Store(time.Since(aStart).Nanoseconds())
+	}
+	var rev uint64
+	if ap, ok := l.pub.(AnalyticsPublisher); ok && res != nil {
+		rev = ap.ReplaceGraphWithAnalytics(g, res)
+	} else {
+		rev = l.pub.ReplaceGraph(g)
+	}
 	dur := time.Since(start)
 	visible := time.Since(oldest)
 	l.epochs.Add(1)
@@ -533,8 +582,13 @@ func (l *Log) Stats() Stats {
 		LastCompactMs:     float64(l.lastCompactNS.Load()) / 1e6,
 		TotalCompactMs:    float64(l.totalCompactNS.Load()) / 1e6,
 		LastCSRBuildMs:    float64(l.lastCSRBuildNS.Load()) / 1e6,
+		LastAnalyticsMs:   float64(l.lastAnalyticsNS.Load()) / 1e6,
 		LastVisibleMs:     float64(l.lastVisibleNS.Load()) / 1e6,
 		MaxVisibleMs:      float64(l.maxVisibleNS.Load()) / 1e6,
+	}
+	if l.cfg.Analytics != nil {
+		as := l.cfg.Analytics.Stats()
+		s.Analytics = &as
 	}
 	if l.wal != nil {
 		ws := l.wal.Stats()
@@ -623,6 +677,15 @@ func Patch(base *egraph.IntEvolvingGraph, events []Event) *egraph.IntEvolvingGra
 	if len(events) == 0 {
 		return base
 	}
+	return egraph.Patch(base, Deltas(events))
+}
+
+// Deltas converts an event stream into the arc-level delta egraph.Patch
+// consumes — the same list the compactor hands the incremental
+// analytics maintainer, so fold and maintenance see one delta. Added
+// arcs carry weight 1; AddStamp registrations carry no arc and drop
+// out (labels are registered at append time).
+func Deltas(events []Event) []egraph.ArcDelta {
 	delta := make([]egraph.ArcDelta, 0, len(events))
 	for _, e := range events {
 		switch e.Op {
@@ -632,5 +695,5 @@ func Patch(base *egraph.IntEvolvingGraph, events []Event) *egraph.IntEvolvingGra
 			delta = append(delta, egraph.ArcDelta{U: e.U, V: e.V, T: e.T, Del: true})
 		}
 	}
-	return egraph.Patch(base, delta)
+	return delta
 }

@@ -212,6 +212,56 @@ func (s *shard) insert(key string, val interface{}, evictions *atomic.Int64) {
 	}
 }
 
+// CarryOver re-registers entries cached under revision from at
+// revision to, for every key the keep predicate approves. It is the
+// escape hatch from Bump's invalidate-everything semantics: a caller
+// that can prove a data change cannot affect certain keys (e.g. an
+// incremental maintainer classifying a delta as confined to one
+// component, DESIGN.md §13) keeps those answers warm across the swap
+// instead of recomputing them. keep receives the caller key with the
+// revision prefix stripped. Returns the number of entries carried.
+//
+// Collection and reinsertion are two phases because the versioned key
+// changes shard: the entry for (to, key) generally lives in a
+// different shard than (from, key), and lock ordering across shards is
+// not defined. Entries observed during the collect phase may age out
+// before reinsertion; the value carried is the one read, which is safe
+// because keep only approves keys whose value is provably identical
+// under both revisions.
+func (c *Cache) CarryOver(from, to uint64, keep func(key string) bool) int {
+	if from == to {
+		return 0
+	}
+	prefix := versionedKey(from, "")
+	type kv struct {
+		key string
+		val interface{}
+	}
+	var carry []kv
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			if len(e.key) < len(prefix) || e.key[:len(prefix)] != prefix {
+				continue
+			}
+			if k := e.key[len(prefix):]; keep(k) {
+				carry = append(carry, kv{key: k, val: e.val})
+			}
+		}
+		s.mu.Unlock()
+	}
+	for _, e := range carry {
+		vkey := versionedKey(to, e.key)
+		s := &c.shards[c.shardOf(vkey)]
+		s.mu.Lock()
+		s.insert(vkey, e.val, &c.evictions)
+		s.mu.Unlock()
+	}
+	return len(carry)
+}
+
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
 	Hits      int64  `json:"hits"`

@@ -57,6 +57,35 @@ func TestVersionBumpInvalidates(t *testing.T) {
 	}
 }
 
+// TestCarryOver pins the selective-invalidation primitive behind
+// maintained analytics: entries the keep predicate approves survive a
+// version bump under the new version with their old values, everything
+// else stays invalidated.
+func TestCarryOver(t *testing.T) {
+	c := New(Options{})
+	mustDo(t, c, "keep-me", "old")
+	mustDo(t, c, "drop-me", "stale")
+	from := c.Version()
+	to := c.Bump()
+
+	if n := c.CarryOver(from, to, func(key string) bool { return key == "keep-me" }); n != 1 {
+		t.Fatalf("CarryOver = %d, want 1", n)
+	}
+	// The kept key hits at the new version with the carried value.
+	got, outcome, _ := c.Do("keep-me", func() (interface{}, error) { return "recomputed", nil })
+	if outcome != Hit || got != "old" {
+		t.Fatalf("kept key: outcome %v value %v, want Hit old", outcome, got)
+	}
+	// The dropped key recomputes.
+	if out := mustDo(t, c, "drop-me", "fresh"); out != Miss {
+		t.Fatalf("dropped key outcome = %v, want Miss", out)
+	}
+	// Same-version carry-over is a no-op.
+	if n := c.CarryOver(to, to, func(string) bool { return true }); n != 0 {
+		t.Fatalf("self carry-over = %d, want 0", n)
+	}
+}
+
 func TestLRUEviction(t *testing.T) {
 	// One shard, capacity 2: inserting a third key evicts the coldest.
 	c := New(Options{Capacity: 2, Shards: 1})

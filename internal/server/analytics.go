@@ -47,6 +47,23 @@ func (s *Server) componentsWeak(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("components/weak?mode=%s&limit=%d", modeName(mode), limit)
 	s.cached(w, p, key, func() (interface{}, error) {
+		// Weak connectivity is mode-independent, so the maintained
+		// partition (internal/inc) answers for both causal modes without
+		// touching the graph.
+		if mr := p.res; mr != nil && mr.WeakSizes != nil {
+			resp := &ComponentsResponse{Mode: modeName(mode), Count: mr.WeakCount, Sizes: []int{}}
+			for i, sz := range mr.WeakSizes {
+				if i == 0 {
+					resp.Largest = sz
+				}
+				if limit > 0 && i >= limit {
+					resp.Truncated = true
+					break
+				}
+				resp.Sizes = append(resp.Sizes, sz)
+			}
+			return resp, nil
+		}
 		comps := components.WeakOpts(p.g, components.Options{Mode: mode})
 		return componentsResponse(comps, modeName(mode), 0, limit), nil
 	})
@@ -241,9 +258,20 @@ func (s *Server) katz(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("katz?alpha=%g&mode=%s&top=%d", alpha, modeName(mode), top)
 	s.cached(w, p, key, func() (interface{}, error) {
-		scores, err := rank.TemporalKatz(p.g, rank.KatzOptions{Alpha: alpha, Mode: mode})
-		if err != nil {
-			return nil, err
+		// The maintained Katz vector (internal/inc) answers directly
+		// when it was maintained at the requested alpha; other alphas —
+		// or a diverged maintained series — fall back to the verbatim
+		// power-series recompute.
+		scores := []float64(nil)
+		if mr := p.res; mr != nil && alpha == mr.KatzAlpha {
+			scores = mr.KatzScores(mode)
+		}
+		if scores == nil {
+			var err error
+			scores, err = rank.TemporalKatz(p.g, rank.KatzOptions{Alpha: alpha, Mode: mode})
+			if err != nil {
+				return nil, err
+			}
 		}
 		active := p.g.ActiveTemporalNodes()
 		sort.SliceStable(active, func(i, j int) bool {

@@ -46,6 +46,7 @@ type MetricsResponse struct {
 	ResponsesByClass map[string]int64 `json:"responsesByClass"`
 	Cache            qcache.Stats     `json:"cache"`
 	CacheHitRate     float64          `json:"cacheHitRate"`
+	CacheCarried     int64            `json:"cacheCarried"`
 	InFlight         int64            `json:"inFlight"`
 	MaxInFlight      int              `json:"maxInFlight"`
 	Ingest           *ingest.Stats    `json:"ingest,omitempty"`
@@ -70,6 +71,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		},
 		Cache:        st,
 		CacheHitRate: st.HitRate(),
+		CacheCarried: s.carried.Load(),
 		InFlight:     s.inflight.Load(),
 		MaxInFlight:  cap(s.gate),
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/egraph"
+	"repro/internal/inc"
 	"repro/internal/qcache"
 )
 
@@ -30,17 +31,19 @@ import (
 type params struct {
 	g   *egraph.IntEvolvingGraph
 	rev uint64
+	res *inc.Results
 	q   url.Values
 	err error
 }
 
 // params captures the request's query values and the current
-// (graph, revision) snapshot — one atomic load, so the graph a handler
-// computes over and the cache revision its result is stored under can
+// (graph, revision, maintained-results) snapshot — one atomic load, so
+// the graph a handler computes over, the cache revision its result is
+// stored under, and the maintained analytics it may serve from can
 // never belong to different ReplaceGraph generations.
 func (s *Server) params(r *http.Request) *params {
 	snap := s.snap.Load()
-	return &params{g: snap.g, rev: snap.rev, q: r.URL.Query()}
+	return &params{g: snap.g, rev: snap.rev, res: snap.res, q: r.URL.Query()}
 }
 
 // okParams reports whether parsing succeeded, writing the 400 response

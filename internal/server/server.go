@@ -45,15 +45,18 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"log"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/egraph"
+	"repro/internal/inc"
 	"repro/internal/ingest"
 	"repro/internal/qcache"
 )
@@ -81,12 +84,16 @@ type Config struct {
 }
 
 // graphSnap pairs the served graph with the cache revision it belongs
-// to. Handlers capture one snapshot per request, so a concurrent
-// ReplaceGraph can never mix an old graph's computation into a new
-// revision's cache entry (or vice versa).
+// to, plus the incrementally maintained analytics (nil when no
+// maintainer feeds this server). Handlers capture one snapshot per
+// request, so a concurrent ReplaceGraph can never mix an old graph's
+// computation into a new revision's cache entry (or vice versa), and
+// maintained results always describe exactly the graph they travel
+// with.
 type graphSnap struct {
 	g   *egraph.IntEvolvingGraph
 	rev uint64
+	res *inc.Results
 }
 
 // Server is the HTTP query service. Construct with New; the zero value
@@ -115,6 +122,10 @@ type Server struct {
 	// replaceMu serialises ReplaceGraph calls (bump + snapshot store
 	// must not interleave between two replacers).
 	replaceMu sync.Mutex
+
+	// carried counts cache entries kept warm across graph swaps by the
+	// maintained-analytics carry-over (DESIGN.md §13).
+	carried atomic.Int64
 
 	// curEra counts the requests admitted since the last ReplaceGraph;
 	// retired holds replaced graphs (FIFO) until every request that
@@ -246,13 +257,48 @@ func (s *Server) Revision() uint64 { return s.snap.Load().rev }
 // any) fires — external callers of Graph() that retain snapshots
 // across epochs must not register one, see NotifyRetired.
 func (s *Server) ReplaceGraph(g *egraph.IntEvolvingGraph) uint64 {
+	return s.replaceWith(g, nil)
+}
+
+// ReplaceGraphWithAnalytics is ReplaceGraph for publishers that also
+// maintain analytics incrementally (ingest.AnalyticsPublisher): the
+// maintained results travel with the graph snapshot, so /components/*
+// and /katz serve them instead of recomputing, and cached entries the
+// delta classification proves unaffected are carried over to the new
+// revision instead of being invalidated.
+func (s *Server) ReplaceGraphWithAnalytics(g *egraph.IntEvolvingGraph, res *inc.Results) uint64 {
+	return s.replaceWith(g, res)
+}
+
+// PublishAnalytics attaches maintained results to the currently served
+// snapshot without bumping the revision — the hookup for priming: the
+// maintainer's first full computation describes the graph already
+// being served, so invalidating the cache would only discard answers
+// that are still exact.
+func (s *Server) PublishAnalytics(res *inc.Results) {
+	s.replaceMu.Lock()
+	old := s.snap.Load()
+	s.snap.Store(&graphSnap{g: old.g, rev: old.rev, res: res})
+	s.replaceMu.Unlock()
+}
+
+func (s *Server) replaceWith(g *egraph.IntEvolvingGraph, res *inc.Results) uint64 {
 	s.replaceMu.Lock()
 	// Bump first: between the two stores a request may still capture
 	// the old graph with its old revision (benign brief staleness),
 	// but never the old graph with the new revision.
 	rev := s.cache.Bump()
 	old := s.snap.Load()
-	s.snap.Store(&graphSnap{g: g, rev: rev})
+	s.snap.Store(&graphSnap{g: g, rev: rev, res: res})
+	if res != nil {
+		// Keep provably unaffected entries warm across the swap. Racing
+		// requests under the new revision may recompute one concurrently;
+		// both values are identical by the carry-over proof, so the
+		// last-writer refresh inside the cache is benign.
+		if n := s.cache.CarryOver(old.rev, rev, carryKeep(res)); n > 0 {
+			s.carried.Add(int64(n))
+		}
+	}
 	if old.g != g {
 		// Close the old era: requests admitted from here on can no
 		// longer observe old.g, so it is unreachable once every era up
@@ -325,6 +371,51 @@ func (s *Server) sweepRetired() {
 
 // CacheStats exposes the cache counters (for tests and cmd/egload).
 func (s *Server) CacheStats() qcache.Stats { return s.cache.Stats() }
+
+// CacheCarried returns how many cache entries the maintained-analytics
+// carry-over has kept warm across graph swaps since startup.
+func (s *Server) CacheCarried() int64 { return s.carried.Load() }
+
+// carryKeep builds the carry-over predicate for one epoch's maintained
+// results: given a cached key (revision prefix already stripped), it
+// reports whether the delta behind the swap provably cannot change
+// that answer (DESIGN.md §13).
+//
+//   - A no-op delta changes nothing: every entry survives.
+//   - The weak-component endpoints depend only on the partition, which
+//     is mode-independent for weak connectivity; they survive whenever
+//     the partition is unchanged.
+//   - A closeness query only traverses its root's weak component; it
+//     survives when that component kept its exact membership and arc
+//     set (QueryUnaffected).
+//
+// Everything else (influence, efficiency, sizes, strong components,
+// katz) depends on global structure or arc weights in ways the
+// classification does not bound, so those entries fall back to the
+// revision bump.
+func carryKeep(res *inc.Results) func(key string) bool {
+	return func(key string) bool {
+		if res.NoOp() {
+			return true
+		}
+		switch {
+		case strings.HasPrefix(key, "components/weak?"):
+			return res.PartitionUnchanged()
+		case strings.HasPrefix(key, "closeness?"):
+			if !res.AxisUnchanged() {
+				return false
+			}
+			var node, stamp int32
+			var mode string
+			if _, err := fmt.Sscanf(key, "closeness?node=%d&stamp=%d&mode=%s", &node, &stamp, &mode); err != nil {
+				return false
+			}
+			return res.QueryUnaffected(node, stamp)
+		default:
+			return false
+		}
+	}
+}
 
 // cached serves one cacheable analytics endpoint: look key up in the
 // versioned cache at the revision captured in p — the revision the

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/egraph"
+	"repro/internal/inc"
 )
 
 func get(t *testing.T, h http.Handler, url string, wantStatus int, into interface{}) {
@@ -213,5 +214,200 @@ func TestRetireNotification(t *testing.T) {
 	get(t, s, "/stats", http.StatusOK, &resp)
 	if s.curEra.Load().refs.Load() != 0 {
 		t.Fatalf("request left a dangling era reference")
+	}
+}
+
+// twoComponents builds a directed graph with two weak components at one
+// stamp: {0,1} and {2,3}, all active at label 10.
+func twoComponents() *egraph.IntEvolvingGraph {
+	b := egraph.NewBuilder(true)
+	b.AddEdge(0, 1, 10)
+	b.AddEdge(2, 3, 10)
+	return b.Build()
+}
+
+// xCache issues one GET and returns its X-Cache header, asserting 200.
+func xCache(t *testing.T, h http.Handler, url string) string {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: status %d (body %s)", url, rec.Code, rec.Body.String())
+	}
+	return rec.Header().Get("X-Cache")
+}
+
+// swap patches the served graph through the maintainer and publishes
+// graph + maintained results atomically, returning the new graph.
+func swap(t *testing.T, s *Server, m *inc.Maintainer, g *egraph.IntEvolvingGraph, delta []egraph.ArcDelta) *egraph.IntEvolvingGraph {
+	t.Helper()
+	ng := egraph.Patch(g, delta)
+	s.ReplaceGraphWithAnalytics(ng, m.Apply(g, ng, delta))
+	return ng
+}
+
+// TestMaintainedCarryOverAcrossSwap pins the qcache × incremental
+// interplay (DESIGN.md §13): a revision whose delta provably cannot
+// change an entry's answer serves the old entry as an X-Cache hit
+// across the graph swap, while entries the delta touches miss and
+// recompute under the new revision.
+func TestMaintainedCarryOverAcrossSwap(t *testing.T) {
+	g := twoComponents()
+	m := inc.New(inc.Config{})
+	s := New(g, Config{})
+	s.PublishAnalytics(m.Prime(g))
+
+	// Warm one closeness entry per component and the weak partition.
+	urls := []string{
+		"/closeness?node=0&stamp=0", // rooted in component {0,1}
+		"/closeness?node=2&stamp=0", // rooted in component {2,3}
+		"/components/weak",
+	}
+	for _, u := range urls {
+		if got := xCache(t, s, u); got != "miss" {
+			t.Fatalf("cold %s X-Cache = %q, want miss", u, got)
+		}
+		if got := xCache(t, s, u); got != "hit" {
+			t.Fatalf("warm %s X-Cache = %q, want hit", u, got)
+		}
+	}
+
+	// Epoch 1: a reverse arc inside {2,3}. The partition is unchanged
+	// and component {0,1} is untouched, so /components/weak and the
+	// closeness entry rooted at node 0 must survive the revision bump;
+	// the entry rooted in the touched component must not.
+	g = swap(t, s, m, g, []egraph.ArcDelta{{U: 3, V: 2, T: 10, W: 1}})
+	if got := xCache(t, s, "/components/weak"); got != "hit" {
+		t.Fatalf("partition-preserving swap: /components/weak X-Cache = %q, want hit", got)
+	}
+	if got := xCache(t, s, "/closeness?node=0&stamp=0"); got != "hit" {
+		t.Fatalf("untouched component: closeness X-Cache = %q, want carried hit", got)
+	}
+	if got := xCache(t, s, "/closeness?node=2&stamp=0"); got != "miss" {
+		t.Fatalf("touched component: closeness X-Cache = %q, want miss", got)
+	}
+	if c := s.CacheCarried(); c < 2 {
+		t.Fatalf("CacheCarried = %d, want ≥ 2", c)
+	}
+
+	// Epoch 2: now touch {0,1}. Its closeness entry drops while the
+	// freshly recomputed {2,3} entry is the one carried over.
+	g = swap(t, s, m, g, []egraph.ArcDelta{{U: 1, V: 0, T: 10, W: 1}})
+	if got := xCache(t, s, "/closeness?node=0&stamp=0"); got != "miss" {
+		t.Fatalf("touched component after epoch 2: X-Cache = %q, want miss", got)
+	}
+	if got := xCache(t, s, "/closeness?node=2&stamp=0"); got != "hit" {
+		t.Fatalf("untouched component after epoch 2: X-Cache = %q, want hit", got)
+	}
+
+	// Epoch 3: merge the components. The partition changes, so nothing
+	// carries — every warmed entry misses under the new revision.
+	_ = swap(t, s, m, g, []egraph.ArcDelta{{U: 1, V: 2, T: 10, W: 1}})
+	for _, u := range urls {
+		if got := xCache(t, s, u); got != "miss" {
+			t.Fatalf("partition-changing swap: %s X-Cache = %q, want miss", u, got)
+		}
+	}
+}
+
+// TestMaintainedServedEndpoints asserts /components/weak and /katz
+// serve the maintained results attached to the snapshot (count from
+// the incremental partition, scores at the maintained alpha) and match
+// what the same endpoints compute from scratch.
+func TestMaintainedServedEndpoints(t *testing.T) {
+	g := twoComponents()
+	bare := New(g, Config{})
+	var wantWeak ComponentsResponse
+	get(t, bare, "/components/weak", http.StatusOK, &wantWeak)
+	var wantKatz KatzResponse
+	get(t, bare, "/katz?top=8", http.StatusOK, &wantKatz)
+
+	m := inc.New(inc.Config{})
+	s := New(g, Config{})
+	s.PublishAnalytics(m.Prime(g))
+	var gotWeak ComponentsResponse
+	get(t, s, "/components/weak", http.StatusOK, &gotWeak)
+	if gotWeak.Count != wantWeak.Count || gotWeak.Largest != wantWeak.Largest {
+		t.Fatalf("maintained weak = %+v, recomputed %+v", gotWeak, wantWeak)
+	}
+	var gotKatz KatzResponse
+	get(t, s, "/katz?top=8", http.StatusOK, &gotKatz)
+	if len(gotKatz.Top) != len(wantKatz.Top) {
+		t.Fatalf("maintained katz top %d entries, recomputed %d", len(gotKatz.Top), len(wantKatz.Top))
+	}
+	for i := range gotKatz.Top {
+		if d := gotKatz.Top[i].Score - wantKatz.Top[i].Score; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("maintained katz[%d] = %+v, recomputed %+v", i, gotKatz.Top[i], wantKatz.Top[i])
+		}
+	}
+}
+
+// TestMaintainedReadDuringSwapRace hammers the served analytics
+// endpoints while the maintainer rolls epochs forward and swaps the
+// snapshot — the read-during-maintenance interleaving, meaningful
+// under -race: readers must always observe a coherent (graph,
+// revision, results) triple.
+func TestMaintainedReadDuringSwapRace(t *testing.T) {
+	g := twoComponents()
+	m := inc.New(inc.Config{})
+	s := New(g, Config{})
+	s.PublishAnalytics(m.Prime(g))
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	urls := []string{
+		"/components/weak",
+		"/katz?top=4",
+		"/closeness?node=0&stamp=0", // (0, stamp 0) stays active throughout
+		"/bfs?node=0&stamp=0",
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := httptest.NewRequest(http.MethodGet, urls[i%len(urls)], nil)
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("GET %s: status %d (body %s)", urls[i%len(urls)], rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}()
+	}
+
+	// Writer: alternate adds and deletes that merge and re-split the
+	// components, exercising carry-over and invalidation mid-read.
+	for e := 0; e < 40; e++ {
+		var delta []egraph.ArcDelta
+		if e%2 == 0 {
+			delta = []egraph.ArcDelta{{U: 1, V: 2, T: 10, W: 1}, {U: 3, V: 0, T: 20, W: 1}}
+		} else {
+			delta = []egraph.ArcDelta{{U: 1, V: 2, T: 10, Del: true}, {U: 3, V: 0, T: 20, Del: true}}
+		}
+		ng := egraph.Patch(g, delta)
+		res := m.Apply(g, ng, delta)
+		s.ReplaceGraphWithAnalytics(ng, res)
+		g = ng
+	}
+	close(stop)
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+
+	// The maintainer's counters must reflect 40 applied epochs, and the
+	// served snapshot must be the last published one.
+	if st := m.Stats(); st.Epochs != 40 {
+		t.Fatalf("epochs = %d, want 40", st.Epochs)
+	}
+	if s.Graph() != g {
+		t.Fatalf("served graph is not the last published revision")
 	}
 }
