@@ -34,7 +34,13 @@
 //     (engine "inc") raced against the verbatim full recomputations
 //     those analytics would otherwise cost per epoch (engine "full"),
 //     on the same -compactNodes/-compactEdges base, with per-epoch
-//     oracle-equivalence assertions before any time is reported.
+//     oracle-equivalence assertions before any time is reported;
+//   - recover: warm-restart latency — booting to a query-ready graph
+//     through the mmap'd checkpoint plus a WAL-tail fold (engine
+//     "ckpt") raced against the full replay the seed performed
+//     (engine "replay"), one row pair per -compactDeltas tail size on
+//     the same base graph, with a bit-identical-graph assertion
+//     before any time is reported.
 //
 // The analytics suites run on a random-workload ladder sized by
 // -suiteNodes/-suiteEdges (they cost one BFS per active temporal node
@@ -52,7 +58,7 @@
 //
 //	egbench [-nodes 100000] [-stamps 10] [-edges 500000,1000000,...]
 //	        [-seed 2016] [-reps 3] [-parallel] [-workers N]
-//	        [-compare] [-suites bfs,components,influence,closeness,compact,csr,inc]
+//	        [-compare] [-suites bfs,components,influence,closeness,compact,csr,inc,recover]
 //	        [-workloads random,citation,gnp,pref]
 //	        [-suiteNodes 500] [-suiteEdges 5000,10000,20000,40000]
 //	        [-compactNodes 100000] [-compactEdges 1000000]
@@ -66,6 +72,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"sort"
@@ -102,7 +109,7 @@ func main() {
 		parallel      = flag.Bool("parallel", false, "time the parallel BFS instead (Figure 5 mode)")
 		workers       = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		compare       = flag.Bool("compare", false, "race the CSR/bitset engine against the adjacency-map oracle")
-		suites        = flag.String("suites", "bfs,components,influence,closeness", "comma-separated -compare suites: bfs, components, influence, closeness, compact, csr, inc")
+		suites        = flag.String("suites", "bfs,components,influence,closeness", "comma-separated -compare suites: bfs, components, influence, closeness, compact, csr, inc, recover")
 		workloads     = flag.String("workloads", "random,citation", "comma-separated workloads for the bfs suite: random, citation, gnp, pref")
 		suiteNodes    = flag.Int("suiteNodes", 500, "node-id space of the analytics-suite workload ladder")
 		suiteEdges    = flag.String("suiteEdges", "5000,10000,20000,40000", "comma-separated |E~| ladder for the analytics suites")
@@ -133,8 +140,10 @@ func main() {
 				records = append(records, runCSRSuite(*compactNodes, *stamps, *compactEdges, *seed, *reps, *workers)...)
 			case "inc":
 				records = append(records, runIncSuite(*compactNodes, *stamps, *compactEdges, *compactDeltas, *incAlpha, *seed, *reps, *workers)...)
+			case "recover":
+				records = append(records, runRecoverSuite(*compactNodes, *stamps, *compactEdges, *compactDeltas, *seed, *reps)...)
 			default:
-				fmt.Fprintf(os.Stderr, "egbench: unknown suite %q (bfs, components, influence, closeness, compact, csr, inc)\n", s)
+				fmt.Fprintf(os.Stderr, "egbench: unknown suite %q (bfs, components, influence, closeness, compact, csr, inc, recover)\n", s)
 				os.Exit(2)
 			}
 		}
@@ -173,6 +182,7 @@ var gatedEngines = map[string]string{
 	"patch":   "fold oracle",
 	"csr-par": "sequential build",
 	"inc":     "full recompute",
+	"ckpt":    "full replay",
 }
 
 // checkRegression enforces the CI perf gate: at the largest graph of
@@ -890,4 +900,148 @@ func leastSquares(xs, ys []float64) (a, b, r2 float64) {
 		return a, b, 1
 	}
 	return a, b, 1 - ssRes/ssTot
+}
+
+// runRecoverSuite measures warm restart: booting to a query-ready
+// graph through the mmap'd checkpoint plus a WAL-tail fold (engine
+// "ckpt") vs the full replay boot the seed performed (engine
+// "replay"). The replay engine pays exactly what cmd/egserve's
+// fallback path pays — construct the base graph, then fold the whole
+// event history — because that is what RecoverConfig.Base's laziness
+// lets a checkpoint boot skip. The checkpoint covers the base plus a
+// fixed bulk history; each -compactDeltas entry is the WAL tail the
+// checkpoint has not covered yet. Neither timed boot builds the flat
+// CSR view — the server is query-ready before it (EnsureCSR is lazy),
+// and the checkpoint ships its CSR sections zero-copy anyway. Both
+// boots must produce bit-identical graphs (flat views compared byte
+// for byte) before any time is reported; the ckpt rows carry speedup
+// vs replay and are gated by -failBelow (CI: ≥10x on the
+// 100k-node/1M-arc base).
+func runRecoverSuite(nodes, stamps, edges int, deltaList string, seed int64, reps int) []record {
+	deltas, err := parseCounts(deltaList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egbench: -compactDeltas: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := evolving.RandomConfig{
+		Nodes: nodes, Stamps: stamps, Edges: edges, Directed: true, Seed: seed,
+	}
+	base := evolving.Random(cfg)
+	built := base.StaticEdgeCount()
+	unfolded := base.EdgeCount(evolving.CausalAllPairs)
+
+	// The durable history: a fixed bulk delta the checkpoint covers,
+	// then per-row tails it has not. The bulk stays at existing labels
+	// (arc churn, no fresh stamps): per-stamp ptr rows cost O(N) each,
+	// so a stamp-opening bulk would balloon the checkpoint instead of
+	// representing the steady state the compactor checkpoints from.
+	// The generator is deterministic, so "the WAL" is reproducible
+	// without a file on disk.
+	const bulk = 10_000
+	bulkEvents := genRecoverBulk(base, bulk, seed+1)
+	ckptG := evolving.FoldEvents(base, bulkEvents)
+
+	dir, err := os.MkdirTemp("", "egbench-recover-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "graph.ckpt")
+	ckptBytes, err := evolving.WriteCheckpoint(path, ckptG, evolving.CheckpointMeta{
+		WALSeq: 1, Labels: ckptG.TimeLabels(),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egbench: recover: write checkpoint: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n# recover suite: boot-to-query-ready vs WAL-tail size on a %d-node / %d-arc / %d-stamp base (+%d-event bulk history; checkpoint %d bytes), %d reps (min reported)\n",
+		base.NumNodes(), built, base.NumStamps(), bulk, ckptBytes, reps)
+	fmt.Printf("%-24s %-14s %14s %14s %12s %10s\n", "graph", "engine", "|E~|", "tail", "time", "speedup")
+
+	var records []record
+	for _, k := range deltas {
+		tail := genCompactEvents(ckptG, k, seed+2)
+		all := append(append([]evolving.IngestEvent(nil), bulkEvents...), tail...)
+
+		// Bit-identical-boot assertion: the checkpoint path must agree
+		// with the full replay exactly before its time means anything.
+		replayG := evolving.FoldEvents(base, all)
+		ck, err := evolving.OpenCheckpoint(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "egbench: recover tail-%d: open checkpoint: %v\n", k, err)
+			os.Exit(1)
+		}
+		warmG := evolving.PatchEvents(ck.Graph, tail)
+		if err := graphsBitIdentical(replayG, warmG); err != nil {
+			fmt.Fprintf(os.Stderr, "egbench: recover tail-%d: checkpoint boot diverged from full replay: %v\n", k, err)
+			os.Exit(1)
+		}
+		ck.Close()
+
+		replayBest := timeRuns(reps, func() {
+			evolving.FoldEvents(evolving.Random(cfg), all)
+		})
+		ckptBest := timeRuns(reps, func() {
+			ck, err := evolving.OpenCheckpoint(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "egbench: recover tail-%d: open checkpoint: %v\n", k, err)
+				os.Exit(1)
+			}
+			evolving.PatchEvents(ck.Graph, tail)
+			ck.Close()
+		})
+
+		graph := fmt.Sprintf("tail-%d", k)
+		row := func(engine string, d time.Duration) {
+			speedup := float64(replayBest.Nanoseconds()) / float64(d.Nanoseconds())
+			fmt.Printf("%-24s %-14s %14d %14d %12s %9.2fx\n",
+				graph, engine, built, len(tail), d.Round(time.Microsecond), speedup)
+			records = append(records, record{
+				Workload: fmt.Sprintf("recover-%d", k), Graph: graph, Engine: engine,
+				Nodes: base.NumNodes(), Stamps: base.NumStamps(), StaticEdges: built,
+				UnfoldedEdges: unfolded, DeltaEvents: len(tail), NS: d.Nanoseconds(),
+				SpeedupVsMaps: speedup,
+			})
+		}
+		row("replay", replayBest)
+		row("ckpt", ckptBest)
+	}
+	return records
+}
+
+// genRecoverBulk builds a deterministic k-event arc-churn delta at
+// base's existing labels — ~25% removals of arcs base actually holds,
+// the rest insertions — the steady-state history a checkpoint covers.
+func genRecoverBulk(base *evolving.Graph, k int, seed int64) []evolving.IngestEvent {
+	rng := rand.New(rand.NewSource(seed + int64(k)*104729))
+	labels := base.TimeLabels()
+	n := base.NumNodes()
+	events := make([]evolving.IngestEvent, 0, k)
+	for len(events) < k {
+		if rng.Intn(4) == 0 {
+			removed := false
+			for tries := 0; tries < 16 && !removed; tries++ {
+				u := int32(rng.Intn(n))
+				ti := rng.Intn(base.NumStamps())
+				if nbrs := base.OutNeighbors(u, int32(ti)); len(nbrs) > 0 {
+					events = append(events, evolving.IngestEvent{
+						Op: evolving.IngestRemoveArc, U: u, V: nbrs[rng.Intn(len(nbrs))], T: labels[ti],
+					})
+					removed = true
+				}
+			}
+			continue
+		}
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			v = (v + 1) % int32(n)
+		}
+		events = append(events, evolving.IngestEvent{
+			Op: evolving.IngestAddArc, U: u, V: v, T: labels[rng.Intn(len(labels))],
+		})
+	}
+	return events
 }

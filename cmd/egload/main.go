@@ -13,7 +13,13 @@
 //	       [-mix bfs:4,stats:2,weak:2,sizes:2,efficiency:2,katz:2,closeness:3,influence:1]
 //	       [-writeRatio 0] [-writeBatch 16]
 //	       [-nodes 500] [-stamps 8] [-edges 5000]
-//	       [-json FILE]
+//	       [-waitReady 0] [-json FILE]
+//
+// With -waitReady the harness first polls /healthz until the target
+// answers 200 (restart-to-ready; the JSON report records it as
+// restartToReadyNs) — launch it alongside a restarting egserve to
+// measure boot-to-serving time, which is where a checkpoint boot's
+// warm-restart win lands end to end.
 //
 // Without -url the harness self-serves: it builds a random graph from
 // -nodes/-stamps/-edges/-seed, mounts internal/server (with an
@@ -78,8 +84,10 @@ func main() {
 		stamps     = flag.Int("stamps", 8, "self-serve: stamp count")
 		edges      = flag.Int("edges", 5_000, "self-serve: static edge count")
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		waitReady  = flag.Duration("waitReady", 0, "poll /healthz until the first 200 (at most this long) before loading; the report records restartToReadyNs")
 		jsonPath   = flag.String("json", "", "write the report to FILE as JSON")
 	)
+	procStart := time.Now()
 	flag.Parse()
 
 	weights, err := parseMix(*mix)
@@ -129,6 +137,37 @@ func main() {
 	base = strings.TrimRight(base, "/")
 	client := &http.Client{Timeout: *timeout}
 
+	// Restart-to-ready: poll /healthz until the target answers 200.
+	// Launched right after (or concurrently with) a restarting egserve,
+	// this measures boot-to-first-byte — the number the recovery suite's
+	// ≥10x warm-restart claim shows up as end to end.
+	var readyNS int64
+	var readyPolls int
+	if *waitReady > 0 {
+		probe := &http.Client{Timeout: time.Second}
+		deadline := time.Now().Add(*waitReady)
+		ready := false
+		for time.Now().Before(deadline) {
+			readyPolls++
+			resp, err := probe.Get(base + "/healthz")
+			if err == nil {
+				code := resp.StatusCode
+				resp.Body.Close()
+				if code == http.StatusOK {
+					ready = true
+					break
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if !ready {
+			fmt.Fprintf(os.Stderr, "egload: %s/healthz not ready after %s (%d polls)\n", base, *waitReady, readyPolls)
+			os.Exit(1)
+		}
+		readyNS = time.Since(procStart).Nanoseconds()
+		fmt.Printf("target ready after %s (%d polls)\n", time.Duration(readyNS).Round(time.Millisecond), readyPolls)
+	}
+
 	// The graph shape drives parameter generation for both modes.
 	var stats server.StatsResponse
 	if err := getJSON(client, base+"/stats", &stats); err != nil {
@@ -138,6 +177,8 @@ func main() {
 
 	rep := run(client, base, stats, weights, *concurrency, *distinct, *requests, *duration, *seed,
 		*writeRatio, *writeBatch)
+	rep.RestartToReadyNS = readyNS
+	rep.ReadyPolls = readyPolls
 
 	// Scrape the server-side counters; optional (a non-repro target has
 	// no /metrics).
@@ -194,6 +235,12 @@ type report struct {
 	// newer X-Graph-Revision), measured client-side across the whole
 	// run; zero counts mean the run had no writes or no revision ever
 	// advanced past an acked write.
+	// Restart-to-ready (-waitReady): egload start → first 200 from
+	// /healthz. Launched alongside a restarting server this is its
+	// boot-to-serving time — checkpoint boots cut it by the recovery
+	// suite's warm-restart factor.
+	RestartToReadyNS  int64                   `json:"restartToReadyNs,omitempty"`
+	ReadyPolls        int                     `json:"readyPolls,omitempty"`
 	VisibleCount      int                     `json:"ingestVisibleCount,omitempty"`
 	VisibleUnresolved int                     `json:"ingestVisibleUnresolved,omitempty"`
 	VisibleP50NS      int64                   `json:"ingestVisibleP50Ns,omitempty"`
@@ -639,6 +686,10 @@ func printReport(rep *report) {
 			time.Duration(ep.P90NS).Round(time.Microsecond),
 			time.Duration(ep.P99NS).Round(time.Microsecond),
 			hit)
+	}
+	if rep.RestartToReadyNS > 0 {
+		fmt.Printf("\nrestart-to-ready: %s (%d /healthz polls)\n",
+			time.Duration(rep.RestartToReadyNS).Round(time.Millisecond), rep.ReadyPolls)
 	}
 	if rep.VisibleCount > 0 {
 		fmt.Printf("\ningest-to-visible (ack → first read on a newer revision): p50=%s p99=%s over %d writes (%d unresolved at shutdown)\n",

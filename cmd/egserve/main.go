@@ -16,16 +16,22 @@
 //	        [-cache 1024] [-inflight 0] [-workers 0]
 //	        [-wal events.wal] [-fsync interval] [-fsync-interval 100ms]
 //	        [-compact-every 4096] [-compact-interval 2s] [-max-pending 65536]
+//	        [-checkpoint auto] [-checkpoint-every 8] [-checkpoint-interval 60s]
 //	        [-full-rebuild] [-inc=true] [-write-timeout 0] [-shutdown-timeout 10s]
 //
 // Without -graph a random evolving graph is generated and served. With
-// -wal the file's event stream is replayed onto that base graph before
-// serving (recover-then-serve: restarting with the same -graph/-seed
-// flags and the same WAL always reproduces the pre-crash graph), and
-// the write endpoints accept new batches. The process shuts down
-// gracefully on SIGINT/SIGTERM: the listener stops, in-flight requests
-// get -shutdown-timeout to drain, pending events are folded and the
-// WAL is synced, then the process exits.
+// -wal the server boots recover-then-serve: it mmaps the newest valid
+// checkpoint (-checkpoint; "auto" means <wal>.ckpt) and folds only the
+// WAL tail past the checkpoint's covered sequence, falling back to the
+// base graph plus a full replay when no checkpoint validates. Either
+// path reproduces the pre-crash graph exactly; the compactor then
+// persists fresh checkpoints every -checkpoint-every epochs or
+// -checkpoint-interval, whichever comes first. The write endpoints
+// accept new batches. The process shuts down gracefully on
+// SIGINT/SIGTERM: the listener stops, in-flight requests get
+// -shutdown-timeout to drain, pending events are folded, a final
+// full-coverage checkpoint is written and the WAL is synced, then the
+// process exits.
 //
 // Example session:
 //
@@ -74,6 +80,11 @@ func main() {
 		compactEvery    = flag.Int("compact-every", 4096, "fold the pending delta after this many events")
 		compactInterval = flag.Duration("compact-interval", 2*time.Second, "fold any pending delta at least this often")
 		maxPending      = flag.Int("max-pending", 1<<16, "pending-delta bound; writes beyond it get 429")
+		checkpoint      = flag.String("checkpoint", "auto", `checkpoint file for O(1) warm restart: "auto" = <wal>.ckpt, "none" disables (needs -wal)`)
+		checkpointEvery = flag.Int("checkpoint-every", 8, "persist a checkpoint after this many epochs")
+		checkpointIval  = flag.Duration("checkpoint-interval", 60*time.Second, "persist a checkpoint at least this often when new batches were folded")
+		ckptStallWrite  = flag.Duration("checkpoint-stall-write", 0, "fault injection: stall mid-way through the checkpoint body write (crash-test hook)")
+		ckptStallRename = flag.Duration("checkpoint-stall-rename", 0, "fault injection: stall after the checkpoint sync, before the rename (crash-test hook)")
 		fullRebuild     = flag.Bool("full-rebuild", false, "compact via the full Fold rebuild instead of the incremental Patch (the differential oracle; slower, same results)")
 		incAnalytics    = flag.Bool("inc", true, "maintain weak components and temporal Katz incrementally across compactions; /components/weak and /katz serve the maintained results")
 
@@ -82,52 +93,82 @@ func main() {
 	)
 	flag.Parse()
 
-	var g *evolving.Graph
-	if *graphPath != "" {
-		f, err := os.Open(*graphPath)
-		if err != nil {
-			log.Fatalf("egserve: open: %v", err)
+	// base lazily builds the seed graph the WAL was recorded against.
+	// On a checkpoint boot it is never invoked: the mmap'd checkpoint
+	// plus the WAL tail is the whole graph, so a warm restart skips
+	// generation/parsing entirely.
+	base := func() (*evolving.Graph, error) {
+		if *graphPath != "" {
+			f, err := os.Open(*graphPath)
+			if err != nil {
+				return nil, fmt.Errorf("open: %w", err)
+			}
+			defer f.Close()
+			g, err := evolving.ReadEdgeList(f, true)
+			if err != nil {
+				return nil, fmt.Errorf("parse: %w", err)
+			}
+			return g, nil
 		}
-		var rerr error
-		g, rerr = evolving.ReadEdgeList(f, true)
-		f.Close()
-		if rerr != nil {
-			log.Fatalf("egserve: parse: %v", rerr)
-		}
-	} else {
-		g = evolving.Random(evolving.RandomConfig{
+		g := evolving.Random(evolving.RandomConfig{
 			Nodes: *nodes, Stamps: *stamps, Edges: *edges, Directed: true, Seed: *seed,
 		})
 		fmt.Printf("serving random graph: nodes=%d stamps=%d edges=%d seed=%d\n",
 			*nodes, *stamps, *edges, *seed)
+		return g, nil
 	}
 
-	// Recover-then-serve: replay the WAL's event stream onto the base
-	// graph before taking traffic, so a restarted server picks up
-	// exactly where the killed one left off.
+	ckptPath := ""
+	if *walPath != "" {
+		switch *checkpoint {
+		case "", "none":
+		case "auto":
+			ckptPath = *walPath + ".ckpt"
+		default:
+			ckptPath = *checkpoint
+		}
+	}
+
+	// Recover-then-serve: mmap the newest valid checkpoint and fold
+	// only the WAL tail past its covered sequence; fall back to the
+	// base graph plus a full replay when no checkpoint validates. The
+	// mapping lives for the life of the process.
 	var (
+		g   *evolving.Graph
 		wal *ingest.WAL
-		rec *ingest.Recovery
+		res *ingest.RecoverResult
 	)
 	if *walPath != "" {
 		policy, err := ingest.ParseSyncPolicy(*fsyncPolicy)
 		if err != nil {
 			log.Fatalf("egserve: %v", err)
 		}
-		wal, rec, err = ingest.OpenWAL(*walPath, ingest.WALOptions{Policy: policy, Interval: *fsyncInterval})
+		t0 := time.Now()
+		res, err = ingest.Recover(ingest.RecoverConfig{
+			WALPath:        *walPath,
+			WALOptions:     ingest.WALOptions{Policy: policy, Interval: *fsyncInterval},
+			CheckpointPath: ckptPath,
+			Base:           base,
+			Logf: func(format string, args ...interface{}) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
 		if err != nil {
 			log.Fatalf("egserve: %v", err)
 		}
-		if rec.Torn {
+		g = res.Graph
+		wal = res.WAL
+		if res.Recovery.Torn {
 			fmt.Printf("WAL %s: torn tail (%d bytes) truncated at the last complete record\n",
-				*walPath, rec.TruncatedBytes)
+				*walPath, res.Recovery.TruncatedBytes)
 		}
-		if len(rec.Events) > 0 {
-			t0 := time.Now()
-			g = ingest.Fold(g, rec.Events)
-			fmt.Printf("WAL %s: recovered %d events in %d batches, folded in %s (%d nodes, %d stamps)\n",
-				*walPath, len(rec.Events), rec.Batches, time.Since(t0).Round(time.Millisecond),
-				g.NumNodes(), g.NumStamps())
+		fmt.Printf("recovered via %s in %s (%d nodes, %d stamps)\n",
+			res.Path, time.Since(t0).Round(time.Millisecond), g.NumNodes(), g.NumStamps())
+	} else {
+		var err error
+		g, err = base()
+		if err != nil {
+			log.Fatalf("egserve: %v", err)
 		}
 	}
 
@@ -138,12 +179,6 @@ func main() {
 	})
 	var lg *ingest.Log
 	if wal != nil {
-		// Labels the event stream mentioned stay writable even when
-		// the fold dropped their stamps (e.g. all arcs removed).
-		extra := make([]int64, 0, len(rec.Events))
-		for _, e := range rec.Events {
-			extra = append(extra, e.T)
-		}
 		var maint *inc.Maintainer
 		if *incAnalytics {
 			maint = inc.New(inc.Config{})
@@ -154,16 +189,28 @@ func main() {
 			CompactEvery:    *compactEvery,
 			CompactInterval: *compactInterval,
 			MaxPending:      *maxPending,
-			ExtraLabels:     extra,
-			UseFullRebuild:  *fullRebuild,
-			Analytics:       maint,
+			// Labels the recovered stream mentioned stay writable even
+			// when the fold dropped their stamps (e.g. all arcs
+			// removed); on a checkpoint boot this is the checkpoint's
+			// label set plus the tail's.
+			ExtraLabels:           res.ExtraLabels,
+			UseFullRebuild:        *fullRebuild,
+			Analytics:             maint,
+			CheckpointPath:        ckptPath,
+			CheckpointEvery:       *checkpointEvery,
+			CheckpointInterval:    *checkpointIval,
+			CheckpointStallWrite:  *ckptStallWrite,
+			CheckpointStallRename: *ckptStallRename,
+			LastCheckpointSeq:     res.CheckpointSeq,
+			RecoverPath:           res.Path,
+			TailRecordsReplayed:   res.TailEvents,
 		})
 		if err != nil {
 			log.Fatalf("egserve: %v", err)
 		}
 		handler.AttachIngest(lg)
-		fmt.Printf("ingest enabled: wal=%s fsync=%s compact-every=%d compact-interval=%s inc=%t\n",
-			*walPath, *fsyncPolicy, *compactEvery, *compactInterval, *incAnalytics)
+		fmt.Printf("ingest enabled: wal=%s fsync=%s compact-every=%d compact-interval=%s checkpoint=%s inc=%t\n",
+			*walPath, *fsyncPolicy, *compactEvery, *compactInterval, ckptPath, *incAnalytics)
 	}
 	srv := &http.Server{
 		Addr:    *addr,

@@ -282,3 +282,22 @@ func (b *BitSet) String() string {
 	sb.WriteByte('}')
 	return sb.String()
 }
+
+// Words exposes the backing word slice, least-significant bit first.
+// The slice aliases the set's storage: callers must treat it as
+// read-only unless they own the set. Checkpoint I/O uses it to persist
+// and map bitsets without copying.
+func (b *BitSet) Words() []uint64 { return b.words }
+
+// BitSetFromWords wraps an existing word slice as a BitSet of capacity
+// n bits without copying; the set aliases words for its lifetime. The
+// slice must hold exactly ceil(n/64) words and any bits at indices ≥ n
+// in the final word must be zero (Count and the iteration helpers
+// assume it). Used to serve bitsets straight out of an mmap'd
+// checkpoint section.
+func BitSetFromWords(words []uint64, n int) *BitSet {
+	if want := (n + wordBits - 1) / wordBits; len(words) != want {
+		panic(fmt.Sprintf("ds: BitSetFromWords: %d words for %d bits, want %d", len(words), n, want))
+	}
+	return &BitSet{words: words, n: n}
+}

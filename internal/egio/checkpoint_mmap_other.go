@@ -1,0 +1,16 @@
+//go:build !unix
+
+package egio
+
+import (
+	"errors"
+	"os"
+)
+
+// No mmap on this platform: OpenCheckpoint falls back to reading the
+// file onto the heap, which keeps the format and validation identical.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	return nil, false, errors.New("egio: mmap unsupported on this platform")
+}
+
+func munmapBytes(b []byte) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package egio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping outlives f:
+// callers may close the file immediately after a successful map.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/egio"
 	"repro/internal/egraph"
 	"repro/internal/inc"
 )
@@ -57,6 +58,36 @@ type Config struct {
 	// internal/server.Server does). New primes the Maintainer on the
 	// base graph — a one-time full recompute.
 	Analytics *inc.Maintainer
+	// CheckpointPath, when non-empty, makes the compactor persist
+	// mmap-able checkpoints of the published graph (DESIGN.md §14):
+	// after an epoch once CheckpointEvery epochs have accumulated, or
+	// whenever CheckpointInterval has passed since the last one and new
+	// batches were folded. A restart then boots through Recover — mmap
+	// + tail fold — instead of a full WAL replay. Checkpoint failures
+	// are counted and logged but never poison the pipeline: the WAL
+	// remains the source of truth.
+	CheckpointPath string
+	// CheckpointEvery is the epoch budget between checkpoints
+	// (default 8).
+	CheckpointEvery int
+	// CheckpointInterval is the time budget between checkpoints
+	// (default 60s).
+	CheckpointInterval time.Duration
+	// CheckpointStallWrite/CheckpointStallRename forward to the
+	// writer's fault-injection hooks; the CI soak SIGKILLs the server
+	// inside these windows to prove a torn checkpoint is survivable.
+	// Zero in production.
+	CheckpointStallWrite  time.Duration
+	CheckpointStallRename time.Duration
+	// LastCheckpointSeq seeds the coverage cursor when the process
+	// booted from a checkpoint: sequences below it are already covered
+	// on disk, so the first write is deferred until coverage advances.
+	LastCheckpointSeq uint64
+	// RecoverPath and TailRecordsReplayed describe how this process
+	// recovered ("checkpoint" or "replay"); they flow through Stats to
+	// /ingest/stats and /metrics.
+	RecoverPath         string
+	TailRecordsReplayed int
 	// UseFullRebuild routes every epoch through the full Fold rebuild
 	// (replay all of base through a Builder) instead of the incremental
 	// copy-on-write Patch. Patch and Fold produce equivalent graphs —
@@ -104,6 +135,19 @@ type Stats struct {
 	LastVisibleMs float64   `json:"lastVisibleMs"`
 	MaxVisibleMs  float64   `json:"maxVisibleMs"`
 	WAL           *WALStats `json:"wal,omitempty"`
+	// Checkpoint counters (Config.CheckpointPath): how many were
+	// written, how the last one went, and which WAL sequence the
+	// newest on-disk checkpoint covers.
+	Checkpoints       int64   `json:"checkpoints,omitempty"`
+	CheckpointErrors  int64   `json:"checkpointErrors,omitempty"`
+	LastCheckpointMs  float64 `json:"lastCheckpointMs,omitempty"`
+	CheckpointBytes   int64   `json:"checkpointBytes,omitempty"`
+	LastCheckpointSeq uint64  `json:"lastCheckpointSeq,omitempty"`
+	// RecoverPath/TailRecordsReplayed report how this process booted:
+	// "checkpoint" (mmap + tail fold of TailRecordsReplayed WAL
+	// records) or "replay" (full fold).
+	RecoverPath         string `json:"recoverPath,omitempty"`
+	TailRecordsReplayed int64  `json:"tailRecordsReplayed,omitempty"`
 }
 
 // Log is the mutation API of the live query service: validated,
@@ -142,6 +186,12 @@ type Log struct {
 	arena   *egraph.CSRArena
 	owned   map[*egraph.IntEvolvingGraph]struct{}
 
+	// Checkpoint policy state, guarded by foldMu (writes happen only
+	// inside a fold slot or a forced CheckpointNow/Close).
+	ckptEpochs  int
+	lastCkptAt  time.Time
+	lastCkptSeq uint64
+
 	appendedBatches  atomic.Int64
 	appendedEvents   atomic.Int64
 	rejectedBatches  atomic.Int64
@@ -157,6 +207,12 @@ type Log struct {
 	lastAnalyticsNS  atomic.Int64
 	lastVisibleNS    atomic.Int64
 	maxVisibleNS     atomic.Int64
+
+	checkpoints       atomic.Int64
+	checkpointErrs    atomic.Int64
+	lastCheckpointNS  atomic.Int64
+	checkpointBytes   atomic.Int64
+	lastCheckpointSeq atomic.Uint64
 }
 
 // AnalyticsPublisher is the optional half of the Publisher seam for
@@ -201,6 +257,12 @@ func New(pub Publisher, cfg Config) (*Log, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 8
+	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = 60 * time.Second
+	}
 	l := &Log{
 		pub:    pub,
 		cfg:    cfg,
@@ -221,6 +283,9 @@ func New(pub Publisher, cfg Config) (*Log, error) {
 		// recovered prefix is already folded into the base graph.
 		l.foldNext = l.wal.NextSeq()
 	}
+	l.lastCkptAt = time.Now()
+	l.lastCkptSeq = cfg.LastCheckpointSeq
+	l.lastCheckpointSeq.Store(cfg.LastCheckpointSeq)
 	if rn, ok := pub.(RetireNotifier); ok {
 		l.owned = make(map[*egraph.IntEvolvingGraph]struct{})
 		rn.NotifyRetired(l.graphRetired)
@@ -469,6 +534,11 @@ func (l *Log) CompactNow() int {
 	}
 	l.mu.Unlock()
 	if len(events) == 0 {
+		// Still give the interval-based checkpoint policy a chance: a
+		// server that replayed a long WAL at boot but sees no writes
+		// should persist that work instead of replaying it again on the
+		// next restart.
+		l.maybeCheckpoint(false, false)
 		return 0
 	}
 	start := time.Now()
@@ -491,6 +561,10 @@ func (l *Log) CompactNow() int {
 		// still being served. Labels were registered at append time.
 		l.epochs.Add(1)
 		l.compactedEvents.Add(int64(len(events)))
+		// Coverage still advanced (the no-op batches are in the WAL), so
+		// the checkpoint policy runs: persisting the same graph under a
+		// higher sequence shrinks the tail a restart must refold.
+		l.maybeCheckpoint(true, false)
 		return len(events)
 	}
 	// Prebuild the flat CSR view off the request path — parallel, and
@@ -541,7 +615,78 @@ func (l *Log) CompactNow() int {
 		l.epochs.Load(), path, len(events), dur.Round(time.Microsecond),
 		time.Duration(l.lastCSRBuildNS.Load()).Round(time.Microsecond), rev,
 		g.NumNodes(), g.NumStamps(), visible.Round(time.Millisecond))
+	l.maybeCheckpoint(true, false)
 	return len(events)
+}
+
+// maybeCheckpoint runs the checkpoint policy at the end of a fold
+// slot. Callers must hold foldMu: the policy state is foldMu-guarded,
+// and holding the fold slot pins pub.Graph() to exactly the graph that
+// covers foldNext — the pair the checkpoint persists. epochDone spends
+// one epoch of the CheckpointEvery budget; force ignores both budgets
+// (but never writes when nothing new is covered, and never on a
+// poisoned log, whose served graph may lag its WAL).
+func (l *Log) maybeCheckpoint(epochDone, force bool) (int64, error) {
+	if l.cfg.CheckpointPath == "" {
+		return 0, nil
+	}
+	if epochDone {
+		l.ckptEpochs++
+	}
+	l.mu.Lock()
+	seq := l.foldNext
+	poisoned := l.poisoned
+	l.mu.Unlock()
+	if poisoned || seq <= l.lastCkptSeq {
+		return 0, nil
+	}
+	if !force && l.ckptEpochs < l.cfg.CheckpointEvery && time.Since(l.lastCkptAt) < l.cfg.CheckpointInterval {
+		return 0, nil
+	}
+	start := time.Now()
+	g := l.pub.Graph()
+	l.mu.Lock()
+	labels := make([]int64, 0, len(l.labels))
+	for t := range l.labels {
+		labels = append(labels, t)
+	}
+	l.mu.Unlock()
+	n, err := egio.WriteCheckpoint(l.cfg.CheckpointPath, g, egio.CheckpointMeta{
+		WALSeq:      seq,
+		Labels:      labels,
+		StallWrite:  l.cfg.CheckpointStallWrite,
+		StallRename: l.cfg.CheckpointStallRename,
+	})
+	if err != nil {
+		l.checkpointErrs.Add(1)
+		l.cfg.Logf("ingest: checkpoint %s failed (will retry next epoch): %v", l.cfg.CheckpointPath, err)
+		return 0, err
+	}
+	dur := time.Since(start)
+	l.ckptEpochs = 0
+	l.lastCkptAt = time.Now()
+	l.lastCkptSeq = seq
+	l.checkpoints.Add(1)
+	l.lastCheckpointNS.Store(dur.Nanoseconds())
+	l.checkpointBytes.Store(n)
+	l.lastCheckpointSeq.Store(seq)
+	l.cfg.Logf("ingest: checkpoint %s: seq %d, %d bytes in %s",
+		l.cfg.CheckpointPath, seq, n, dur.Round(time.Millisecond))
+	return n, nil
+}
+
+// CheckpointNow synchronously writes a checkpoint covering everything
+// folded so far, regardless of the epoch/interval budgets. It returns
+// (0, nil) when there is nothing new to cover. POST /ingest/checkpoint
+// calls it; so does Close, so a clean shutdown always leaves a
+// full-coverage checkpoint behind.
+func (l *Log) CheckpointNow() (int64, error) {
+	if l.cfg.CheckpointPath == "" {
+		return 0, fmt.Errorf("ingest: no checkpoint path configured")
+	}
+	l.foldMu.Lock()
+	defer l.foldMu.Unlock()
+	return l.maybeCheckpoint(false, true)
 }
 
 // Close stops the compactor after a final fold of any pending delta,
@@ -557,6 +702,14 @@ func (l *Log) Close() error {
 		close(l.quit)
 		<-l.done
 	})
+	if l.cfg.CheckpointPath != "" {
+		// The final fold above advanced coverage past the last periodic
+		// checkpoint; persist it so the next boot replays no tail at
+		// all. Failure is non-fatal — recovery falls back to the WAL.
+		l.foldMu.Lock()
+		l.maybeCheckpoint(false, true)
+		l.foldMu.Unlock()
+	}
 	if l.wal != nil {
 		return l.wal.Close()
 	}
@@ -585,7 +738,14 @@ func (l *Log) Stats() Stats {
 		LastAnalyticsMs:   float64(l.lastAnalyticsNS.Load()) / 1e6,
 		LastVisibleMs:     float64(l.lastVisibleNS.Load()) / 1e6,
 		MaxVisibleMs:      float64(l.maxVisibleNS.Load()) / 1e6,
+		Checkpoints:       l.checkpoints.Load(),
+		CheckpointErrors:  l.checkpointErrs.Load(),
+		LastCheckpointMs:  float64(l.lastCheckpointNS.Load()) / 1e6,
+		CheckpointBytes:   l.checkpointBytes.Load(),
+		LastCheckpointSeq: l.lastCheckpointSeq.Load(),
+		RecoverPath:       l.cfg.RecoverPath,
 	}
+	s.TailRecordsReplayed = int64(l.cfg.TailRecordsReplayed)
 	if l.cfg.Analytics != nil {
 		as := l.cfg.Analytics.Stats()
 		s.Analytics = &as

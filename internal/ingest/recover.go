@@ -1,0 +1,151 @@
+package ingest
+
+// Recovery path selection (DESIGN.md §14). A checkpoint records the
+// WAL batch sequence it covers; recovery mmaps the newest valid
+// checkpoint and folds only the WAL tail past that sequence through
+// the same Patch fold the live compactor uses. Any doubt about the
+// checkpoint — missing file, failed validation, or a coverage claim
+// the durable log cannot confirm — falls back to the seed base plus a
+// full replay. Both paths produce bit-identical graphs (the torn-prefix
+// property test in recover_test.go proves it for every truncation).
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/egio"
+	"repro/internal/egraph"
+)
+
+// RecoverConfig configures a checkpoint-aware recover-then-serve boot.
+type RecoverConfig struct {
+	// WALPath is the write-ahead log to open (created if absent); the
+	// returned WAL is positioned for appending, with any torn tail
+	// truncated.
+	WALPath string
+	// WALOptions configures fsync policy for the reopened WAL.
+	WALOptions WALOptions
+	// CheckpointPath, when non-empty, is tried before a full replay.
+	CheckpointPath string
+	// Base lazily builds the seed graph the WAL was recorded against.
+	// It is only invoked on the full-replay path, so a checkpoint boot
+	// never pays for (re)generating or parsing the base.
+	Base func() (*egraph.IntEvolvingGraph, error)
+	// Logf, when non-nil, receives one line per recovery decision.
+	Logf func(format string, args ...interface{})
+}
+
+// RecoverResult is how the process came back up.
+type RecoverResult struct {
+	// Graph is the recovered graph, bit-identical to what a full WAL
+	// replay over the base produces.
+	Graph *egraph.IntEvolvingGraph
+	// WAL is the reopened log, ready for new appends.
+	WAL *WAL
+	// Recovery is the WAL scan result (events, batches, torn-tail
+	// truncation).
+	Recovery *Recovery
+	// Path is "checkpoint" (mmap + tail fold) or "replay" (base +
+	// full fold).
+	Path string
+	// FallbackReason says why the checkpoint was not used when Path is
+	// "replay" ("" when it was, or when no checkpoint was configured).
+	FallbackReason string
+	// CheckpointSeq and CheckpointBytes describe the checkpoint used.
+	CheckpointSeq   uint64
+	CheckpointBytes int64
+	// TailBatches/TailEvents is how much of the WAL the checkpoint did
+	// not cover and had to be folded at boot.
+	TailBatches int
+	TailEvents  int
+	// ExtraLabels are the time labels a Log serving this graph must
+	// register beyond the graph's own: the checkpoint's label set plus
+	// every label the folded events mention.
+	ExtraLabels []int64
+
+	checkpoint *egio.Checkpoint
+}
+
+// CloseCheckpoint unmaps the backing checkpoint, if one was used. The
+// recovered graph — and anything patched from it — must not be used
+// afterwards; a serving process keeps the mapping for its lifetime and
+// never calls this.
+func (r *RecoverResult) CloseCheckpoint() error {
+	if r.checkpoint == nil {
+		return nil
+	}
+	ck := r.checkpoint
+	r.checkpoint = nil
+	return ck.Close()
+}
+
+// Recover opens the WAL and brings up the newest recoverable graph:
+// checkpoint + tail fold when a checkpoint validates, base + full
+// replay otherwise. It never fails because of checkpoint damage — a
+// checkpoint is an optimization, the WAL is the source of truth.
+func Recover(cfg RecoverConfig) (*RecoverResult, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	wal, rec, err := OpenWAL(cfg.WALPath, cfg.WALOptions)
+	if err != nil {
+		return nil, err
+	}
+	res := &RecoverResult{WAL: wal, Recovery: rec}
+	if cfg.CheckpointPath != "" {
+		ck, cerr := egio.OpenCheckpoint(cfg.CheckpointPath)
+		switch {
+		case cerr != nil && os.IsNotExist(cerr):
+			res.FallbackReason = "no checkpoint file"
+		case cerr != nil:
+			// Torn, corrupt, foreign — anything short of a clean parse.
+			res.FallbackReason = cerr.Error()
+		case ck.Info.WALSeq > uint64(rec.Batches):
+			// The checkpoint claims to cover batches the log does not
+			// hold (e.g. the WAL was truncated or swapped underneath
+			// it). The claim cannot be confirmed, so the checkpoint
+			// cannot be trusted.
+			res.FallbackReason = fmt.Sprintf("checkpoint covers WAL sequence %d but the log holds %d batches", ck.Info.WALSeq, rec.Batches)
+			ck.Close()
+		default:
+			tail := rec.Events[len(rec.Events):]
+			if int(ck.Info.WALSeq) < rec.Batches {
+				tail = rec.Events[rec.BatchStarts[ck.Info.WALSeq]:]
+			}
+			res.Graph = Patch(ck.Graph, tail)
+			res.Path = "checkpoint"
+			res.CheckpointSeq = ck.Info.WALSeq
+			res.CheckpointBytes = ck.Info.Bytes
+			res.TailBatches = rec.Batches - int(ck.Info.WALSeq)
+			res.TailEvents = len(tail)
+			res.ExtraLabels = append(res.ExtraLabels, ck.Info.Labels...)
+			for _, e := range tail {
+				res.ExtraLabels = append(res.ExtraLabels, e.T)
+			}
+			res.checkpoint = ck
+			logf("recovery: checkpoint %s seq %d (%d bytes) + %d tail batches (%d events)",
+				cfg.CheckpointPath, ck.Info.WALSeq, ck.Info.Bytes, res.TailBatches, res.TailEvents)
+			return res, nil
+		}
+	}
+	base, berr := cfg.Base()
+	if berr != nil {
+		wal.Close()
+		return nil, berr
+	}
+	res.Graph = Fold(base, rec.Events)
+	res.Path = "replay"
+	res.TailBatches = rec.Batches
+	res.TailEvents = len(rec.Events)
+	for _, e := range rec.Events {
+		res.ExtraLabels = append(res.ExtraLabels, e.T)
+	}
+	if res.FallbackReason != "" {
+		logf("recovery: full replay of %d batches (%d events); checkpoint unusable: %s",
+			rec.Batches, len(rec.Events), res.FallbackReason)
+	} else {
+		logf("recovery: full replay of %d batches (%d events)", rec.Batches, len(rec.Events))
+	}
+	return res, nil
+}

@@ -113,6 +113,12 @@ type Recovery struct {
 	Events []Event
 	// Batches is the number of complete records recovered.
 	Batches int
+	// BatchStarts[i] is the index in Events where batch i (WAL
+	// sequence i) begins: the tail of the stream from sequence s
+	// onward is Events[BatchStarts[s]:]. len(BatchStarts) == Batches.
+	// Checkpoint recovery uses it to replay only the records a
+	// checkpoint does not already cover.
+	BatchStarts []int
 	// Torn reports that the file ended in an incomplete or corrupt
 	// record, which OpenWAL truncated away before reopening for
 	// append.
@@ -165,8 +171,8 @@ func OpenWAL(path string, opts WALOptions) (*WAL, *Recovery, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("ingest: open WAL: %w", err)
 	}
-	events, batches, good, rerr := Replay(f)
-	rec := &Recovery{Events: events, Batches: batches}
+	events, starts, batches, good, rerr := replay(f)
+	rec := &Recovery{Events: events, Batches: batches, BatchStarts: starts}
 	switch {
 	case rerr == nil:
 	case errors.Is(rerr, ErrTornWAL):
@@ -403,27 +409,33 @@ func (w *WAL) Close() error {
 // destroy someone else's data. goodBytes is the length of the valid
 // prefix — OpenWAL truncates the file to it before appending.
 func Replay(r io.Reader) (events []Event, batches int, goodBytes int64, err error) {
+	events, _, batches, goodBytes, err = replay(r)
+	return events, batches, goodBytes, err
+}
+
+// replay is Replay plus the per-batch start offsets Recovery exposes.
+func replay(r io.Reader) (events []Event, starts []int, batches int, goodBytes int64, err error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [walHeaderLen]byte
 	n, err := io.ReadFull(br, hdr[:])
 	if err != nil {
 		if err == io.EOF {
-			return nil, 0, 0, nil // empty file: a valid fresh WAL
+			return nil, nil, 0, 0, nil // empty file: a valid fresh WAL
 		}
 		// A short file is a torn first append only if what exists is a
 		// prefix of a real header — anything else is not a WAL, and
 		// reporting it torn would let OpenWAL truncate (destroy)
 		// someone else's file.
 		if string(hdr[:min(n, 4)]) != walMagic[:min(n, 4)] || (n > 4 && hdr[4] != walVersion) {
-			return nil, 0, 0, fmt.Errorf("ingest: not a WAL: %d-byte file starting %q, want header %q", n, hdr[:n], walMagic)
+			return nil, nil, 0, 0, fmt.Errorf("ingest: not a WAL: %d-byte file starting %q, want header %q", n, hdr[:n], walMagic)
 		}
-		return nil, 0, 0, ErrTornWAL
+		return nil, nil, 0, 0, ErrTornWAL
 	}
 	if string(hdr[:4]) != walMagic {
-		return nil, 0, 0, fmt.Errorf("ingest: not a WAL: magic %q at offset 0, want %q", hdr[:4], walMagic)
+		return nil, nil, 0, 0, fmt.Errorf("ingest: not a WAL: magic %q at offset 0, want %q", hdr[:4], walMagic)
 	}
 	if hdr[4] != walVersion {
-		return nil, 0, 0, fmt.Errorf("ingest: unsupported WAL version %d at offset 4, want %d", hdr[4], walVersion)
+		return nil, nil, 0, 0, fmt.Errorf("ingest: unsupported WAL version %d at offset 4, want %d", hdr[4], walVersion)
 	}
 	goodBytes = walHeaderLen
 
@@ -432,21 +444,21 @@ func Replay(r io.Reader) (events []Event, batches int, goodBytes int64, err erro
 		var frame [8]byte
 		if _, err := io.ReadFull(br, frame[:]); err != nil {
 			if err == io.EOF {
-				return events, batches, goodBytes, nil // clean end
+				return events, starts, batches, goodBytes, nil // clean end
 			}
-			return events, batches, goodBytes, ErrTornWAL
+			return events, starts, batches, goodBytes, ErrTornWAL
 		}
 		length := binary.LittleEndian.Uint32(frame[:4])
 		sum := binary.LittleEndian.Uint32(frame[4:])
 		if length < 2 || length > maxWALPayload {
-			return events, batches, goodBytes, ErrTornWAL
+			return events, starts, batches, goodBytes, ErrTornWAL
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return events, batches, goodBytes, ErrTornWAL
+			return events, starts, batches, goodBytes, ErrTornWAL
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			return events, batches, goodBytes, ErrTornWAL
+			return events, starts, batches, goodBytes, ErrTornWAL
 		}
 		seq, batch, ok := decodePayload(payload)
 		// A CRC-valid record that fails to decode, or that breaks the
@@ -454,8 +466,9 @@ func Replay(r io.Reader) (events []Event, batches int, goodBytes int64, err erro
 		// checksum cannot see (e.g. a spliced file); stop at the clean
 		// prefix like any other tear.
 		if !ok || seq != seqWant {
-			return events, batches, goodBytes, ErrTornWAL
+			return events, starts, batches, goodBytes, ErrTornWAL
 		}
+		starts = append(starts, len(events))
 		events = append(events, batch...)
 		batches++
 		seqWant++

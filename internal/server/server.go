@@ -25,6 +25,7 @@
 //	/katz[?alpha=A][&mode=M][&top=K]         cached
 //	/ingest/arcs                     POST an NDJSON mutation batch
 //	/ingest/stats                    write-path counters
+//	/ingest/checkpoint               POST to force a checkpoint now
 //	/healthz                         liveness + graph revision
 //	/metrics                         request/cache/in-flight counters
 //
@@ -195,6 +196,7 @@ func New(g *egraph.IntEvolvingGraph, cfg Config) *Server {
 		{"/katz", s.katz},
 		{"/ingest/arcs", s.ingestArcs},
 		{"/ingest/stats", s.ingestStats},
+		{"/ingest/checkpoint", s.ingestCheckpoint},
 		{"/healthz", s.healthz},
 		{"/metrics", s.metrics},
 	} {

@@ -20,6 +20,7 @@ package evolving
 // self-contained walkthrough including a simulated crash.
 
 import (
+	"repro/internal/egio"
 	"repro/internal/ingest"
 )
 
@@ -107,3 +108,46 @@ func PatchEvents(base *Graph, events []IngestEvent) *Graph {
 // A QueryServer is a valid publisher: Graph/ReplaceGraph/AttachIngest
 // form the read-write seam the compactor swaps snapshots through.
 var _ IngestPublisher = (*QueryServer)(nil)
+
+// CheckpointMeta carries the WAL coverage sequence and extra time
+// labels a checkpoint persists alongside the graph (internal/egio,
+// DESIGN.md §14).
+type CheckpointMeta = egio.CheckpointMeta
+
+// CheckpointInfo describes a parsed checkpoint: coverage, labels,
+// shape and on-disk size.
+type CheckpointInfo = egio.CheckpointInfo
+
+// Checkpoint is an open, validated, mmap-backed checkpoint; Close
+// unmaps it (after which the graph must not be used).
+type Checkpoint = egio.Checkpoint
+
+// WriteCheckpoint persists g — snapshots, activity index and flat CSR
+// view — as a page-aligned, CRC-guarded, mmap-able file, atomically
+// (temp + rename). The returned size is the final file's bytes.
+func WriteCheckpoint(path string, g *Graph, meta CheckpointMeta) (int64, error) {
+	return egio.WriteCheckpoint(path, g, meta)
+}
+
+// OpenCheckpoint maps path read-only and validates it end to end
+// (CRCs, then full structural validation), returning a zero-copy
+// graph over the mapping. Any damage — truncation, bit rot, a torn
+// rename — fails cleanly; recovery then falls back to WAL replay.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	return egio.OpenCheckpoint(path)
+}
+
+// RecoverConfig and RecoverResult configure and report a
+// checkpoint-aware recover-then-serve boot; see Recover.
+type RecoverConfig = ingest.RecoverConfig
+
+// RecoverResult reports how Recover brought the graph up.
+type RecoverResult = ingest.RecoverResult
+
+// Recover opens a WAL and boots the newest recoverable graph: mmap'd
+// checkpoint + tail fold when the checkpoint validates and its
+// coverage is confirmed, base + full replay otherwise. Both paths are
+// bit-identical; cmd/egserve boots through this with -wal.
+func Recover(cfg RecoverConfig) (*RecoverResult, error) {
+	return ingest.Recover(cfg)
+}
