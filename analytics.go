@@ -9,9 +9,11 @@ import (
 	"net/http"
 
 	"repro/internal/dynadj"
+	"repro/internal/feed"
 	"repro/internal/motif"
 	"repro/internal/server"
 	"repro/internal/window"
+	"repro/internal/wire"
 )
 
 // Window is the evolving subgraph induced by a contiguous stamp range.
@@ -96,3 +98,35 @@ type QueryServer = server.Server
 // NewQueryServer returns a QueryServer serving g under cfg (the zero
 // ServerConfig picks machine-sized defaults).
 func NewQueryServer(g *Graph, cfg ServerConfig) *QueryServer { return server.New(g, cfg) }
+
+// Change-feed subsystem (DESIGN.md §15): the server publishes an epoch
+// to its FeedHub at every revision swap; subscribers pull typed events
+// (revision published, weak-component membership changed, a node's
+// Katz score moved) with resumable cursors. QueryServer.ServeWire
+// exposes the hub over the EGWP binary protocol; the egclient package
+// is the typed client for both transports.
+type (
+	FeedHub   = feed.Hub
+	FeedSpec  = feed.Spec
+	FeedEvent = feed.Event
+	FeedKind  = feed.Kind
+	FeedStats = feed.Stats
+)
+
+// Feed event kinds and the live-cursor sentinel, re-exported.
+const (
+	FeedRevision   = feed.KindRevision
+	FeedComponents = feed.KindComponents
+	FeedKatz       = feed.KindKatz
+	FeedGap        = feed.KindGap
+	FeedCursorLive = feed.CursorLive
+)
+
+// WireCode is the transport-neutral error code every failure carries —
+// the same enum inside the HTTP JSON envelope ("code" field) and the
+// EGWP binary error frame, so callers switch on codes, not transports.
+type WireCode = wire.Code
+
+// WireError is the typed error both egclient transports return for
+// server-reported failures.
+type WireError = wire.RemoteError

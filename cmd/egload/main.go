@@ -13,7 +13,16 @@
 //	       [-mix bfs:4,stats:2,weak:2,sizes:2,efficiency:2,katz:2,closeness:3,influence:1]
 //	       [-writeRatio 0] [-writeBatch 16]
 //	       [-nodes 500] [-stamps 8] [-edges 5000]
+//	       [-visibility inline|poll|feed] [-pollInterval 50ms] [-wire host:9090]
 //	       [-waitReady 0] [-json FILE]
+//
+// -visibility selects how the harness learns that an acked write became
+// readable: "inline" piggybacks on read responses, "poll" runs a
+// dedicated /healthz poller (the deprecated X-Graph-Revision pattern),
+// "feed" subscribes to the EGWP change-feed on -wire (self-serve opens
+// its own wire listener). Running poll and feed over the same workload
+// is the BENCH_8 experiment: pushed events resolve at epoch-publish
+// time, polling pays up to a full -pollInterval on top.
 //
 // With -waitReady the harness first polls /healthz until the target
 // answers 200 (restart-to-ready; the JSON report records it as
@@ -49,6 +58,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -64,6 +74,7 @@ import (
 	"time"
 
 	evolving "repro"
+	"repro/egclient"
 	"repro/internal/ingest"
 	"repro/internal/server"
 )
@@ -86,6 +97,14 @@ func main() {
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 		waitReady  = flag.Duration("waitReady", 0, "poll /healthz until the first 200 (at most this long) before loading; the report records restartToReadyNs")
 		jsonPath   = flag.String("json", "", "write the report to FILE as JSON")
+
+		compactEvery = flag.Int("compact-every", 256, "self-serve: fold the pending delta after this many events")
+		compactIval  = flag.Duration("compact-interval", 500*time.Millisecond, "self-serve: fold any pending delta at least this often")
+
+		visibility = flag.String("visibility", "inline",
+			"how ingest-to-visible latency is observed: inline (piggyback on read responses), poll (dedicated /healthz poller — the deprecated pattern), feed (EGWP change-feed subscription — pushed)")
+		pollInterval = flag.Duration("pollInterval", 50*time.Millisecond, "poller period for -visibility poll")
+		wireTarget   = flag.String("wire", "", "EGWP address of the target for -visibility feed (self-serve opens its own)")
 	)
 	procStart := time.Now()
 	flag.Parse()
@@ -101,6 +120,12 @@ func main() {
 	}
 	if *writeRatio < 0 || *writeRatio > 1 || (*writeRatio > 0 && *writeBatch < 1) {
 		fmt.Fprintln(os.Stderr, "egload: -writeRatio must be in [0,1] and -writeBatch positive")
+		os.Exit(2)
+	}
+	switch *visibility {
+	case "inline", "poll", "feed":
+	default:
+		fmt.Fprintln(os.Stderr, "egload: -visibility must be inline, poll or feed")
 		os.Exit(2)
 	}
 
@@ -119,8 +144,8 @@ func main() {
 			// In-memory write path so the self-serve mode can exercise
 			// snapshot swaps without a WAL on disk.
 			lg, err := ingest.New(srv, ingest.Config{
-				CompactEvery:    256,
-				CompactInterval: 500 * time.Millisecond,
+				CompactEvery:    *compactEvery,
+				CompactInterval: *compactIval,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "egload: ingest: %v\n", err)
@@ -131,6 +156,15 @@ func main() {
 		}
 		go http.Serve(ln, srv) //nolint:errcheck // torn down with the process
 		base = "http://" + ln.Addr().String()
+		if *visibility == "feed" && *wireTarget == "" {
+			wl, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "egload: wire listen: %v\n", err)
+				os.Exit(1)
+			}
+			go srv.ServeWire(wl) //nolint:errcheck // torn down with the process
+			*wireTarget = wl.Addr().String()
+		}
 		fmt.Printf("self-serving random graph (nodes=%d stamps=%d edges=%d seed=%d) at %s\n",
 			*nodes, *stamps, *edges, *seed, base)
 	}
@@ -175,8 +209,84 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The visibility notifier resolves write acks into ingest-to-visible
+	// latencies. "inline" piggybacks on read responses (zero extra
+	// traffic, but resolution is as coarse as the read rate); "poll"
+	// dedicates a /healthz poller at -pollInterval — the deprecated
+	// pattern the change-feed replaces and the baseline BENCH_8 measures
+	// against; "feed" subscribes to the EGWP change-feed and resolves at
+	// push time.
+	vis := new(visTracker)
+	stopNotifier := func() {}
+	switch *visibility {
+	case "poll":
+		done := make(chan struct{})
+		var stopped sync.WaitGroup
+		stopped.Add(1)
+		go func() {
+			defer stopped.Done()
+			probe := &http.Client{Timeout: time.Second}
+			tick := time.NewTicker(*pollInterval)
+			defer tick.Stop()
+			for {
+				var h server.HealthResponse
+				if err := getJSON(probe, base+"/healthz", &h); err == nil {
+					vis.observeRev(h.GraphRevision)
+				}
+				select {
+				case <-tick.C:
+				case <-done:
+					return
+				}
+			}
+		}()
+		stopNotifier = func() { close(done); stopped.Wait() }
+	case "feed":
+		if *wireTarget == "" {
+			fmt.Fprintln(os.Stderr, "egload: -visibility feed needs -wire (or self-serve mode)")
+			os.Exit(2)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		wc, err := egclient.DialWire(ctx, *wireTarget)
+		if err != nil {
+			cancel()
+			fmt.Fprintf(os.Stderr, "egload: dialing wire %s: %v\n", *wireTarget, err)
+			os.Exit(1)
+		}
+		sub, err := wc.Subscribe(ctx, egclient.FeedSpec{Kind: egclient.KindRevision, Cursor: egclient.CursorLive})
+		if err != nil {
+			cancel()
+			fmt.Fprintf(os.Stderr, "egload: subscribing: %v\n", err)
+			os.Exit(1)
+		}
+		var stopped sync.WaitGroup
+		stopped.Add(1)
+		go func() {
+			defer stopped.Done()
+			for {
+				ev, err := sub.Next(ctx)
+				if err != nil {
+					return
+				}
+				vis.observeRev(ev.Revision)
+			}
+		}()
+		stopNotifier = func() {
+			cancel()
+			sub.Close()
+			wc.Close()
+			stopped.Wait()
+		}
+	}
+
 	rep := run(client, base, stats, weights, *concurrency, *distinct, *requests, *duration, *seed,
-		*writeRatio, *writeBatch)
+		*writeRatio, *writeBatch, vis, *visibility == "inline")
+	stopNotifier()
+	vis.fold(rep)
+	rep.VisibilityMode = *visibility
+	if *visibility == "poll" {
+		rep.PollIntervalNS = pollInterval.Nanoseconds()
+	}
 	rep.RestartToReadyNS = readyNS
 	rep.ReadyPolls = readyPolls
 
@@ -239,8 +349,13 @@ type report struct {
 	// /healthz. Launched alongside a restarting server this is its
 	// boot-to-serving time — checkpoint boots cut it by the recovery
 	// suite's warm-restart factor.
-	RestartToReadyNS  int64                   `json:"restartToReadyNs,omitempty"`
-	ReadyPolls        int                     `json:"readyPolls,omitempty"`
+	RestartToReadyNS int64 `json:"restartToReadyNs,omitempty"`
+	ReadyPolls       int   `json:"readyPolls,omitempty"`
+	// VisibilityMode records how acks were resolved: inline, poll (the
+	// deprecated header-polling baseline) or feed (pushed change-feed).
+	// BENCH_8 compares poll vs feed p99 on identical workloads.
+	VisibilityMode    string                  `json:"visibilityMode"`
+	PollIntervalNS    int64                   `json:"pollIntervalNs,omitempty"`
 	VisibleCount      int                     `json:"ingestVisibleCount,omitempty"`
 	VisibleUnresolved int                     `json:"ingestVisibleUnresolved,omitempty"`
 	VisibleP50NS      int64                   `json:"ingestVisibleP50Ns,omitempty"`
@@ -278,6 +393,10 @@ func (vt *visTracker) observe(revStr string) {
 	if err != nil {
 		return
 	}
+	vt.observeRev(r)
+}
+
+func (vt *visTracker) observeRev(r uint64) {
 	for {
 		cur := vt.maxRev.Load()
 		if r <= cur {
@@ -407,14 +526,13 @@ func buildWriteBody(rng *rand.Rand, pool *labelPool, nodes, batch int) (body str
 // run drives the workers and folds their samples into a report.
 func run(client *http.Client, base string, stats server.StatsResponse, weights []weighted,
 	concurrency, distinct, maxRequests int, duration time.Duration, seed int64,
-	writeRatio float64, writeBatch int) *report {
+	writeRatio float64, writeBatch int, vis *visTracker, inlineVis bool) *report {
 
 	var (
 		issued  atomic.Int64
 		mu      sync.Mutex
 		samples []sample
 		wg      sync.WaitGroup
-		vis     visTracker
 	)
 	pool := newLabelPool(stats)
 	deadline := time.Now().Add(duration)
@@ -473,7 +591,12 @@ func run(client *http.Client, base string, stats server.StatsResponse, weights [
 				} else {
 					s.status = resp.StatusCode
 					s.xcache = resp.Header.Get("X-Cache")
-					vis.observe(resp.Header.Get("X-Graph-Revision"))
+					if inlineVis {
+						// In poll/feed mode the dedicated notifier owns
+						// resolution, so the measurement isolates the
+						// notification channel under test.
+						vis.observe(resp.Header.Get("X-Graph-Revision"))
+					}
 					resp.Body.Close()
 					// 5xx is a server failure; 404 on a randomly drawn
 					// inactive root is an expected answer.
@@ -553,7 +676,6 @@ func run(client *http.Client, base string, stats server.StatsResponse, weights [
 		}
 		rep.Endpoints = append(rep.Endpoints, er)
 	}
-	vis.fold(rep)
 	return rep
 }
 
@@ -692,7 +814,8 @@ func printReport(rep *report) {
 			time.Duration(rep.RestartToReadyNS).Round(time.Millisecond), rep.ReadyPolls)
 	}
 	if rep.VisibleCount > 0 {
-		fmt.Printf("\ningest-to-visible (ack → first read on a newer revision): p50=%s p99=%s over %d writes (%d unresolved at shutdown)\n",
+		fmt.Printf("\ningest-to-visible via %s (ack → first newer revision observed): p50=%s p99=%s over %d writes (%d unresolved at shutdown)\n",
+			rep.VisibilityMode,
 			time.Duration(rep.VisibleP50NS).Round(time.Microsecond),
 			time.Duration(rep.VisibleP99NS).Round(time.Microsecond),
 			rep.VisibleCount, rep.VisibleUnresolved)

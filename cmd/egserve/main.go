@@ -49,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -64,6 +65,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		wireAddr  = flag.String("wire-addr", "", "EGWP binary-protocol listen address (e.g. :8081); empty disables the second listener")
 		graphPath = flag.String("graph", "", "edge-list file (default: random graph)")
 		nodes     = flag.Int("nodes", 1_000, "random: node count")
 		stamps    = flag.Int("stamps", 10, "random: stamp count")
@@ -231,6 +233,23 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("listening on %s — try /stats, /components/weak, /influence/greedy?k=5, /metrics\n", *addr)
 
+	// The EGWP binary protocol listens on its own port: same queries,
+	// same cache, plus pushed change-feed subscriptions (DESIGN.md §15).
+	var wireLn net.Listener
+	if *wireAddr != "" {
+		var err error
+		wireLn, err = net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatalf("egserve: wire listen: %v", err)
+		}
+		go func() {
+			if err := handler.ServeWire(wireLn); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("egserve: wire: %v", err)
+			}
+		}()
+		fmt.Printf("wire protocol on %s — egclient.DialWire or egload -transport wire\n", *wireAddr)
+	}
+
 	select {
 	case err := <-errCh:
 		log.Fatalf("egserve: %v", err)
@@ -245,6 +264,12 @@ func main() {
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("egserve: %v", err)
 		}
+		if wireLn != nil {
+			wireLn.Close()
+		}
+		// Closing the hub wakes every change-feed subscriber with a
+		// terminal error before the process exits.
+		handler.FeedHub().Close()
 		if lg != nil {
 			// Final fold + WAL sync so nothing acknowledged is lost.
 			if err := lg.Close(); err != nil {

@@ -1,0 +1,462 @@
+// Package feed is the streaming change-feed subsystem of the query
+// service (DESIGN.md §15): the push-based replacement for polling the
+// X-Graph-Revision header. The serving layer publishes one record per
+// revision swap — the compactor already knows the exact delta and the
+// maintained-analytics diff per epoch — and subscribers receive framed
+// events at epoch boundaries: revision publications, a temporal node's
+// weak-component membership changes, or a node's Katz delta.
+//
+// Delivery is pull-paced with resumable cursors. The Hub keeps a
+// bounded ring of recent epochs; a subscription is a cursor into that
+// ring plus a derivation rule (Spec). Sub.Next blocks until an epoch
+// past the cursor exists, derives the subscriber's events from it and
+// advances. Backpressure is therefore structural: a slow consumer
+// simply stops calling Next (the transport's write buffer is what
+// stalls), the Hub never blocks a publisher, and memory is bounded by
+// the ring — when a consumer falls so far behind that its next epoch
+// has been evicted, it gets one Gap event naming the skipped revision
+// range and resumes from the oldest retained epoch. A client that
+// reconnects passes its last-seen revision as the cursor and replays
+// anything the ring still holds — resume-from-cursor across revision
+// swaps, tested in internal/server's transport suite.
+package feed
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/egraph"
+	"repro/internal/inc"
+)
+
+// Kind selects what a subscription watches.
+type Kind uint8
+
+const (
+	// KindRevision streams one event per published revision — the
+	// push-based form of watching X-Graph-Revision.
+	KindRevision Kind = 1
+	// KindComponents streams the weak-component membership of one
+	// temporal node (Spec.Node, Spec.Stamp): an event per epoch whose
+	// delta changed its canonical component label (and one initial
+	// snapshot event so the subscriber knows the current label).
+	// Requires the maintained-analytics pipeline.
+	KindComponents Kind = 2
+	// KindKatz streams one node's maintained Katz mass (the sum of its
+	// temporal-node scores, allpairs mode): an event per epoch where it
+	// moved. Requires the maintained-analytics pipeline.
+	KindKatz Kind = 3
+	// KindGap is never subscribed to; it is delivered inside any
+	// stream whose cursor fell off the ring, naming the revision range
+	// the subscriber missed.
+	KindGap Kind = 4
+)
+
+// String returns the wire name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRevision:
+		return "revision"
+	case KindComponents:
+		return "components"
+	case KindKatz:
+		return "katz"
+	case KindGap:
+		return "gap"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// CursorLive subscribes from the current revision onward: no backfill,
+// the first event is the next published epoch.
+const CursorLive = math.MaxUint64
+
+// Spec describes one subscription.
+type Spec struct {
+	Kind Kind
+	// Node (and Stamp, for KindComponents) scope the node-level kinds.
+	Node  int32
+	Stamp int32
+	// Cursor is the last revision the subscriber has already seen:
+	// delivery starts strictly after it. CursorLive means "from now";
+	// 0 means "everything the ring still holds".
+	Cursor uint64
+}
+
+// Event is one change-feed record. Revision is always set; the other
+// fields depend on Kind.
+type Event struct {
+	Kind     Kind   `json:"kind"`
+	Revision uint64 `json:"revision"`
+
+	// KindRevision: the published graph's shape.
+	Nodes       int `json:"nodes,omitempty"`
+	Stamps      int `json:"stamps,omitempty"`
+	ActiveNodes int `json:"activeNodes,omitempty"`
+
+	// KindComponents: the subscribed temporal node's canonical weak
+	// component label after this epoch (-1 inactive) and before it.
+	Node      int32 `json:"node,omitempty"`
+	Stamp     int32 `json:"stamp,omitempty"`
+	Component int32 `json:"component,omitempty"`
+	Previous  int32 `json:"previous,omitempty"`
+
+	// KindKatz: the node's maintained Katz mass and its change.
+	Score float64 `json:"score,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+
+	// KindGap: revisions (FromRevision, Revision) were evicted before
+	// the subscriber caught up; the stream resumes at Revision.
+	FromRevision uint64 `json:"fromRevision,omitempty"`
+}
+
+// Epoch is one published revision swap, recorded by the serving layer.
+// Results/Prev are the maintained analytics travelling with the new
+// and previous snapshots (nil when no maintainer feeds the server);
+// they are immutable, so retaining a few epochs costs only the
+// analytics vectors, never a graph.
+type Epoch struct {
+	Revision    uint64
+	Nodes       int
+	Stamps      int
+	ActiveNodes int
+	At          time.Time
+	Results     *inc.Results
+	Prev        *inc.Results
+}
+
+// Options sizes a Hub. The zero value is usable.
+type Options struct {
+	// Ring bounds how many recent epochs are retained for cursor
+	// resume (default 64). A subscriber lagging further receives a Gap
+	// event and resumes from the oldest retained epoch.
+	Ring int
+}
+
+// Hub fans published epochs out to subscriptions. Construct with
+// NewHub; all methods are safe for concurrent use.
+type Hub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []Epoch // oldest first; len ≤ cap(ringCap)
+	cap    int
+	cur    uint64 // latest published revision (0 before the first)
+	seeded bool
+	closed bool
+
+	published int64
+	subs      int64
+	active    int64
+	gaps      int64
+}
+
+// NewHub returns a Hub retaining up to opts.Ring epochs.
+func NewHub(opts Options) *Hub {
+	if opts.Ring <= 0 {
+		opts.Ring = 64
+	}
+	h := &Hub{cap: opts.Ring}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// Publish records one revision swap and wakes every subscription.
+// Publishers never block: delivery is pull-paced by each subscriber.
+func (h *Hub) Publish(e Epoch) {
+	if e.At.IsZero() {
+		e.At = time.Now()
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.ring = append(h.ring, e)
+	if len(h.ring) > h.cap {
+		h.ring = h.ring[1:]
+	}
+	h.cur = e.Revision
+	h.seeded = true
+	h.published++
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// Close wakes every blocked subscriber with ErrHubClosed and rejects
+// further publishes and subscribes.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// ErrHubClosed reports that the Hub shut down under a blocked Next.
+var ErrHubClosed = fmt.Errorf("feed: hub closed")
+
+// Stats is a point-in-time snapshot of the Hub counters.
+type Stats struct {
+	Published     int64  `json:"published"`     // epochs recorded
+	Subscriptions int64  `json:"subscriptions"` // total ever opened
+	Active        int64  `json:"active"`        // currently open
+	Gaps          int64  `json:"gaps"`          // gap events delivered
+	Revision      uint64 `json:"revision"`      // latest published
+	Retained      int    `json:"retained"`      // epochs in the ring
+}
+
+// Stats returns the current counters.
+func (h *Hub) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Stats{
+		Published:     h.published,
+		Subscriptions: h.subs,
+		Active:        h.active,
+		Gaps:          h.gaps,
+		Revision:      h.cur,
+		Retained:      len(h.ring),
+	}
+}
+
+// Sub is one subscription: an iterator over the events its Spec
+// derives from published epochs. Next is not safe for concurrent use
+// with itself; Close may race anything.
+type Sub struct {
+	h      *Hub
+	spec   Spec
+	cursor uint64 // events delivered through this revision
+	primed bool   // node-scoped kinds: initial snapshot delivered
+	// lastComp / lastScore track the subscribed node's state as of
+	// cursor, so change detection survives ring eviction of the epoch
+	// that set it.
+	lastComp  int32
+	lastScore float64
+	queue     []Event // derived, not yet returned
+	closed    bool
+}
+
+// Subscribe opens a subscription. The cursor in spec selects where the
+// stream starts: CursorLive for "from now", a prior revision to resume
+// after a disconnect, 0 to replay everything retained.
+func (h *Hub) Subscribe(spec Spec) (*Sub, error) {
+	switch spec.Kind {
+	case KindRevision, KindComponents, KindKatz:
+	default:
+		return nil, fmt.Errorf("feed: cannot subscribe to kind %s", spec.Kind)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrHubClosed
+	}
+	s := &Sub{h: h, spec: spec, cursor: spec.Cursor, lastComp: -1, lastScore: math.NaN()}
+	if spec.Cursor == CursorLive {
+		s.cursor = h.cur
+		// A live node-scoped subscription still gets its snapshot event
+		// from the newest retained epoch, so the subscriber learns the
+		// current state without waiting for the next change.
+		if len(h.ring) > 0 && spec.Kind != KindRevision {
+			s.seedLocked(h.ring[len(h.ring)-1])
+		}
+	}
+	h.subs++
+	h.active++
+	return s, nil
+}
+
+// seedLocked emits the initial snapshot event for a node-scoped
+// subscription from epoch e (h.mu held).
+func (s *Sub) seedLocked(e Epoch) {
+	if e.Results == nil {
+		return
+	}
+	switch s.spec.Kind {
+	case KindComponents:
+		comp := e.Results.ComponentOf(s.spec.Node, s.spec.Stamp)
+		s.queue = append(s.queue, Event{
+			Kind: KindComponents, Revision: e.Revision,
+			Node: s.spec.Node, Stamp: s.spec.Stamp,
+			Component: comp, Previous: comp,
+		})
+		s.lastComp = comp
+		s.primed = true
+	case KindKatz:
+		score := katzMass(e.Results, s.spec.Node)
+		s.queue = append(s.queue, Event{
+			Kind: KindKatz, Revision: e.Revision,
+			Node: s.spec.Node, Score: score,
+		})
+		s.lastScore = score
+		s.primed = true
+	}
+}
+
+// Next blocks until the subscription has an event, the context is
+// cancelled, the Sub is closed, or the Hub shuts down. It returns
+// events in revision order; a Gap event reports evicted revisions.
+func (s *Sub) Next(ctx context.Context) (Event, error) {
+	// A context cancellation must wake the cond wait; one watcher per
+	// blocked Next keeps Close/cancel prompt without polling.
+	stop := context.AfterFunc(ctx, func() { s.h.cond.Broadcast() })
+	defer stop()
+
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	for {
+		if len(s.queue) > 0 {
+			e := s.queue[0]
+			s.queue = s.queue[1:]
+			return e, nil
+		}
+		if s.closed {
+			return Event{}, ErrSubClosed
+		}
+		if s.h.closed {
+			return Event{}, ErrHubClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return Event{}, err
+		}
+		s.deriveLocked()
+		if len(s.queue) > 0 {
+			continue
+		}
+		s.h.cond.Wait()
+	}
+}
+
+// ErrSubClosed reports Next on a closed subscription.
+var ErrSubClosed = fmt.Errorf("feed: subscription closed")
+
+// Close detaches the subscription, waking a blocked Next.
+func (s *Sub) Close() {
+	s.h.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.h.active--
+	}
+	s.h.mu.Unlock()
+	s.h.cond.Broadcast()
+}
+
+// Cursor returns the revision the stream has delivered through — the
+// value to resubscribe with after a disconnect.
+func (s *Sub) Cursor() uint64 {
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	return s.cursor
+}
+
+// deriveLocked advances the cursor through every retained epoch past
+// it, queuing the subscriber's events (h.mu held).
+func (s *Sub) deriveLocked() {
+	h := s.h
+	if len(h.ring) == 0 || h.cur <= s.cursor {
+		return
+	}
+	// Published revisions are contiguous (+1 per swap, starting at 1),
+	// so the epoch after the cursor was evicted exactly when cursor+1
+	// precedes the oldest retained revision; cursor 0 against a ring
+	// starting at 1 is a full replay, not a gap.
+	if oldest := h.ring[0].Revision; s.cursor+1 < oldest {
+		s.queue = append(s.queue, Event{
+			Kind: KindGap, Revision: oldest - 1, FromRevision: s.cursor,
+		})
+		h.gaps++
+		s.cursor = oldest - 1
+	}
+	for i := range h.ring {
+		e := &h.ring[i]
+		if e.Revision <= s.cursor {
+			continue
+		}
+		s.deriveEpochLocked(e)
+		s.cursor = e.Revision
+	}
+}
+
+// deriveEpochLocked queues the events epoch e produces for this
+// subscription (h.mu held).
+func (s *Sub) deriveEpochLocked(e *Epoch) {
+	switch s.spec.Kind {
+	case KindRevision:
+		s.queue = append(s.queue, Event{
+			Kind: KindRevision, Revision: e.Revision,
+			Nodes: e.Nodes, Stamps: e.Stamps, ActiveNodes: e.ActiveNodes,
+		})
+	case KindComponents:
+		if e.Results == nil {
+			return
+		}
+		comp := e.Results.ComponentOf(s.spec.Node, s.spec.Stamp)
+		if !s.primed {
+			s.seedFrom(e, comp)
+			return
+		}
+		if comp != s.lastComp {
+			s.queue = append(s.queue, Event{
+				Kind: KindComponents, Revision: e.Revision,
+				Node: s.spec.Node, Stamp: s.spec.Stamp,
+				Component: comp, Previous: s.lastComp,
+			})
+			s.lastComp = comp
+		}
+	case KindKatz:
+		if e.Results == nil {
+			return
+		}
+		score := katzMass(e.Results, s.spec.Node)
+		if !s.primed {
+			s.primed = true
+			s.lastScore = score
+			s.queue = append(s.queue, Event{
+				Kind: KindKatz, Revision: e.Revision, Node: s.spec.Node, Score: score,
+			})
+			return
+		}
+		if score != s.lastScore && !(math.IsNaN(score) && math.IsNaN(s.lastScore)) {
+			s.queue = append(s.queue, Event{
+				Kind: KindKatz, Revision: e.Revision,
+				Node: s.spec.Node, Score: score, Delta: score - s.lastScore,
+			})
+			s.lastScore = score
+		}
+	}
+}
+
+// seedFrom primes a components subscription mid-stream (first epoch
+// with maintained results past the cursor).
+func (s *Sub) seedFrom(e *Epoch, comp int32) {
+	s.primed = true
+	s.lastComp = comp
+	s.queue = append(s.queue, Event{
+		Kind: KindComponents, Revision: e.Revision,
+		Node: s.spec.Node, Stamp: s.spec.Stamp,
+		Component: comp, Previous: comp,
+	})
+}
+
+// katzMass is a node's maintained Katz mass: the sum of its
+// temporal-node scores in allpairs mode, or NaN when the maintained
+// vector is unavailable (diverged series). The change detector guards
+// NaN→NaN explicitly since NaN never equals itself.
+func katzMass(res *inc.Results, node int32) float64 {
+	scores := res.KatzScores(egraph.CausalAllPairs)
+	if scores == nil {
+		return math.NaN()
+	}
+	// Temporal ids are t·N+node; the score vector length is n·t.
+	n := res.Nodes()
+	if n <= 0 || node < 0 || int(node) >= n {
+		return math.NaN()
+	}
+	var sum float64
+	for id := int(node); id < len(scores); id += n {
+		sum += scores[id]
+	}
+	return sum
+}

@@ -1,0 +1,337 @@
+package feed
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/egraph"
+	"repro/internal/inc"
+)
+
+// publishN records revisions 1..n with trivial shape metadata.
+func publishN(h *Hub, n int) {
+	for i := 1; i <= n; i++ {
+		h.Publish(Epoch{Revision: uint64(i), Nodes: 4, Stamps: 1, ActiveNodes: 4})
+	}
+}
+
+// nextOrFail pulls one event with a short deadline.
+func nextOrFail(t *testing.T, s *Sub) Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	e, err := s.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	return e
+}
+
+func TestRevisionStreamFromZero(t *testing.T) {
+	h := NewHub(Options{})
+	publishN(h, 3)
+	s, err := h.Subscribe(Spec{Kind: KindRevision})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer s.Close()
+	for want := uint64(1); want <= 3; want++ {
+		e := nextOrFail(t, s)
+		if e.Kind != KindRevision || e.Revision != want {
+			t.Fatalf("event %+v, want revision %d", e, want)
+		}
+		if e.Nodes != 4 || e.ActiveNodes != 4 {
+			t.Fatalf("revision event lost shape: %+v", e)
+		}
+	}
+	if got := s.Cursor(); got != 3 {
+		t.Fatalf("Cursor = %d, want 3", got)
+	}
+}
+
+func TestNextBlocksUntilPublish(t *testing.T) {
+	h := NewHub(Options{})
+	s, err := h.Subscribe(Spec{Kind: KindRevision, Cursor: CursorLive})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer s.Close()
+
+	got := make(chan Event, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e, err := s.Next(ctx)
+		if err == nil {
+			got <- e
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let Next park on the cond
+	h.Publish(Epoch{Revision: 1, Nodes: 2})
+	select {
+	case e := <-got:
+		if e.Revision != 1 {
+			t.Fatalf("woke with %+v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Next never woke after Publish")
+	}
+}
+
+func TestCursorResume(t *testing.T) {
+	h := NewHub(Options{})
+	publishN(h, 5)
+	// A reconnecting client passes its last-seen revision; delivery
+	// resumes strictly after it.
+	s, err := h.Subscribe(Spec{Kind: KindRevision, Cursor: 3})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer s.Close()
+	if e := nextOrFail(t, s); e.Revision != 4 {
+		t.Fatalf("resume delivered revision %d, want 4", e.Revision)
+	}
+	if e := nextOrFail(t, s); e.Revision != 5 {
+		t.Fatalf("resume delivered revision %d, want 5", e.Revision)
+	}
+}
+
+func TestGapWhenCursorEvicted(t *testing.T) {
+	h := NewHub(Options{Ring: 4})
+	publishN(h, 10) // ring retains 7..10
+	s, err := h.Subscribe(Spec{Kind: KindRevision, Cursor: 2})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer s.Close()
+	gap := nextOrFail(t, s)
+	if gap.Kind != KindGap || gap.FromRevision != 2 || gap.Revision != 6 {
+		t.Fatalf("gap event %+v, want (2, 6]", gap)
+	}
+	for want := uint64(7); want <= 10; want++ {
+		if e := nextOrFail(t, s); e.Kind != KindRevision || e.Revision != want {
+			t.Fatalf("post-gap event %+v, want revision %d", e, want)
+		}
+	}
+	if h.Stats().Gaps != 1 {
+		t.Fatalf("Gaps = %d, want 1", h.Stats().Gaps)
+	}
+}
+
+func TestZeroCursorFullReplayIsNotAGap(t *testing.T) {
+	h := NewHub(Options{Ring: 8})
+	publishN(h, 3)
+	s, _ := h.Subscribe(Spec{Kind: KindRevision, Cursor: 0})
+	defer s.Close()
+	if e := nextOrFail(t, s); e.Kind != KindRevision || e.Revision != 1 {
+		t.Fatalf("first event %+v, want revision 1 (no gap)", e)
+	}
+}
+
+func TestLiveCursorSkipsBackfill(t *testing.T) {
+	h := NewHub(Options{})
+	publishN(h, 4)
+	s, _ := h.Subscribe(Spec{Kind: KindRevision, Cursor: CursorLive})
+	defer s.Close()
+	h.Publish(Epoch{Revision: 5})
+	if e := nextOrFail(t, s); e.Revision != 5 {
+		t.Fatalf("live subscription saw revision %d, want only 5", e.Revision)
+	}
+}
+
+func TestSubscribeRejectsBadKind(t *testing.T) {
+	h := NewHub(Options{})
+	if _, err := h.Subscribe(Spec{Kind: KindGap}); err == nil {
+		t.Fatalf("subscribing to KindGap should fail")
+	}
+	if _, err := h.Subscribe(Spec{Kind: Kind(99)}); err == nil {
+		t.Fatalf("subscribing to unknown kind should fail")
+	}
+}
+
+func TestHubCloseWakesSubscriber(t *testing.T) {
+	h := NewHub(Options{})
+	s, _ := h.Subscribe(Spec{Kind: KindRevision, Cursor: CursorLive})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Next(context.Background())
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	h.Close()
+	select {
+	case err := <-errc:
+		if err != ErrHubClosed {
+			t.Fatalf("Next after Close: %v, want ErrHubClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Close did not wake Next")
+	}
+	if _, err := h.Subscribe(Spec{Kind: KindRevision}); err != ErrHubClosed {
+		t.Fatalf("Subscribe after Close: %v, want ErrHubClosed", err)
+	}
+}
+
+func TestContextCancelWakesNext(t *testing.T) {
+	h := NewHub(Options{})
+	s, _ := h.Subscribe(Spec{Kind: KindRevision, Cursor: CursorLive})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Next(ctx)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("Next after cancel: %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("cancel did not wake Next")
+	}
+}
+
+// maintained rolls a real maintainer through deltas, returning the
+// epochs a serving layer would publish.
+func maintained(t *testing.T, deltas [][]egraph.ArcDelta) []Epoch {
+	t.Helper()
+	b := egraph.NewBuilder(true)
+	b.AddEdge(0, 1, 10)
+	b.AddEdge(2, 3, 10)
+	g := b.Build()
+	m := inc.New(inc.Config{})
+	res := m.Prime(g)
+	epochs := []Epoch{{Revision: 1, Nodes: g.NumNodes(), Stamps: g.NumStamps(), Results: res}}
+	for i, d := range deltas {
+		ng := egraph.Patch(g, d)
+		nres := m.Apply(g, ng, d)
+		epochs = append(epochs, Epoch{
+			Revision: uint64(i + 2),
+			Nodes:    ng.NumNodes(), Stamps: ng.NumStamps(),
+			Results: nres, Prev: res,
+		})
+		g, res = ng, nres
+	}
+	return epochs
+}
+
+func TestComponentChangeDetection(t *testing.T) {
+	// Node 3 starts in component {2,3}; the second delta bridges the
+	// two components, changing its canonical label.
+	epochs := maintained(t, [][]egraph.ArcDelta{
+		{{U: 3, V: 2, T: 10, W: 1}}, // internal arc: label unchanged
+		{{U: 1, V: 2, T: 10, W: 1}}, // merge: label changes
+	})
+	h := NewHub(Options{})
+	s, err := h.Subscribe(Spec{Kind: KindComponents, Node: 3, Stamp: 0})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer s.Close()
+	for _, e := range epochs {
+		h.Publish(e)
+	}
+
+	first := nextOrFail(t, s)
+	if first.Kind != KindComponents || first.Revision != 1 || first.Component != first.Previous {
+		t.Fatalf("snapshot event %+v, want self-consistent prime at revision 1", first)
+	}
+	change := nextOrFail(t, s)
+	if change.Revision != 3 {
+		t.Fatalf("change event at revision %d, want 3 (internal arc must not emit)", change.Revision)
+	}
+	if change.Component == change.Previous || change.Previous != first.Component {
+		t.Fatalf("change event %+v inconsistent with snapshot %+v", change, first)
+	}
+	if got := s.Cursor(); got != 3 {
+		t.Fatalf("Cursor = %d, want 3", got)
+	}
+}
+
+func TestKatzChangeDetection(t *testing.T) {
+	epochs := maintained(t, [][]egraph.ArcDelta{
+		{{U: 1, V: 2, T: 10, W: 1}}, // new arc into node 2 moves its mass
+	})
+	h := NewHub(Options{})
+	s, err := h.Subscribe(Spec{Kind: KindKatz, Node: 2})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer s.Close()
+	for _, e := range epochs {
+		h.Publish(e)
+	}
+	prime := nextOrFail(t, s)
+	if prime.Kind != KindKatz || prime.Revision != 1 || prime.Delta != 0 {
+		t.Fatalf("prime event %+v, want delta-free snapshot at revision 1", prime)
+	}
+	move := nextOrFail(t, s)
+	if move.Revision != 2 || move.Delta == 0 {
+		t.Fatalf("move event %+v, want nonzero delta at revision 2", move)
+	}
+	if got := move.Score - (prime.Score + move.Delta); got > 1e-12 || got < -1e-12 {
+		t.Fatalf("score %v != previous %v + delta %v", move.Score, prime.Score, move.Delta)
+	}
+}
+
+func TestLiveNodeScopedSeedsFromNewestEpoch(t *testing.T) {
+	epochs := maintained(t, nil)
+	h := NewHub(Options{})
+	h.Publish(epochs[0])
+	s, err := h.Subscribe(Spec{Kind: KindComponents, Node: 0, Stamp: 0, Cursor: CursorLive})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer s.Close()
+	e := nextOrFail(t, s)
+	if e.Kind != KindComponents || e.Revision != 1 || e.Component != e.Previous {
+		t.Fatalf("live seed event %+v, want current-state snapshot", e)
+	}
+}
+
+// TestConcurrentPublishSubscribe drives many publishers' worth of
+// epochs against several subscribers — the pull-paced delivery and the
+// single Hub lock are what -race exercises here.
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	h := NewHub(Options{Ring: 16})
+	const revs = 200
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		s, err := h.Subscribe(Spec{Kind: KindRevision})
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			last := uint64(0)
+			for last < revs {
+				e, err := s.Next(ctx)
+				if err != nil {
+					t.Errorf("Next: %v", err)
+					return
+				}
+				// Revision order must be strictly increasing; a gap
+				// event fast-forwards past evicted epochs.
+				if e.Revision <= last {
+					t.Errorf("revision went backwards: %d after %d", e.Revision, last)
+					return
+				}
+				last = e.Revision
+			}
+		}()
+	}
+	go publishN(h, revs)
+	wg.Wait()
+	if st := h.Stats(); st.Published != revs || st.Active != 0 {
+		t.Fatalf("Stats = %+v, want %d published, 0 active", st, revs)
+	}
+}

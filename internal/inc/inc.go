@@ -182,6 +182,14 @@ func (r *Results) ComponentOf(node, stamp int32) int32 {
 	return r.comp[id]
 }
 
+// Nodes returns the node-universe size the results were maintained
+// over (the N of the t·N+v temporal-id layout KatzScores uses).
+func (r *Results) Nodes() int { return r.n }
+
+// Stamps returns the stamp-axis length the results were maintained
+// over.
+func (r *Results) Stamps() int { return r.t }
+
 // NoOp reports whether the epoch's delta was structurally a no-op:
 // the published graph is arc-for-arc identical to its base, so every
 // cached answer of the previous revision is still correct.

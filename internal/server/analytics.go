@@ -13,12 +13,12 @@ import (
 
 // The analytics endpoints: whole-graph computations (one BFS per active
 // temporal node, a CELF influence run, a Katz power series) served
-// through the versioned result cache. Each handler parses and
-// canonicalises its parameters, forms the cache key from the parsed
-// values — "?mode=" and "?mode=allpairs" share one entry — and hands
-// the computation to Server.cached, which collapses concurrent
-// identical requests and admits the compute through the in-flight
-// gate.
+// through the versioned result cache. Each endpoint is a decoder
+// (request.go) that parses and canonicalises its parameters and forms
+// the cache key from the parsed values — "?mode=" and "?mode=allpairs"
+// share one entry — over either transport; Server.cached/runCached
+// collapses concurrent identical requests and admits the compute
+// through the in-flight gate.
 
 // maxListLimit bounds the limit parameter of the size-list endpoints.
 const maxListLimit = 1 << 20
@@ -39,14 +39,14 @@ type ComponentsResponse struct {
 }
 
 func (s *Server) componentsWeak(w http.ResponseWriter, r *http.Request) {
-	p := s.params(r)
+	s.serveCached(w, r, "components/weak")
+}
+
+func decodeComponentsWeak(s *Server, p *params) (string, func() (interface{}, error)) {
 	mode := p.mode()
 	limit := p.intRange("limit", defaultListLimit, 0, maxListLimit)
-	if !s.okParams(w, p) {
-		return
-	}
 	key := fmt.Sprintf("components/weak?mode=%s&limit=%d", modeName(mode), limit)
-	s.cached(w, p, key, func() (interface{}, error) {
+	return key, func() (interface{}, error) {
 		// Weak connectivity is mode-independent, so the maintained
 		// partition (internal/inc) answers for both causal modes without
 		// touching the graph.
@@ -66,21 +66,21 @@ func (s *Server) componentsWeak(w http.ResponseWriter, r *http.Request) {
 		}
 		comps := components.WeakOpts(p.g, components.Options{Mode: mode})
 		return componentsResponse(comps, modeName(mode), 0, limit), nil
-	})
+	}
 }
 
 func (s *Server) componentsStrong(w http.ResponseWriter, r *http.Request) {
-	p := s.params(r)
+	s.serveCached(w, r, "components/strong")
+}
+
+func decodeComponentsStrong(s *Server, p *params) (string, func() (interface{}, error)) {
 	minSize := p.intRange("minSize", 2, 1, maxListLimit)
 	limit := p.intRange("limit", defaultListLimit, 0, maxListLimit)
-	if !s.okParams(w, p) {
-		return
-	}
 	key := fmt.Sprintf("components/strong?minSize=%d&limit=%d", minSize, limit)
-	s.cached(w, p, key, func() (interface{}, error) {
+	return key, func() (interface{}, error) {
 		comps := components.StrongOpts(p.g, minSize, components.Options{})
 		return componentsResponse(comps, "", minSize, limit), nil
-	})
+	}
 }
 
 func componentsResponse(comps []components.Component, mode string, minSize, limit int) *ComponentsResponse {
@@ -111,14 +111,14 @@ type SizeDistributionResponse struct {
 }
 
 func (s *Server) componentsSizes(w http.ResponseWriter, r *http.Request) {
-	p := s.params(r)
+	s.serveCached(w, r, "components/sizes")
+}
+
+func decodeComponentsSizes(s *Server, p *params) (string, func() (interface{}, error)) {
 	mode := p.mode()
 	limit := p.intRange("limit", defaultListLimit, 0, maxListLimit)
-	if !s.okParams(w, p) {
-		return
-	}
 	key := fmt.Sprintf("components/sizes?mode=%s&limit=%d", modeName(mode), limit)
-	s.cached(w, p, key, func() (interface{}, error) {
+	return key, func() (interface{}, error) {
 		sizes := components.SizeDistributionOpts(p.g, components.Options{Mode: mode, Workers: s.cfg.Workers})
 		resp := &SizeDistributionResponse{Mode: modeName(mode), Count: len(sizes), Sizes: []int{}}
 		var sum int
@@ -135,7 +135,7 @@ func (s *Server) componentsSizes(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Sizes = append(resp.Sizes, sizes...)
 		return resp, nil
-	})
+	}
 }
 
 // InfluenceSeedJSON is one greedy selection step of /influence/greedy.
@@ -155,18 +155,18 @@ type InfluenceResponse struct {
 }
 
 func (s *Server) influenceGreedy(w http.ResponseWriter, r *http.Request) {
-	p := s.params(r)
+	s.serveCached(w, r, "influence/greedy")
+}
+
+func decodeInfluenceGreedy(s *Server, p *params) (string, func() (interface{}, error)) {
 	k := p.intRange("k", 0, 1, p.g.NumNodes())
 	mode := p.mode()
 	reverse := p.boolean("reverse", false)
 	if p.err == nil && p.q.Get("k") == "" {
 		p.fail("missing parameter %q", "k")
 	}
-	if !s.okParams(w, p) {
-		return
-	}
 	key := fmt.Sprintf("influence/greedy?k=%d&mode=%s&reverse=%t", k, modeName(mode), reverse)
-	s.cached(w, p, key, func() (interface{}, error) {
+	return key, func() (interface{}, error) {
 		seeds, err := influence.Greedy(p.g, k, influence.Options{
 			Mode: mode, ReverseEdges: reverse, Workers: s.cfg.Workers,
 		})
@@ -179,7 +179,7 @@ func (s *Server) influenceGreedy(w http.ResponseWriter, r *http.Request) {
 			resp.Covered = seed.Covered
 		}
 		return resp, nil
-	})
+	}
 }
 
 // ClosenessResponse is the wire form of /closeness.
@@ -190,20 +190,20 @@ type ClosenessResponse struct {
 }
 
 func (s *Server) closeness(w http.ResponseWriter, r *http.Request) {
-	p := s.params(r)
+	s.serveCached(w, r, "closeness")
+}
+
+func decodeCloseness(s *Server, p *params) (string, func() (interface{}, error)) {
 	root := p.temporalNode("node", "stamp")
 	mode := p.mode()
-	if !s.okParams(w, p) {
-		return
-	}
 	key := fmt.Sprintf("closeness?node=%d&stamp=%d&mode=%s", root.Node, root.Stamp, modeName(mode))
-	s.cached(w, p, key, func() (interface{}, error) {
+	return key, func() (interface{}, error) {
 		c, err := metrics.TemporalClosenessOpts(p.g, root, metrics.Options{Mode: mode, Workers: s.cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
-		return &ClosenessResponse{Root: wire(p.g, root), Mode: modeName(mode), Closeness: c}, nil
-	})
+		return &ClosenessResponse{Root: tnJSON(p.g, root), Mode: modeName(mode), Closeness: c}, nil
+	}
 }
 
 // EfficiencyResponse is the wire form of /efficiency.
@@ -216,13 +216,13 @@ type EfficiencyResponse struct {
 }
 
 func (s *Server) efficiency(w http.ResponseWriter, r *http.Request) {
-	p := s.params(r)
+	s.serveCached(w, r, "efficiency")
+}
+
+func decodeEfficiency(s *Server, p *params) (string, func() (interface{}, error)) {
 	mode := p.mode()
-	if !s.okParams(w, p) {
-		return
-	}
 	key := fmt.Sprintf("efficiency?mode=%s", modeName(mode))
-	s.cached(w, p, key, func() (interface{}, error) {
+	return key, func() (interface{}, error) {
 		st := metrics.GlobalEfficiencyOpts(p.g, metrics.Options{Mode: mode, Workers: s.cfg.Workers})
 		return &EfficiencyResponse{
 			Mode:              modeName(mode),
@@ -231,7 +231,7 @@ func (s *Server) efficiency(w http.ResponseWriter, r *http.Request) {
 			MeanDistance:      st.MeanDistance,
 			Diameter:          st.Diameter,
 		}, nil
-	})
+	}
 }
 
 // KatzEntry is one ranked temporal node of /katz.
@@ -249,15 +249,15 @@ type KatzResponse struct {
 }
 
 func (s *Server) katz(w http.ResponseWriter, r *http.Request) {
-	p := s.params(r)
+	s.serveCached(w, r, "katz")
+}
+
+func decodeKatz(s *Server, p *params) (string, func() (interface{}, error)) {
 	alpha := p.float("alpha", 0.1)
 	mode := p.mode()
 	top := p.intRange("top", 10, 1, 1000)
-	if !s.okParams(w, p) {
-		return
-	}
 	key := fmt.Sprintf("katz?alpha=%g&mode=%s&top=%d", alpha, modeName(mode), top)
-	s.cached(w, p, key, func() (interface{}, error) {
+	return key, func() (interface{}, error) {
 		// The maintained Katz vector (internal/inc) answers directly
 		// when it was maintained at the requested alpha; other alphas —
 		// or a diverged maintained series — fall back to the verbatim
@@ -285,10 +285,10 @@ func (s *Server) katz(w http.ResponseWriter, r *http.Request) {
 		resp := &KatzResponse{Alpha: alpha, Mode: modeName(mode), Top: []KatzEntry{}}
 		for _, tn := range active {
 			resp.Top = append(resp.Top, KatzEntry{
-				TemporalNodeJSON: wire(p.g, tn),
+				TemporalNodeJSON: tnJSON(p.g, tn),
 				Score:            scores[p.g.TemporalNodeID(tn)],
 			})
 		}
 		return resp, nil
-	})
+	}
 }

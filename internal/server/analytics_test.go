@@ -154,10 +154,13 @@ func TestAnalyticsEndpoints(t *testing.T) {
 				t.Fatalf("GET %s: Content-Type %q", tc.url, ct)
 			}
 			if tc.wantStatus != http.StatusOK {
-				var e map[string]string
+				var e ErrorResponse
 				mustDecode(t, rec.Body.Bytes(), &e)
-				if e["error"] == "" {
+				if e.Error == "" {
 					t.Fatalf("GET %s: error body missing: %s", tc.url, rec.Body.String())
+				}
+				if e.Code == "" {
+					t.Fatalf("GET %s: envelope code missing: %s", tc.url, rec.Body.String())
 				}
 			}
 			if tc.check != nil {

@@ -121,25 +121,50 @@ func (s *Server) ingestArcs(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "empty batch: POST NDJSON events like {\"op\":\"add\",\"u\":0,\"v\":1,\"t\":5}")
 		return
 	}
+	resp, status, msg := s.acceptBatch(events)
+	if status != http.StatusAccepted {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		s.writeError(w, status, msg)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, resp)
+}
+
+// acceptBatch appends one decoded event batch to the write path — the
+// transport-neutral half of ingest, shared by the HTTP NDJSON handler
+// and the wire loop's TIngest frames. It returns the acceptance
+// response and http.StatusAccepted, or the status (and message) the
+// failure maps to; wire.CodeFromStatus turns the same status into the
+// binary error code, keeping the two transports' errors 1:1.
+func (s *Server) acceptBatch(events []ingest.Event) (IngestAcceptedResponse, int, string) {
+	lg := s.ing.Load()
+	if lg == nil {
+		return IngestAcceptedResponse{}, http.StatusServiceUnavailable, "ingest disabled: server started without a write path"
+	}
+	if len(events) == 0 {
+		return IngestAcceptedResponse{}, http.StatusBadRequest, "empty batch"
+	}
+	if len(events) > maxIngestEvents {
+		return IngestAcceptedResponse{}, http.StatusBadRequest,
+			fmt.Sprintf("batch exceeds %d events; split it", maxIngestEvents)
+	}
 	seq, err := lg.Append(events)
 	switch {
 	case err == nil:
 	case errors.Is(err, ingest.ErrBackpressure):
-		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusTooManyRequests, "write path saturated: compactor lagging, retry the batch")
-		return
+		return IngestAcceptedResponse{}, http.StatusTooManyRequests, "write path saturated: compactor lagging, retry the batch"
 	case errors.Is(err, ingest.ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, "write path closed")
-		return
+		return IngestAcceptedResponse{}, http.StatusServiceUnavailable, "write path closed"
 	default:
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return IngestAcceptedResponse{}, http.StatusBadRequest, err.Error()
 	}
-	s.writeJSON(w, http.StatusAccepted, IngestAcceptedResponse{
+	return IngestAcceptedResponse{
 		Accepted: len(events),
 		Seq:      seq,
 		Pending:  lg.Stats().PendingEvents,
-	})
+	}, http.StatusAccepted, ""
 }
 
 // CheckpointResponse is the wire form of a successful POST

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/feed"
 	"repro/internal/ingest"
 	"repro/internal/qcache"
 )
@@ -50,6 +51,16 @@ type MetricsResponse struct {
 	InFlight         int64            `json:"inFlight"`
 	MaxInFlight      int              `json:"maxInFlight"`
 	Ingest           *ingest.Stats    `json:"ingest,omitempty"`
+	Wire             WireStats        `json:"wire"`
+	Feed             feed.Stats       `json:"feed"`
+}
+
+// WireStats are the binary-transport counters of MetricsResponse.
+type WireStats struct {
+	Connections int64 `json:"connections"` // currently open
+	Queries     int64 `json:"queries"`     // TQuery frames served
+	Ingest      int64 `json:"ingestBatches"`
+	Events      int64 `json:"eventsPushed"`
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
@@ -74,6 +85,13 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		CacheCarried: s.carried.Load(),
 		InFlight:     s.inflight.Load(),
 		MaxInFlight:  cap(s.gate),
+		Wire: WireStats{
+			Connections: s.wireConns.Load(),
+			Queries:     s.wireQueries.Load(),
+			Ingest:      s.wireIngest.Load(),
+			Events:      s.wireEvents.Load(),
+		},
+		Feed: s.hub.Stats(),
 	}
 	if lg := s.ing.Load(); lg != nil {
 		ist := lg.Stats()

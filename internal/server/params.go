@@ -36,14 +36,21 @@ type params struct {
 	err error
 }
 
-// params captures the request's query values and the current
-// (graph, revision, maintained-results) snapshot — one atomic load, so
-// the graph a handler computes over, the cache revision its result is
-// stored under, and the maintained analytics it may serve from can
-// never belong to different ReplaceGraph generations.
-func (s *Server) params(r *http.Request) *params {
+// paramsFor captures query values plus the current (graph, revision,
+// maintained-results) snapshot — one atomic load, so the graph a
+// handler computes over, the cache revision its result is stored
+// under, and the maintained analytics it may serve from can never
+// belong to different ReplaceGraph generations. Both transports build
+// their params here: HTTP from r.URL.Query(), the wire loop from a
+// decoded TQuery — which is what makes the canonical cache keys formed
+// downstream provably identical.
+func (s *Server) paramsFor(q url.Values) *params {
 	snap := s.snap.Load()
-	return &params{g: snap.g, rev: snap.rev, res: snap.res, q: r.URL.Query()}
+	return &params{g: snap.g, rev: snap.rev, res: snap.res, q: q}
+}
+
+func (s *Server) params(r *http.Request) *params {
+	return s.paramsFor(r.URL.Query())
 }
 
 // okParams reports whether parsing succeeded, writing the 400 response

@@ -84,9 +84,9 @@ func (s *Server) bfs(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errStatus(err), err.Error())
 		return
 	}
-	resp := BFSResponse{Root: wire(p.g, root), Levels: res.LevelSizes()}
+	resp := BFSResponse{Root: tnJSON(p.g, root), Levels: res.LevelSizes()}
 	res.Visit(func(tn egraph.TemporalNode, d int) bool {
-		resp.Reached = append(resp.Reached, BFSEntry{TemporalNodeJSON: wire(p.g, tn), Dist: d})
+		resp.Reached = append(resp.Reached, BFSEntry{TemporalNodeJSON: tnJSON(p.g, tn), Dist: d})
 		return true
 	})
 	s.writeJSON(w, http.StatusOK, resp)
@@ -117,9 +117,9 @@ func (s *Server) path(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, fmt.Sprintf("%v is not reachable from %v", to, from))
 		return
 	}
-	resp := PathResponse{From: wire(p.g, from), To: wire(p.g, to), Hops: path.Hops()}
+	resp := PathResponse{From: tnJSON(p.g, from), To: tnJSON(p.g, to), Hops: path.Hops()}
 	for _, tn := range path {
-		resp.Path = append(resp.Path, wire(p.g, tn))
+		resp.Path = append(resp.Path, tnJSON(p.g, tn))
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -150,7 +150,7 @@ func (s *Server) reach(w http.ResponseWriter, r *http.Request) {
 		return true
 	})
 	s.writeJSON(w, http.StatusOK, ReachResponse{
-		Root:          wire(p.g, root),
+		Root:          tnJSON(p.g, root),
 		TemporalNodes: res.NumReached(),
 		DistinctNodes: len(distinct),
 		MaxDist:       res.MaxDist(),
@@ -170,9 +170,9 @@ func (s *Server) neighbors(w http.ResponseWriter, r *http.Request) {
 	if !s.okParams(w, p) {
 		return
 	}
-	resp := NeighborsResponse{Of: wire(p.g, tn)}
+	resp := NeighborsResponse{Of: tnJSON(p.g, tn)}
 	for _, nb := range core.ForwardNeighbors(p.g, tn, mode) {
-		resp.Neighbors = append(resp.Neighbors, wire(p.g, nb))
+		resp.Neighbors = append(resp.Neighbors, tnJSON(p.g, nb))
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -213,6 +213,6 @@ func (s *Server) criteria(w http.ResponseWriter, r *http.Request) {
 }
 
 // wire converts a temporal node to its JSON form under g's time labels.
-func wire(g *egraph.IntEvolvingGraph, tn egraph.TemporalNode) TemporalNodeJSON {
+func tnJSON(g *egraph.IntEvolvingGraph, tn egraph.TemporalNode) TemporalNodeJSON {
 	return TemporalNodeJSON{Node: tn.Node, Stamp: tn.Stamp, Label: g.TimeLabel(int(tn.Stamp))}
 }

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+)
+
+// This file is the transport-neutral request-decoding layer: every
+// cacheable analytics endpoint is one decoder that turns validated
+// params into its canonical cache key and compute closure. The HTTP
+// handlers (serveCached) and the binary wire loop (server/wire.go)
+// both dispatch through cachedDecoders over params built from
+// url.Values, so the two transports form provably identical cache keys
+// — one qcache entry per answer no matter which transport asked first.
+
+// decoder forms one endpoint's canonical cache key and compute closure
+// from validated params, recording validation failures in p.err.
+type decoder func(s *Server, p *params) (key string, compute func() (interface{}, error))
+
+// cachedDecoders names every cacheable endpoint. Keys are the HTTP
+// path without the leading slash — also the endpoint string a TQuery
+// frame carries.
+var cachedDecoders = map[string]decoder{
+	"components/weak":   decodeComponentsWeak,
+	"components/strong": decodeComponentsStrong,
+	"components/sizes":  decodeComponentsSizes,
+	"influence/greedy":  decodeInfluenceGreedy,
+	"closeness":         decodeCloseness,
+	"efficiency":        decodeEfficiency,
+	"katz":              decodeKatz,
+}
+
+// serveCached is the HTTP face of one cacheable endpoint.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string) {
+	p := s.params(r)
+	key, compute := cachedDecoders[endpoint](s, p)
+	if !s.okParams(w, p) {
+		return
+	}
+	s.cached(w, p, key, compute)
+}
+
+// decodeCached is the wire face: the same decoders over the same
+// params representation, minus the http.Request plumbing. The caller
+// owns error rendering.
+func (s *Server) decodeCached(endpoint string, q url.Values) (*params, string, func() (interface{}, error), error) {
+	dec, ok := cachedDecoders[endpoint]
+	if !ok {
+		return nil, "", nil, fmt.Errorf("no such endpoint %q", endpoint)
+	}
+	p := s.paramsFor(q)
+	key, compute := dec(s, p)
+	if p.err != nil {
+		return nil, "", nil, p.err
+	}
+	return p, key, compute, nil
+}

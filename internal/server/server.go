@@ -57,9 +57,11 @@ import (
 	"time"
 
 	"repro/internal/egraph"
+	"repro/internal/feed"
 	"repro/internal/inc"
 	"repro/internal/ingest"
 	"repro/internal/qcache"
+	"repro/internal/wire"
 )
 
 // Config tunes the query service. The zero value serves with defaults
@@ -140,6 +142,17 @@ type Server struct {
 	// ing is the optional write path (AttachIngest); nil means the
 	// server is read-only and /ingest/arcs answers 503.
 	ing atomic.Pointer[ingest.Log]
+
+	// hub is the change-feed fan-out (internal/feed): replaceWith
+	// publishes one epoch per revision swap, wire subscribers stream
+	// from it instead of polling X-Graph-Revision.
+	hub *feed.Hub
+
+	// wire-transport counters for /metrics.
+	wireConns   atomic.Int64
+	wireQueries atomic.Int64
+	wireIngest  atomic.Int64
+	wireEvents  atomic.Int64
 }
 
 // era is the pin domain of one graph generation: every in-flight
@@ -177,6 +190,7 @@ func New(g *egraph.IntEvolvingGraph, cfg Config) *Server {
 	}
 	s.snap.Store(&graphSnap{g: g})
 	s.curEra.Store(&era{})
+	s.hub = feed.NewHub(feed.Options{})
 	for _, ep := range []struct {
 		path string
 		h    http.HandlerFunc
@@ -203,6 +217,11 @@ func New(g *egraph.IntEvolvingGraph, cfg Config) *Server {
 		s.mux.HandleFunc(ep.path, ep.h)
 		s.requests[ep.path] = new(atomic.Int64)
 	}
+	// Unknown paths answer the same versioned error envelope as every
+	// other failure — no bare text/plain 404s on this surface.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %q", r.URL.Path))
+	})
 	return s
 }
 
@@ -314,6 +333,18 @@ func (s *Server) replaceWith(g *egraph.IntEvolvingGraph, res *inc.Results) uint6
 		s.retired = append(s.retired, retiredSnap{e: oldEra, g: old.g, fn: fn})
 		s.retireMu.Unlock()
 	}
+	// Publish the epoch to the change feed while still holding
+	// replaceMu, so epochs enter the hub in revision order. Publishing
+	// only the immutable results (never a graph) keeps the feed's ring
+	// out of the era/retire proof entirely.
+	s.hub.Publish(feed.Epoch{
+		Revision:    rev,
+		Nodes:       g.NumNodes(),
+		Stamps:      g.NumStamps(),
+		ActiveNodes: g.NumActiveNodes(),
+		Results:     res,
+		Prev:        old.res,
+	})
 	s.replaceMu.Unlock()
 	s.sweepRetired()
 	return rev
@@ -374,6 +405,10 @@ func (s *Server) sweepRetired() {
 // CacheStats exposes the cache counters (for tests and cmd/egload).
 func (s *Server) CacheStats() qcache.Stats { return s.cache.Stats() }
 
+// FeedHub exposes the change-feed hub: egserve closes it on shutdown,
+// tests subscribe directly.
+func (s *Server) FeedHub() *feed.Hub { return s.hub }
+
 // CacheCarried returns how many cache entries the maintained-analytics
 // carry-over has kept warm across graph swaps since startup.
 func (s *Server) CacheCarried() int64 { return s.carried.Load() }
@@ -419,14 +454,15 @@ func carryKeep(res *inc.Results) func(key string) bool {
 	}
 }
 
-// cached serves one cacheable analytics endpoint: look key up in the
-// versioned cache at the revision captured in p — the revision the
-// handler's graph snapshot belongs to — computing at most once across
-// concurrent identical requests, with the computation itself admitted
-// through the in-flight gate. The outcome is surfaced in the X-Cache
-// header.
-func (s *Server) cached(w http.ResponseWriter, p *params, key string, compute func() (interface{}, error)) {
-	val, outcome, err := s.cache.DoAt(p.rev, key, func() (interface{}, error) {
+// runCached executes one cacheable query through the versioned cache
+// at the revision captured in p — the revision the request's graph
+// snapshot belongs to — computing at most once across concurrent
+// identical requests, with the computation itself admitted through the
+// in-flight gate. It is the transport-neutral core under both the HTTP
+// handlers and the wire loop: both form identical keys (request.go), so
+// both transports share every cache entry.
+func (s *Server) runCached(p *params, key string, compute func() (interface{}, error)) (interface{}, qcache.Outcome, error) {
+	return s.cache.DoAt(p.rev, key, func() (interface{}, error) {
 		s.gate <- struct{}{}
 		s.inflight.Add(1)
 		defer func() {
@@ -435,6 +471,12 @@ func (s *Server) cached(w http.ResponseWriter, p *params, key string, compute fu
 		}()
 		return compute()
 	})
+}
+
+// cached is runCached's HTTP face: the outcome surfaces in the X-Cache
+// header, the snapshot revision in X-Graph-Revision.
+func (s *Server) cached(w http.ResponseWriter, p *params, key string, compute func() (interface{}, error)) {
+	val, outcome, err := s.runCached(p, key, compute)
 	w.Header().Set("X-Cache", outcome.String())
 	// The revision the answer belongs to: responses carrying the same
 	// value are computed from the same graph snapshot, which is what
@@ -474,6 +516,28 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	}
 }
 
+// ErrorResponse is the versioned error envelope every endpoint answers
+// with: a transport-neutral code (wire.Code's JSON spelling — the
+// binary transport carries the same enum as a byte), the message, an
+// optional detail, and the revision the server was at. The "error" key
+// is the envelope's message field, so pre-envelope clients that only
+// read .error keep working.
+type ErrorResponse struct {
+	Code     string `json:"code"`
+	Error    string `json:"error"`
+	Detail   string `json:"detail,omitempty"`
+	Revision uint64 `json:"revision"`
+}
+
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
-	s.writeJSON(w, status, map[string]string{"error": msg})
+	s.writeErrorDetail(w, status, msg, "")
+}
+
+func (s *Server) writeErrorDetail(w http.ResponseWriter, status int, msg, detail string) {
+	s.writeJSON(w, status, ErrorResponse{
+		Code:     wire.CodeFromStatus(status).String(),
+		Error:    msg,
+		Detail:   detail,
+		Revision: s.Revision(),
+	})
 }

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/feed"
+	"repro/internal/qcache"
+	"repro/internal/wire"
+)
+
+// The binary transport: ServeWire speaks the EGWP protocol
+// (internal/wire, DESIGN.md §15) on a second listener alongside HTTP.
+// Queries dispatch through the same request-decoding layer and
+// runCached core as the HTTP handlers — one qcache entry per answer
+// across both transports — ingest batches land in the same write path,
+// and TSubscribe streams the change feed that replaces
+// X-Graph-Revision polling.
+//
+// Per connection: one reader (this goroutine), one writer goroutine
+// owning the socket's write side, a goroutine per in-flight query
+// (frames carry correlation ids, so clients pipeline), and a pump
+// goroutine per subscription. Backpressure is structural end to end: a
+// slow client fills the TCP window, then the writer's queue; a full
+// queue stalls subscription pumps between Next calls, so the feed
+// ring advances without them and they resume with one Gap event.
+
+// wireOutQueue bounds the per-connection writer queue (frames).
+const wireOutQueue = 64
+
+// outFrame is one frame awaiting the connection's writer goroutine.
+type outFrame struct {
+	typ     uint8
+	flags   uint8
+	id      uint32
+	payload []byte
+}
+
+// ServeWire accepts and serves EGWP connections on l until l is
+// closed, blocking like http.Server.Serve. Connections drain on their
+// own when the listener closes; close the feed hub to stop
+// subscription pumps.
+func (s *Server) ServeWire(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveWireConn(conn)
+	}
+}
+
+func (s *Server) serveWireConn(conn net.Conn) {
+	defer conn.Close()
+	s.wireConns.Add(1)
+	defer s.wireConns.Add(-1)
+	if err := wire.WriteHello(conn); err != nil {
+		return
+	}
+	if err := wire.ReadHello(conn); err != nil {
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := make(chan outFrame, wireOutQueue)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		s.wireWriter(ctx, cancel, conn, out)
+	}()
+	// send enqueues one frame for the writer unless the connection is
+	// already going down. Payload ownership passes to the writer.
+	send := func(f outFrame) bool {
+		select {
+		case out <- f:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+
+	var wg sync.WaitGroup
+	fr := wire.NewReader(conn)
+	for {
+		frame, err := fr.ReadFrame()
+		if err != nil {
+			// Clean EOF or a protocol violation either way: stop reading,
+			// cancel the workers, let deferred cleanup close the socket.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
+				s.cfg.Logf("server: wire connection: %v", err)
+			}
+			break
+		}
+		switch frame.Type {
+		case wire.TPing:
+			send(outFrame{typ: wire.RPong, id: frame.ID})
+		case wire.TQuery:
+			endpoint, q, err := wire.DecodeQuery(frame.Payload)
+			if err != nil {
+				send(s.wireError(frame.ID, http.StatusBadRequest, err.Error()))
+				continue
+			}
+			s.wireQueries.Add(1)
+			wg.Add(1)
+			go func(id uint32) {
+				defer wg.Done()
+				send(s.wireQuery(id, endpoint, q))
+			}(frame.ID)
+		case wire.TIngest:
+			// Ingest stays on the reader goroutine: batches from one
+			// connection must reach the WAL in the order they were sent.
+			events, err := wire.DecodeIngest(frame.Payload)
+			if err != nil {
+				send(s.wireError(frame.ID, http.StatusBadRequest, err.Error()))
+				continue
+			}
+			s.wireIngest.Add(1)
+			resp, status, msg := s.acceptBatch(events)
+			if status != http.StatusAccepted {
+				send(s.wireError(frame.ID, status, msg))
+				continue
+			}
+			body, _ := json.Marshal(resp)
+			send(outFrame{typ: wire.RResult, flags: wire.CacheNone, id: frame.ID,
+				payload: wire.AppendResult(nil, s.Revision(), body)})
+		case wire.TSubscribe:
+			spec, err := wire.DecodeSubscribe(frame.Payload)
+			if err != nil {
+				send(s.wireError(frame.ID, http.StatusBadRequest, err.Error()))
+				continue
+			}
+			sub, err := s.hub.Subscribe(spec)
+			if err != nil {
+				status := http.StatusBadRequest
+				if errors.Is(err, feed.ErrHubClosed) {
+					status = http.StatusServiceUnavailable
+				}
+				send(s.wireError(frame.ID, status, err.Error()))
+				continue
+			}
+			send(outFrame{typ: wire.RSubscribed, id: frame.ID,
+				payload: wire.AppendResult(nil, s.Revision(), nil)})
+			wg.Add(1)
+			go func(id uint32) {
+				defer wg.Done()
+				defer sub.Close()
+				for {
+					ev, err := sub.Next(ctx)
+					if err != nil {
+						return
+					}
+					if !send(outFrame{typ: wire.REvent, id: id, payload: wire.AppendEvent(nil, ev)}) {
+						return
+					}
+					s.wireEvents.Add(1)
+				}
+			}(frame.ID)
+		default:
+			send(s.wireError(frame.ID, http.StatusBadRequest, "unknown frame type"))
+		}
+	}
+	cancel()
+	wg.Wait()
+	writerWG.Wait()
+}
+
+// wireWriter is the single goroutine owning conn's write side: it
+// frames and flushes queued responses, batching flushes while more
+// frames are pending.
+func (s *Server) wireWriter(ctx context.Context, cancel context.CancelFunc, conn net.Conn, out <-chan outFrame) {
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	var buf []byte
+	for {
+		select {
+		case f := <-out:
+			buf = wire.AppendFrame(buf[:0], f.typ, f.flags, f.id, f.payload)
+			if _, err := bw.Write(buf); err != nil {
+				cancel()
+				return
+			}
+			if len(out) == 0 {
+				if err := bw.Flush(); err != nil {
+					cancel()
+					return
+				}
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// wireQuery answers one TQuery: same decoders, same cache, same gate
+// as the HTTP path. The request pins the current era exactly like
+// ServeHTTP does, so graph snapshots it captures stay reachable.
+func (s *Server) wireQuery(id uint32, endpoint string, q map[string][]string) outFrame {
+	e := s.pinEra()
+	defer s.unpinEra(e)
+	p, key, compute, err := s.decodeCached(endpoint, q)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, known := cachedDecoders[endpoint]; !known {
+			status = http.StatusNotFound
+		}
+		return s.wireError(id, status, err.Error())
+	}
+	val, outcome, err := s.runCached(p, key, compute)
+	if err != nil {
+		return s.wireError(id, errStatus(err), err.Error())
+	}
+	body, err := json.Marshal(val)
+	if err != nil {
+		return s.wireError(id, http.StatusInternalServerError, err.Error())
+	}
+	return outFrame{
+		typ:     wire.RResult,
+		flags:   cacheFlag(outcome),
+		id:      id,
+		payload: wire.AppendResult(nil, p.rev, body),
+	}
+}
+
+// wireError renders one failure as an RError frame carrying the same
+// code the HTTP envelope would: both transports map status 1:1 through
+// wire.CodeFromStatus.
+func (s *Server) wireError(id uint32, status int, msg string) outFrame {
+	return outFrame{
+		typ:     wire.RError,
+		id:      id,
+		payload: wire.AppendError(nil, wire.CodeFromStatus(status), s.Revision(), msg, ""),
+	}
+}
+
+// cacheFlag is the RResult flags encoding of a cache outcome (the
+// binary X-Cache header).
+func cacheFlag(o qcache.Outcome) uint8 {
+	switch o {
+	case qcache.Hit:
+		return wire.CacheHit
+	case qcache.Collapsed:
+		return wire.CacheCollapsed
+	default:
+		return wire.CacheMiss
+	}
+}
