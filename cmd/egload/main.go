@@ -14,7 +14,7 @@
 //	       [-writeRatio 0] [-writeBatch 16]
 //	       [-nodes 500] [-stamps 8] [-edges 5000]
 //	       [-visibility inline|poll|feed] [-pollInterval 50ms] [-wire host:9090]
-//	       [-waitReady 0] [-json FILE]
+//	       [-waitReady 0] [-json FILE] [-lintProm URL]
 //
 // -visibility selects how the harness learns that an acked write became
 // readable: "inline" piggybacks on read responses, "poll" runs a
@@ -24,11 +24,23 @@
 // is the BENCH_8 experiment: pushed events resolve at epoch-publish
 // time, polling pays up to a full -pollInterval on top.
 //
-// With -waitReady the harness first polls /healthz until the target
+// With -waitReady the harness first polls /readyz until the target
 // answers 200 (restart-to-ready; the JSON report records it as
 // restartToReadyNs) — launch it alongside a restarting egserve to
 // measure boot-to-serving time, which is where a checkpoint boot's
-// warm-restart win lands end to end.
+// warm-restart win lands end to end. egserve opens its listener before
+// WAL recovery and answers /readyz 503 until the first graph installs,
+// so the poll measures readiness, not the process being up.
+//
+// After the run the harness scrapes the target's /metrics.prom,
+// validates the exposition with the strict parser in internal/obs, and
+// folds the server-side histograms into the report: per-stage epoch
+// timings (eg_epoch_stage_seconds — WAL append, delta fold, CSR build,
+// incremental analytics, checkpoint write, publish-to-visible) and
+// per-endpoint serve latency p50/p99 as the server measured it. -lintProm
+// URL runs only that scrape-and-validate step against URL and exits
+// non-zero on any exposition defect — the CI soak harness calls it once
+// per generation.
 //
 // Without -url the harness self-serves: it builds a random graph from
 // -nodes/-stamps/-edges/-seed, mounts internal/server (with an
@@ -76,6 +88,7 @@ import (
 	evolving "repro"
 	"repro/egclient"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -95,8 +108,9 @@ func main() {
 		stamps     = flag.Int("stamps", 8, "self-serve: stamp count")
 		edges      = flag.Int("edges", 5_000, "self-serve: static edge count")
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
-		waitReady  = flag.Duration("waitReady", 0, "poll /healthz until the first 200 (at most this long) before loading; the report records restartToReadyNs")
+		waitReady  = flag.Duration("waitReady", 0, "poll /readyz until the first 200 (at most this long) before loading; the report records restartToReadyNs")
 		jsonPath   = flag.String("json", "", "write the report to FILE as JSON")
+		lintProm   = flag.String("lintProm", "", "strict-parse this /metrics.prom URL, check the required families, and exit (CI exposition linter; no load is generated)")
 
 		compactEvery = flag.Int("compact-every", 256, "self-serve: fold the pending delta after this many events")
 		compactIval  = flag.Duration("compact-interval", 500*time.Millisecond, "self-serve: fold any pending delta at least this often")
@@ -108,6 +122,15 @@ func main() {
 	)
 	procStart := time.Now()
 	flag.Parse()
+
+	if *lintProm != "" {
+		if err := lintPromURL(*lintProm, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "egload: lint %s: %v\n", *lintProm, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: exposition OK\n", *lintProm)
+		return
+	}
 
 	weights, err := parseMix(*mix)
 	if err != nil {
@@ -146,6 +169,9 @@ func main() {
 			lg, err := ingest.New(srv, ingest.Config{
 				CompactEvery:    *compactEvery,
 				CompactInterval: *compactIval,
+				// Share the server's registry so the self-serve report's
+				// stage breakdown has real epoch timings in it.
+				Registry: srv.Registry(),
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "egload: ingest: %v\n", err)
@@ -171,10 +197,11 @@ func main() {
 	base = strings.TrimRight(base, "/")
 	client := &http.Client{Timeout: *timeout}
 
-	// Restart-to-ready: poll /healthz until the target answers 200.
-	// Launched right after (or concurrently with) a restarting egserve,
-	// this measures boot-to-first-byte — the number the recovery suite's
-	// ≥10x warm-restart claim shows up as end to end.
+	// Restart-to-ready: poll /readyz until the target answers 200.
+	// egserve's listener opens before WAL recovery (healthz is 200 the
+	// whole time), so readiness — the first installed graph — is the
+	// event this measures; it is where the recovery suite's ≥10x
+	// warm-restart claim shows up end to end.
 	var readyNS int64
 	var readyPolls int
 	if *waitReady > 0 {
@@ -183,7 +210,7 @@ func main() {
 		ready := false
 		for time.Now().Before(deadline) {
 			readyPolls++
-			resp, err := probe.Get(base + "/healthz")
+			resp, err := probe.Get(base + "/readyz")
 			if err == nil {
 				code := resp.StatusCode
 				resp.Body.Close()
@@ -195,7 +222,7 @@ func main() {
 			time.Sleep(10 * time.Millisecond)
 		}
 		if !ready {
-			fmt.Fprintf(os.Stderr, "egload: %s/healthz not ready after %s (%d polls)\n", base, *waitReady, readyPolls)
+			fmt.Fprintf(os.Stderr, "egload: %s/readyz not ready after %s (%d polls)\n", base, *waitReady, readyPolls)
 			os.Exit(1)
 		}
 		readyNS = time.Since(procStart).Nanoseconds()
@@ -297,6 +324,12 @@ func main() {
 		rep.ServerMetrics = &m
 		rep.CacheHitRate = m.CacheHitRate
 	}
+	// And the Prometheus exposition: strict-parse it and fold the
+	// server-measured histograms — per-stage epoch timings and
+	// per-endpoint serve latency — into the report.
+	if err := scrapeProm(client, base, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "egload: scraping /metrics.prom: %v\n", err)
+	}
 
 	printReport(rep)
 	if *jsonPath != "" {
@@ -361,6 +394,34 @@ type report struct {
 	VisibleP50NS      int64                   `json:"ingestVisibleP50Ns,omitempty"`
 	VisibleP99NS      int64                   `json:"ingestVisibleP99Ns,omitempty"`
 	ServerMetrics     *server.MetricsResponse `json:"serverMetrics,omitempty"`
+	// Server-measured histograms scraped from /metrics.prom after the
+	// run: the write path's per-stage epoch timings and each endpoint's
+	// serve latency as the server recorded it (all cache outcomes and
+	// transports merged) — the server-side counterpart of the
+	// client-observed percentiles above.
+	IngestStages []stageReport `json:"ingestStages,omitempty"`
+	ServeLatency []promLatency `json:"serverLatency,omitempty"`
+}
+
+// stageReport is one pipeline stage of the scraped
+// eg_epoch_stage_seconds histogram: wal (append+fsync), fold (Patch or
+// full rebuild), csr (flat CSR build), analytics (incremental
+// maintenance), checkpoint (persist) and visible (publish-to-visible).
+type stageReport struct {
+	Stage      string  `json:"stage"`
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sumSeconds"`
+	P50NS      int64   `json:"p50ns"`
+	P99NS      int64   `json:"p99ns"`
+}
+
+// promLatency is one endpoint's serve latency reassembled from the
+// scraped eg_serve_latency_seconds histogram.
+type promLatency struct {
+	Endpoint string `json:"endpoint"`
+	Count    uint64 `json:"count"`
+	P50NS    int64  `json:"p50ns"`
+	P99NS    int64  `json:"p99ns"`
 }
 
 // visTracker resolves ingest-to-visible latencies: every write ack
@@ -780,6 +841,111 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 	return sorted[idx-1]
 }
 
+// scrapeProm fetches base/metrics.prom, strict-parses it and folds the
+// server-measured histograms into rep. A parse failure is reported (the
+// exposition contract is part of the surface under test); a missing
+// endpoint is not (non-repro targets).
+func scrapeProm(client *http.Client, base string, rep *report) error {
+	resp, err := client.Get(base + "/metrics.prom")
+	if err != nil {
+		return nil // target has no Prometheus surface; skip silently
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	fams, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return fmt.Errorf("strict parse: %w", err)
+	}
+	if f := fams["eg_epoch_stage_seconds"]; f != nil {
+		for _, h := range f.Hists {
+			rep.IngestStages = append(rep.IngestStages, stageReport{
+				Stage:      h.Labels["stage"],
+				Count:      uint64(h.Count),
+				SumSeconds: h.Sum,
+				P50NS:      int64(h.Quantile(0.50) * 1e9),
+				P99NS:      int64(h.Quantile(0.99) * 1e9),
+			})
+		}
+		sort.Slice(rep.IngestStages, func(i, j int) bool {
+			return rep.IngestStages[i].Stage < rep.IngestStages[j].Stage
+		})
+	}
+	if f := fams["eg_serve_latency_seconds"]; f != nil {
+		merged := make(map[string]*obs.PromHist)
+		for _, h := range f.Hists {
+			ep := h.Labels["endpoint"]
+			m := merged[ep]
+			if m == nil {
+				merged[ep] = &obs.PromHist{
+					Labels:     map[string]string{"endpoint": ep},
+					Bounds:     append([]float64(nil), h.Bounds...),
+					Cumulative: append([]float64(nil), h.Cumulative...),
+					Sum:        h.Sum,
+					Count:      h.Count,
+				}
+				continue
+			}
+			if len(m.Cumulative) != len(h.Cumulative) {
+				continue // foreign exposition with per-series bounds; skip
+			}
+			for i := range m.Cumulative {
+				m.Cumulative[i] += h.Cumulative[i]
+			}
+			m.Sum += h.Sum
+			m.Count += h.Count
+		}
+		for ep, h := range merged {
+			rep.ServeLatency = append(rep.ServeLatency, promLatency{
+				Endpoint: ep,
+				Count:    uint64(h.Count),
+				P50NS:    int64(h.Quantile(0.50) * 1e9),
+				P99NS:    int64(h.Quantile(0.99) * 1e9),
+			})
+		}
+		sort.Slice(rep.ServeLatency, func(i, j int) bool {
+			return rep.ServeLatency[i].Endpoint < rep.ServeLatency[j].Endpoint
+		})
+	}
+	return nil
+}
+
+// lintPromURL is the -lintProm mode: fetch one exposition, run it
+// through the strict parser and require the families every healthy
+// server must expose. CI calls this once per soak generation.
+func lintPromURL(url string, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return fmt.Errorf("strict parse: %w", err)
+	}
+	for _, want := range []struct{ name, typ string }{
+		{"eg_serve_latency_seconds", "histogram"},
+		{"eg_graph_revision", "gauge"},
+		{"eg_requests_total", "counter"},
+		{"eg_goroutines", "gauge"},
+	} {
+		f := fams[want.name]
+		if f == nil {
+			return fmt.Errorf("missing family %s", want.name)
+		}
+		if f.Type != want.typ {
+			return fmt.Errorf("family %s has type %s, want %s", want.name, f.Type, want.typ)
+		}
+	}
+	fmt.Printf("parsed %d families\n", len(fams))
+	return nil
+}
+
 func getJSON(client *http.Client, url string, into interface{}) error {
 	resp, err := client.Get(url)
 	if err != nil {
@@ -810,7 +976,7 @@ func printReport(rep *report) {
 			hit)
 	}
 	if rep.RestartToReadyNS > 0 {
-		fmt.Printf("\nrestart-to-ready: %s (%d /healthz polls)\n",
+		fmt.Printf("\nrestart-to-ready: %s (%d /readyz polls)\n",
 			time.Duration(rep.RestartToReadyNS).Round(time.Millisecond), rep.ReadyPolls)
 	}
 	if rep.VisibleCount > 0 {
@@ -829,6 +995,26 @@ func printReport(rep *report) {
 			fmt.Printf("server ingest: appended=%d pending=%d epochs=%d (patch=%d full=%d) compacted=%d throttled=%d lastCompact=%.1fms lastCsrBuild=%.1fms lastVisible=%.1fms\n",
 				ig.AppendedEvents, ig.PendingEvents, ig.Epochs, ig.PatchEpochs, ig.FullRebuildEpochs,
 				ig.CompactedEvents, ig.ThrottledBatches, ig.LastCompactMs, ig.LastCSRBuildMs, ig.LastVisibleMs)
+		}
+	}
+	if len(rep.IngestStages) > 0 {
+		fmt.Printf("\nepoch stage breakdown (server-measured, scraped from /metrics.prom):\n")
+		fmt.Printf("%-12s %8s %12s %12s %12s\n", "stage", "count", "p50", "p99", "total")
+		for _, st := range rep.IngestStages {
+			fmt.Printf("%-12s %8d %12s %12s %12s\n",
+				st.Stage, st.Count,
+				time.Duration(st.P50NS).Round(time.Microsecond),
+				time.Duration(st.P99NS).Round(time.Microsecond),
+				(time.Duration(st.SumSeconds * float64(time.Second))).Round(time.Millisecond))
+		}
+	}
+	if len(rep.ServeLatency) > 0 {
+		fmt.Printf("\nserver-side serve latency (all outcomes/transports merged):\n")
+		fmt.Printf("%-20s %8s %12s %12s\n", "endpoint", "count", "p50", "p99")
+		for _, l := range rep.ServeLatency {
+			fmt.Printf("%-20s %8d %12s %12s\n", l.Endpoint, l.Count,
+				time.Duration(l.P50NS).Round(time.Microsecond),
+				time.Duration(l.P99NS).Round(time.Microsecond))
 		}
 	}
 }

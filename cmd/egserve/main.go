@@ -18,6 +18,15 @@
 //	        [-compact-every 4096] [-compact-interval 2s] [-max-pending 65536]
 //	        [-checkpoint auto] [-checkpoint-every 8] [-checkpoint-interval 60s]
 //	        [-full-rebuild] [-inc=true] [-write-timeout 0] [-shutdown-timeout 10s]
+//	        [-pprof localhost:6060] [-trace-sample 64] [-trace-slow 250ms]
+//
+// The HTTP listener opens before recovery: /healthz answers 200
+// immediately while /readyz stays 503 until the first graph installs
+// (egload -waitReady polls it). /metrics.prom exposes the whole
+// process — serve latency by endpoint × cache outcome × transport,
+// per-stage epoch timings, feed lag, runtime gauges — as Prometheus
+// text; /debug/traces dumps sampled and slow request traces; -pprof
+// serves the Go profiler on its own port.
 //
 // Without -graph a random evolving graph is generated and served. With
 // -wal the server boots recover-then-serve: it mmaps the newest valid
@@ -51,16 +60,53 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	evolving "repro"
 	"repro/internal/inc"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
+
+// swapHandler atomically swaps the whole HTTP surface: the listener
+// opens before WAL recovery starts, serving a bootstrap handler whose
+// /readyz answers 503 until the real server (first graph installed) is
+// swapped in. Load balancers and egload -waitReady therefore measure
+// restart-to-ready, while /healthz reports the process live the whole
+// time.
+type swapHandler struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+
+func (s *swapHandler) swap(h http.Handler) { s.h.Store(&h) }
+
+// bootstrapHandler is the pre-recovery surface: liveness yes,
+// readiness no, everything else unavailable.
+func bootstrapHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"status":"starting"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"starting","error":"recovering: graph not yet installed"}`)
+	})
+	return mux
+}
 
 func main() {
 	var (
@@ -92,8 +138,58 @@ func main() {
 
 		writeTimeout    = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none; cold analytics queries can be slow)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		traceSample = flag.Int("trace-sample", 0, "trace every Nth request into /debug/traces (0 = obs default 1/64, negative disables sampling)")
+		traceSlow   = flag.Duration("trace-slow", 0, "retain traces slower than this in the slow ring (0 = obs default 250ms)")
 	)
 	flag.Parse()
+
+	// One metric registry for the whole process: the server's families,
+	// the write path's epoch-stage histograms, and the runtime gauges
+	// all render through a single /metrics.prom scrape.
+	reg := obs.NewRegistry()
+
+	// Open the listener before recovery so restarts are observable:
+	// /healthz answers immediately while /readyz stays 503 until the
+	// first graph is installed.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("egserve: listen: %v", err)
+	}
+	boot := &swapHandler{}
+	boot.swap(bootstrapHandler())
+	srv := &http.Server{
+		Handler: boot,
+		// Slowloris protection on headers; write deadline is opt-in
+		// because a cold all-sources analytics query may legitimately
+		// outlive any fixed response budget.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Printf("listening on %s (recovering; /readyz 503 until the first graph installs)\n", *addr)
+
+	if *pprofAddr != "" {
+		// The profiler gets its own mux on its own listener: nothing
+		// registers into http.DefaultServeMux, and the query port never
+		// exposes profiling data.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("egserve: pprof: %v", err)
+			}
+		}()
+		fmt.Printf("pprof on %s — go tool pprof http://%s/debug/pprof/heap\n", *pprofAddr, *pprofAddr)
+	}
 
 	// base lazily builds the seed graph the WAL was recorded against.
 	// On a checkpoint boot it is never invoked: the mmap'd checkpoint
@@ -178,6 +274,8 @@ func main() {
 		CacheCapacity: *cacheCap,
 		MaxInFlight:   *inflight,
 		Workers:       *workers,
+		Registry:      reg,
+		Trace:         obs.TracerOptions{SampleEvery: *traceSample, Slow: *traceSlow},
 	})
 	var lg *ingest.Log
 	if wal != nil {
@@ -191,6 +289,7 @@ func main() {
 			CompactEvery:    *compactEvery,
 			CompactInterval: *compactInterval,
 			MaxPending:      *maxPending,
+			Registry:        reg,
 			// Labels the recovered stream mentioned stay writable even
 			// when the fold dropped their stamps (e.g. all arcs
 			// removed); on a checkpoint boot this is the checkpoint's
@@ -214,24 +313,13 @@ func main() {
 		fmt.Printf("ingest enabled: wal=%s fsync=%s compact-every=%d compact-interval=%s checkpoint=%s inc=%t\n",
 			*walPath, *fsyncPolicy, *compactEvery, *compactInterval, ckptPath, *incAnalytics)
 	}
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: handler,
-		// Slowloris protection on headers; write deadline is opt-in
-		// because a cold all-sources analytics query may legitimately
-		// outlive any fixed response budget.
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      *writeTimeout,
-		IdleTimeout:       2 * time.Minute,
-	}
+	// The first graph is installed: swap the real surface in. From here
+	// /readyz answers 200 and every endpoint serves.
+	boot.swap(handler)
+	fmt.Printf("ready on %s — try /stats, /components/weak, /metrics.prom, /debug/traces\n", *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("listening on %s — try /stats, /components/weak, /influence/greedy?k=5, /metrics\n", *addr)
 
 	// The EGWP binary protocol listens on its own port: same queries,
 	// same cache, plus pushed change-feed subscriptions (DESIGN.md §15).

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ds"
 )
@@ -158,6 +159,11 @@ type CSRBuildOptions struct {
 	// Arena recycles the buffers of a retired CSR (see CSRArena).
 	// Buffers with insufficient capacity are reallocated individually.
 	Arena *CSRArena
+	// OnBuilt, when set, receives the wall-clock duration of the build.
+	// It fires only when a build actually runs — an EnsureCSR call that
+	// finds the cached view never reports. The ingest compactor hangs
+	// its per-stage timing histogram here (internal/obs).
+	OnBuilt func(time.Duration)
 }
 
 // CSR returns the flat CSR view of g, building it on first use. The
@@ -182,6 +188,10 @@ func (g *IntEvolvingGraph) EnsureCSR(opts CSRBuildOptions) *CSR {
 // arrays, because the per-stamp offsets are computed up front from the
 // snapshot totals and every worker writes a disjoint range.
 func BuildFlatCSR(g *IntEvolvingGraph, opts CSRBuildOptions) *CSR {
+	if opts.OnBuilt != nil {
+		start := time.Now()
+		defer func() { opts.OnBuilt(time.Since(start)) }()
+	}
 	n, t := g.numNodes, len(g.snaps)
 	size := n * t
 	a := opts.Arena

@@ -112,6 +112,13 @@ type Event struct {
 	// KindGap: revisions (FromRevision, Revision) were evicted before
 	// the subscriber caught up; the stream resumes at Revision.
 	FromRevision uint64 `json:"fromRevision,omitempty"`
+
+	// At is the publish time of the epoch this event derives from —
+	// zero for gap events, which have no single source epoch. It never
+	// travels to clients (neither JSON nor EGWP); the serving layer
+	// reads it to observe feed delivery lag at the moment it writes the
+	// event to a subscriber.
+	At time.Time `json:"-"`
 }
 
 // Epoch is one published revision swap, recorded by the serving layer.
@@ -206,6 +213,7 @@ type Stats struct {
 	Gaps          int64  `json:"gaps"`          // gap events delivered
 	Revision      uint64 `json:"revision"`      // latest published
 	Retained      int    `json:"retained"`      // epochs in the ring
+	Capacity      int    `json:"capacity"`      // ring capacity (occupancy = Retained/Capacity)
 }
 
 // Stats returns the current counters.
@@ -219,6 +227,7 @@ func (h *Hub) Stats() Stats {
 		Gaps:          h.gaps,
 		Revision:      h.cur,
 		Retained:      len(h.ring),
+		Capacity:      h.cap,
 	}
 }
 
@@ -387,6 +396,7 @@ func (s *Sub) deriveEpochLocked(e *Epoch) {
 		s.queue = append(s.queue, Event{
 			Kind: KindRevision, Revision: e.Revision,
 			Nodes: e.Nodes, Stamps: e.Stamps, ActiveNodes: e.ActiveNodes,
+			At: e.At,
 		})
 	case KindComponents:
 		if e.Results == nil {
@@ -402,6 +412,7 @@ func (s *Sub) deriveEpochLocked(e *Epoch) {
 				Kind: KindComponents, Revision: e.Revision,
 				Node: s.spec.Node, Stamp: s.spec.Stamp,
 				Component: comp, Previous: s.lastComp,
+				At: e.At,
 			})
 			s.lastComp = comp
 		}
@@ -415,6 +426,7 @@ func (s *Sub) deriveEpochLocked(e *Epoch) {
 			s.lastScore = score
 			s.queue = append(s.queue, Event{
 				Kind: KindKatz, Revision: e.Revision, Node: s.spec.Node, Score: score,
+				At: e.At,
 			})
 			return
 		}
@@ -422,6 +434,7 @@ func (s *Sub) deriveEpochLocked(e *Epoch) {
 			s.queue = append(s.queue, Event{
 				Kind: KindKatz, Revision: e.Revision,
 				Node: s.spec.Node, Score: score, Delta: score - s.lastScore,
+				At: e.At,
 			})
 			s.lastScore = score
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/egio"
 	"repro/internal/egraph"
 	"repro/internal/inc"
+	"repro/internal/obs"
 )
 
 // Publisher is the read/write seam between the ingest pipeline and the
@@ -98,6 +99,12 @@ type Config struct {
 	UseFullRebuild bool
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...interface{})
+	// Registry, when non-nil, receives the pipeline's stage-level
+	// latency histograms (eg_epoch_stage_seconds, labeled by stage:
+	// wal, fold, csr, analytics, checkpoint, visible — DESIGN.md §16).
+	// Share the serving layer's registry so one /metrics.prom scrape
+	// covers the whole process. Register at most one Log per Registry.
+	Registry *obs.Registry
 }
 
 // Stats is a point-in-time snapshot of the pipeline counters, served
@@ -213,6 +220,11 @@ type Log struct {
 	lastCheckpointNS  atomic.Int64
 	checkpointBytes   atomic.Int64
 	lastCheckpointSeq atomic.Uint64
+
+	// stage is the per-stage epoch timing histogram family; always
+	// non-nil (an obs vec without a registry records into the void), so
+	// the hot paths never nil-check.
+	stage *obs.HistogramVec
 }
 
 // AnalyticsPublisher is the optional half of the Publisher seam for
@@ -271,6 +283,9 @@ func New(pub Publisher, cfg Config) (*Log, error) {
 		kick:   make(chan struct{}, 1),
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
+		stage: cfg.Registry.Histogram("eg_epoch_stage_seconds",
+			"Per-stage epoch pipeline timings: wal (append+fsync per batch), fold (Patch/Fold), csr (flat view build), analytics (inc maintenance), checkpoint (EGCP write), visible (oldest write's ingest-to-visible).",
+			"stage"),
 	}
 	for _, t := range pub.Graph().TimeLabels() {
 		l.labels[t] = struct{}{}
@@ -354,6 +369,7 @@ func (l *Log) Append(events []Event) (seq uint64, err error) {
 		l.mu.Unlock()
 		return 0, err
 	}
+	walStart := time.Now()
 	if l.wal != nil {
 		seq, err = l.wal.Append(events)
 		if err != nil {
@@ -383,6 +399,7 @@ func (l *Log) Append(events []Event) (seq uint64, err error) {
 			l.poison()
 			return seq, err
 		}
+		l.stage.With("wal").Observe(time.Since(walStart).Nanoseconds())
 	}
 
 	l.mu.Lock()
@@ -553,6 +570,7 @@ func (l *Log) CompactNow() int {
 		g = Patch(base, events)
 		l.patchEpochs.Add(1)
 	}
+	l.stage.With("fold").Observe(time.Since(start).Nanoseconds())
 	if g == base {
 		// Every event was structurally a no-op (pure stamp
 		// registrations, removals of absent arcs): the served graph is
@@ -576,7 +594,9 @@ func (l *Log) CompactNow() int {
 	arena := l.arena
 	l.arena = nil
 	l.arenaMu.Unlock()
-	g.EnsureCSR(egraph.CSRBuildOptions{Arena: arena})
+	g.EnsureCSR(egraph.CSRBuildOptions{Arena: arena, OnBuilt: func(d time.Duration) {
+		l.stage.With("csr").Observe(d.Nanoseconds())
+	}})
 	l.lastCSRBuildNS.Store(time.Since(csrStart).Nanoseconds())
 	l.arenaMu.Lock()
 	if l.owned != nil {
@@ -590,7 +610,9 @@ func (l *Log) CompactNow() int {
 	if l.cfg.Analytics != nil {
 		aStart := time.Now()
 		res = l.cfg.Analytics.Apply(base, g, Deltas(events))
-		l.lastAnalyticsNS.Store(time.Since(aStart).Nanoseconds())
+		d := time.Since(aStart)
+		l.lastAnalyticsNS.Store(d.Nanoseconds())
+		l.stage.With("analytics").Observe(d.Nanoseconds())
 	}
 	var rev uint64
 	if ap, ok := l.pub.(AnalyticsPublisher); ok && res != nil {
@@ -600,6 +622,7 @@ func (l *Log) CompactNow() int {
 	}
 	dur := time.Since(start)
 	visible := time.Since(oldest)
+	l.stage.With("visible").Observe(visible.Nanoseconds())
 	l.epochs.Add(1)
 	l.compactedEvents.Add(int64(len(events)))
 	l.lastCompactNS.Store(dur.Nanoseconds())
@@ -668,6 +691,7 @@ func (l *Log) maybeCheckpoint(epochDone, force bool) (int64, error) {
 	l.lastCkptSeq = seq
 	l.checkpoints.Add(1)
 	l.lastCheckpointNS.Store(dur.Nanoseconds())
+	l.stage.With("checkpoint").Observe(dur.Nanoseconds())
 	l.checkpointBytes.Store(n)
 	l.lastCheckpointSeq.Store(seq)
 	l.cfg.Logf("ingest: checkpoint %s: seq %d, %d bytes in %s",

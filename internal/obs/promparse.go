@@ -1,0 +1,447 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseProm is a strict parser for the Prometheus text exposition this
+// package writes. It is deliberately pickier than a scraper needs to
+// be — CI lints every soak generation's /metrics.prom through it — and
+// rejects:
+//
+//   - samples appearing before their family's # TYPE line
+//   - duplicate # TYPE declarations or duplicate series
+//   - unparseable sample lines, label syntax, or values
+//   - histograms with non-monotone cumulative buckets, a missing +Inf
+//     bucket, +Inf != _count, or missing _sum/_count series
+//
+// It returns the families keyed by name.
+func ParseProm(r io.Reader) (map[string]*PromFamily, error) {
+	p := &promParser{
+		families: make(map[string]*PromFamily),
+		seen:     make(map[string]bool),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if err := p.line(strings.TrimRight(sc.Text(), " \t")); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.validateHistograms(); err != nil {
+		return nil, err
+	}
+	return p.families, nil
+}
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+	// Hists holds the validated histogram series groups (reassembled
+	// from _bucket/_sum/_count), sorted by label identity; empty for
+	// non-histogram families.
+	Hists []*PromHist
+}
+
+// PromSample is one parsed series sample. Name is the full series name
+// (including any _bucket/_sum/_count suffix).
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+type promParser struct {
+	families map[string]*PromFamily
+	seen     map[string]bool // series identity -> present
+}
+
+func (p *promParser) line(s string) error {
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, "# HELP ") {
+		rest := s[len("# HELP "):]
+		name, help, _ := strings.Cut(rest, " ")
+		if name == "" {
+			return fmt.Errorf("HELP with no metric name")
+		}
+		f := p.family(name)
+		if f.Help != "" {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		f.Help = help
+		return nil
+	}
+	if strings.HasPrefix(s, "# TYPE ") {
+		fields := strings.Fields(s[len("# TYPE "):])
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed TYPE line %q", s)
+		}
+		name, typ := fields[0], fields[1]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		f := p.family(name)
+		if f.Type != "" {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		f.Type = typ
+		return nil
+	}
+	if strings.HasPrefix(s, "#") {
+		return nil // free-form comment
+	}
+	return p.sample(s)
+}
+
+func (p *promParser) family(name string) *PromFamily {
+	f := p.families[name]
+	if f == nil {
+		f = &PromFamily{Name: name}
+		p.families[name] = f
+	}
+	return f
+}
+
+func (p *promParser) sample(s string) error {
+	name, rest, err := scanName(s)
+	if err != nil {
+		return err
+	}
+	labels := map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		labels, rest, err = scanLabels(rest)
+		if err != nil {
+			return fmt.Errorf("series %s: %w", name, err)
+		}
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	// An optional timestamp may follow the value; we don't emit one, so
+	// reject it to keep the lint strict.
+	if strings.ContainsAny(rest, " \t") {
+		return fmt.Errorf("series %s: trailing fields after value", name)
+	}
+	val, err := parsePromValue(rest)
+	if err != nil {
+		return fmt.Errorf("series %s: bad value %q", name, rest)
+	}
+	famName := name
+	f := p.families[famName]
+	if f == nil || f.Type == "" {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suf); ok {
+				if bf := p.families[base]; bf != nil && bf.Type == "histogram" {
+					famName, f = base, bf
+					break
+				}
+			}
+		}
+	}
+	if f == nil || f.Type == "" {
+		return fmt.Errorf("sample %s before any TYPE declaration", name)
+	}
+	id := seriesID(name, labels)
+	if p.seen[id] {
+		return fmt.Errorf("duplicate series %s", id)
+	}
+	p.seen[id] = true
+	f.Samples = append(f.Samples, PromSample{Name: name, Labels: labels, Value: val})
+	return nil
+}
+
+func scanName(s string) (name, rest string, err error) {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c == '{' || c == ' ' || c == '\t' {
+			break
+		}
+		if !(c == '_' || c == ':' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			i > 0 && c >= '0' && c <= '9') {
+			return "", "", fmt.Errorf("invalid metric name in %q", s)
+		}
+		i++
+	}
+	if i == 0 {
+		return "", "", fmt.Errorf("empty metric name in %q", s)
+	}
+	return s[:i], s[i:], nil
+}
+
+func scanLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	s = s[1:] // consume {
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label pair near %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s value not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if len(s) == 0 {
+				return nil, "", fmt.Errorf("unterminated label value for %s", key)
+			}
+			c := s[0]
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\\' {
+				if len(s) < 2 {
+					return nil, "", fmt.Errorf("dangling escape in label %s", key)
+				}
+				switch s[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %s", s[1], key)
+				}
+				s = s[2:]
+				continue
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		if _, dup := labels[key]; dup {
+			return nil, "", fmt.Errorf("duplicate label %s", key)
+		}
+		labels[key] = val.String()
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		} else if !strings.HasPrefix(s, "}") {
+			return nil, "", fmt.Errorf("expected , or } near %q", s)
+		}
+	}
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func seriesID(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString("=\"")
+		b.WriteString(labels[k])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// validateHistograms checks every histogram family's series set:
+// per label combination (excluding le) the buckets must be cumulative
+// and monotone, end in +Inf, match _count, and carry a _sum.
+func (p *promParser) validateHistograms() error {
+	for name, f := range p.families {
+		if f.Type != "histogram" {
+			continue
+		}
+		groups := map[string]*PromHist{}
+		sums := map[string]float64{}
+		counts := map[string]float64{}
+		hasSum := map[string]bool{}
+		hasCount := map[string]bool{}
+		for _, s := range f.Samples {
+			base := strings.TrimPrefix(s.Name, name)
+			key := seriesID("", withoutLE(s.Labels))
+			switch base {
+			case "_bucket":
+				le, ok := s.Labels["le"]
+				if !ok {
+					return fmt.Errorf("%s_bucket series without le label", name)
+				}
+				bound, err := parsePromValue(le)
+				if err != nil {
+					return fmt.Errorf("%s_bucket: bad le %q", name, le)
+				}
+				g := groups[key]
+				if g == nil {
+					g = &PromHist{Labels: withoutLE(s.Labels)}
+					groups[key] = g
+				}
+				g.Bounds = append(g.Bounds, bound)
+				g.Cumulative = append(g.Cumulative, s.Value)
+			case "_sum":
+				sums[key], hasSum[key] = s.Value, true
+			case "_count":
+				counts[key], hasCount[key] = s.Value, true
+			case "":
+				return fmt.Errorf("histogram %s has a bare sample", name)
+			}
+		}
+		for key, g := range groups {
+			if !hasSum[key] || !hasCount[key] {
+				return fmt.Errorf("histogram %s%s missing _sum or _count", name, key)
+			}
+			g.Sum, g.Count = sums[key], counts[key]
+			// Bounds must already be ascending as emitted; sort defends
+			// against scrapes that reorder, then recheck cumulativity.
+			sort.Sort(byBound{g})
+			last := math.Inf(-1)
+			prev := -1.0
+			for i, b := range g.Bounds {
+				if b <= last {
+					return fmt.Errorf("histogram %s%s: duplicate le %v", name, key, b)
+				}
+				last = b
+				if g.Cumulative[i] < prev {
+					return fmt.Errorf("histogram %s%s: non-monotone buckets", name, key)
+				}
+				prev = g.Cumulative[i]
+			}
+			if len(g.Bounds) == 0 || !math.IsInf(g.Bounds[len(g.Bounds)-1], 1) {
+				return fmt.Errorf("histogram %s%s: missing +Inf bucket", name, key)
+			}
+			if inf := g.Cumulative[len(g.Cumulative)-1]; inf != g.Count {
+				return fmt.Errorf("histogram %s%s: +Inf bucket %v != count %v", name, key, inf, g.Count)
+			}
+			f.Hists = append(f.Hists, g)
+		}
+		sort.Slice(f.Hists, func(i, j int) bool {
+			return seriesID("", f.Hists[i].Labels) < seriesID("", f.Hists[j].Labels)
+		})
+	}
+	return nil
+}
+
+func withoutLE(labels map[string]string) map[string]string {
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// PromHist is one validated histogram series group reassembled from
+// _bucket/_sum/_count samples.
+type PromHist struct {
+	Labels     map[string]string
+	Bounds     []float64 // ascending, last is +Inf
+	Cumulative []float64
+	Sum        float64
+	Count      float64
+}
+
+type byBound struct{ h *PromHist }
+
+func (b byBound) Len() int           { return len(b.h.Bounds) }
+func (b byBound) Less(i, j int) bool { return b.h.Bounds[i] < b.h.Bounds[j] }
+func (b byBound) Swap(i, j int) {
+	b.h.Bounds[i], b.h.Bounds[j] = b.h.Bounds[j], b.h.Bounds[i]
+	b.h.Cumulative[i], b.h.Cumulative[j] = b.h.Cumulative[j], b.h.Cumulative[i]
+}
+
+// Hists on a PromFamily is populated for histogram families after
+// validation.
+//
+// Find returns the series group whose labels include every key/value
+// in match, or nil.
+func (f *PromFamily) Find(match map[string]string) *PromHist {
+	for _, h := range f.Hists {
+		ok := true
+		for k, v := range match {
+			if h.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return h
+		}
+	}
+	return nil
+}
+
+// Quantile computes the q-th quantile from the cumulative buckets in
+// the unit of the bounds (seconds for this repo's histograms), with
+// linear interpolation inside the crossing bucket.
+func (h *PromHist) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * h.Count
+	prevCum, prevBound := 0.0, 0.0
+	for i, cum := range h.Cumulative {
+		if cum >= rank && cum > prevCum {
+			hi := h.Bounds[i]
+			if math.IsInf(hi, 1) {
+				// Interpolating into +Inf is meaningless; report the
+				// last finite bound (or mean if there is none).
+				if i > 0 {
+					return h.Bounds[i-1]
+				}
+				return h.Sum / h.Count
+			}
+			frac := (rank - prevCum) / (cum - prevCum)
+			return prevBound + frac*(hi-prevBound)
+		}
+		prevCum = cum
+		if !math.IsInf(h.Bounds[i], 1) {
+			prevBound = h.Bounds[i]
+		}
+	}
+	return prevBound
+}

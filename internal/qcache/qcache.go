@@ -41,6 +41,12 @@ const (
 	// Collapsed: an identical computation was in flight; this call
 	// waited for it and shares its result.
 	Collapsed
+	// Carried: the value was cached, and got there via CarryOver from
+	// an earlier revision rather than a compute at this one — the
+	// incremental maintainer proved the answer unchanged across the
+	// swap. Operationally a hit; reported distinctly so the carry-over
+	// machinery's contribution is visible in latency histograms.
+	Carried
 )
 
 // String returns the wire name used in X-Cache headers and load
@@ -51,6 +57,8 @@ func (o Outcome) String() string {
 		return "hit"
 	case Collapsed:
 		return "collapsed"
+	case Carried:
+		return "carried"
 	default:
 		return "miss"
 	}
@@ -72,10 +80,12 @@ type Cache struct {
 	seed    maphash.Seed
 	version atomic.Uint64
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	collapsed atomic.Int64
-	evictions atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	collapsed   atomic.Int64
+	evictions   atomic.Int64
+	carriedIn   atomic.Int64
+	carriedHits atomic.Int64
 }
 
 type shard struct {
@@ -89,6 +99,9 @@ type shard struct {
 type entry struct {
 	key string
 	val interface{}
+	// carried marks a value reinserted by CarryOver; a fresh compute
+	// for the same key clears it.
+	carried bool
 }
 
 type call struct {
@@ -154,9 +167,15 @@ func (c *Cache) DoAt(version uint64, key string, compute func() (interface{}, er
 	s.mu.Lock()
 	if el, ok := s.entries[vkey]; ok {
 		s.lru.MoveToFront(el)
+		e := el.Value.(*entry)
+		v, carried := e.val, e.carried
 		s.mu.Unlock()
 		c.hits.Add(1)
-		return el.Value.(*entry).val, Hit, nil
+		if carried {
+			c.carriedHits.Add(1)
+			return v, Carried, nil
+		}
+		return v, Hit, nil
 	}
 	if cl, ok := s.flight[vkey]; ok {
 		s.mu.Unlock()
@@ -188,7 +207,7 @@ func (c *Cache) DoAt(version uint64, key string, compute func() (interface{}, er
 	s.mu.Lock()
 	delete(s.flight, vkey)
 	if cl.err == nil {
-		s.insert(vkey, cl.val, &c.evictions)
+		s.insert(vkey, cl.val, false, &c.evictions)
 	}
 	s.mu.Unlock()
 	cl.wg.Done()
@@ -197,13 +216,15 @@ func (c *Cache) DoAt(version uint64, key string, compute func() (interface{}, er
 
 // insert adds a key to the shard's LRU, evicting from the back past
 // capacity. Caller holds s.mu.
-func (s *shard) insert(key string, val interface{}, evictions *atomic.Int64) {
+func (s *shard) insert(key string, val interface{}, carried bool, evictions *atomic.Int64) {
 	if el, ok := s.entries[key]; ok { // lost a bump race; refresh
-		el.Value.(*entry).val = val
+		e := el.Value.(*entry)
+		e.val = val
+		e.carried = carried
 		s.lru.MoveToFront(el)
 		return
 	}
-	s.entries[key] = s.lru.PushFront(&entry{key: key, val: val})
+	s.entries[key] = s.lru.PushFront(&entry{key: key, val: val, carried: carried})
 	for s.lru.Len() > s.cap {
 		back := s.lru.Back()
 		s.lru.Remove(back)
@@ -256,20 +277,25 @@ func (c *Cache) CarryOver(from, to uint64, keep func(key string) bool) int {
 		vkey := versionedKey(to, e.key)
 		s := &c.shards[c.shardOf(vkey)]
 		s.mu.Lock()
-		s.insert(vkey, e.val, &c.evictions)
+		s.insert(vkey, e.val, true, &c.evictions)
 		s.mu.Unlock()
 	}
+	c.carriedIn.Add(int64(len(carry)))
 	return len(carry)
 }
 
-// Stats is a point-in-time counter snapshot.
+// Stats is a point-in-time counter snapshot. CarriedHits is the subset
+// of Hits served from a carried-over entry; CarriedIn counts entries
+// reinserted by CarryOver across all swaps.
 type Stats struct {
-	Hits      int64  `json:"hits"`
-	Misses    int64  `json:"misses"`
-	Collapsed int64  `json:"collapsed"`
-	Evictions int64  `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Version   uint64 `json:"version"`
+	Hits        int64  `json:"hits"`
+	Misses      int64  `json:"misses"`
+	Collapsed   int64  `json:"collapsed"`
+	Evictions   int64  `json:"evictions"`
+	CarriedIn   int64  `json:"carriedIn"`
+	CarriedHits int64  `json:"carriedHits"`
+	Entries     int    `json:"entries"`
+	Version     uint64 `json:"version"`
 }
 
 // HitRate is the fraction of Do calls that avoided a computation —
@@ -286,11 +312,13 @@ func (s Stats) HitRate() float64 {
 // including not-yet-evicted entries from older revisions.
 func (c *Cache) Stats() Stats {
 	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Collapsed: c.collapsed.Load(),
-		Evictions: c.evictions.Load(),
-		Version:   c.version.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Collapsed:   c.collapsed.Load(),
+		Evictions:   c.evictions.Load(),
+		CarriedIn:   c.carriedIn.Load(),
+		CarriedHits: c.carriedHits.Load(),
+		Version:     c.version.Load(),
 	}
 	for i := range c.shards {
 		s := &c.shards[i]

@@ -71,10 +71,18 @@ func TestCarryOver(t *testing.T) {
 	if n := c.CarryOver(from, to, func(key string) bool { return key == "keep-me" }); n != 1 {
 		t.Fatalf("CarryOver = %d, want 1", n)
 	}
-	// The kept key hits at the new version with the carried value.
+	// The kept key hits at the new version with the carried value,
+	// reported as Carried so the serve layer can label it.
 	got, outcome, _ := c.Do("keep-me", func() (interface{}, error) { return "recomputed", nil })
-	if outcome != Hit || got != "old" {
-		t.Fatalf("kept key: outcome %v value %v, want Hit old", outcome, got)
+	if outcome != Carried || got != "old" {
+		t.Fatalf("kept key: outcome %v value %v, want Carried old", outcome, got)
+	}
+	st := c.Stats()
+	if st.CarriedIn != 1 || st.CarriedHits != 1 {
+		t.Fatalf("carried counters = %d/%d, want 1/1", st.CarriedIn, st.CarriedHits)
+	}
+	if st.HitRate() < 0.3 {
+		t.Fatalf("carried hit not counted in hit rate: %v", st.HitRate())
 	}
 	// The dropped key recomputes.
 	if out := mustDo(t, c, "drop-me", "fresh"); out != Miss {
@@ -234,7 +242,7 @@ func TestShardedConcurrentUse(t *testing.T) {
 }
 
 func TestOutcomeString(t *testing.T) {
-	for out, want := range map[Outcome]string{Miss: "miss", Hit: "hit", Collapsed: "collapsed"} {
+	for out, want := range map[Outcome]string{Miss: "miss", Hit: "hit", Collapsed: "collapsed", Carried: "carried"} {
 		if out.String() != want {
 			t.Fatalf("%d.String() = %q, want %q", out, out.String(), want)
 		}

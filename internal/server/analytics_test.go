@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/egraph"
 	"repro/internal/gen"
+	"repro/internal/qcache"
 )
 
 // doGet issues one request against h and returns the recorder.
@@ -362,12 +363,14 @@ func TestReplaceGraphDoesNotCacheStaleCompute(t *testing.T) {
 	srv.ReplaceGraph(egraph.IntroGameGraph(false))
 
 	// The old-generation request computes after the swap.
-	rec := httptest.NewRecorder()
-	srv.cached(rec, p, "components/weak?mode=allpairs&limit=100", func() (interface{}, error) {
+	_, outcome, err := srv.runCached(p, "components/weak?mode=allpairs&limit=100", func() (interface{}, error) {
 		return "old-graph-answer", nil
 	})
-	if got := rec.Header().Get("X-Cache"); got != "miss" {
-		t.Fatalf("old-generation compute X-Cache = %q, want miss", got)
+	if err != nil {
+		t.Fatalf("old-generation compute: %v", err)
+	}
+	if outcome != qcache.Miss {
+		t.Fatalf("old-generation compute outcome = %v, want miss", outcome)
 	}
 
 	// A post-swap request for the same endpoint must miss and compute

@@ -22,8 +22,13 @@ const maxIngestEvents = 1 << 16
 // /ingest/stats and /metrics report its counters, and l's compactor
 // publishes fresh snapshots through ReplaceGraph. Attach before
 // serving traffic; the Log must treat this server as its only
-// Publisher.
-func (s *Server) AttachIngest(l *ingest.Log) { s.ing.Store(l) }
+// Publisher. The first attach also registers the ingest metric
+// families; their closures re-read s.ing on every scrape, so tests
+// that swap Logs keep truthful counters.
+func (s *Server) AttachIngest(l *ingest.Log) {
+	s.ing.Store(l)
+	s.ingestObsOne.Do(s.registerIngestObs)
+}
 
 // Ingest returns the attached write path, or nil for a read-only
 // server.

@@ -73,7 +73,11 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Stats()
 	resp := MetricsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		GraphRevision: st.Version,
+		// The served snapshot's revision, same source as /healthz and
+		// /readyz. The cache's st.Version lags it between ReplaceGraph
+		// and the first cached request at the new revision, so it is
+		// not a truthful "what am I serving" answer.
+		GraphRevision: s.snap.Load().rev,
 		Requests:      reqs,
 		ResponsesByClass: map[string]int64{
 			"2xx": s.class2xx.Load(),

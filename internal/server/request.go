@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"strconv"
+
+	"repro/internal/obs"
 )
 
 // This file is the transport-neutral request-decoding layer: every
@@ -31,14 +34,61 @@ var cachedDecoders = map[string]decoder{
 	"katz":              decodeKatz,
 }
 
-// serveCached is the HTTP face of one cacheable endpoint.
+// serveCached is the HTTP face of one cacheable endpoint. A request
+// carrying an X-Trace header (any value) forces a trace; otherwise the
+// tracer's sampler decides. Traced requests record decode → cache →
+// compute → encode spans into the /debug/traces ring; untraced ones
+// pay only a handful of nil-receiver calls.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string) {
+	tr := s.tracer.Start(r.Header.Get("X-Trace") != "")
+	root := tr.Span("serve", obs.RootSpan)
+	root.Attr("endpoint", endpoint)
+	root.Attr("transport", "http")
+
+	dec := tr.Span("decode", root)
 	p := s.params(r)
 	key, compute := cachedDecoders[endpoint](s, p)
+	dec.End()
 	if !s.okParams(w, p) {
+		root.End()
+		tr.Finish()
 		return
 	}
-	s.cached(w, p, key, compute)
+	dec.Attr("key", key)
+	root.Attr("revision", strconv.FormatUint(p.rev, 10))
+
+	cacheSp := tr.Span("cache", root)
+	val, outcome, err := s.runCached(p, key, traceCompute(tr, cacheSp, compute))
+	cacheSp.Attr("outcome", outcome.String())
+	cacheSp.End()
+
+	w.Header().Set("X-Cache", outcome.String())
+	// The revision the answer belongs to: responses carrying the same
+	// value are computed from the same graph snapshot, which is what
+	// the read-during-swap consistency harness asserts on.
+	w.Header().Set("X-Graph-Revision", strconv.FormatUint(p.rev, 10))
+	if err != nil {
+		s.writeError(w, errStatus(err), err.Error())
+		root.End()
+		tr.Finish()
+		return
+	}
+	enc := tr.Span("encode", root)
+	s.writeJSON(w, http.StatusOK, val)
+	enc.End()
+	root.End()
+	tr.Finish()
+}
+
+// traceCompute wraps a compute closure in a "compute" span under
+// parent. With a nil trace the span calls are no-ops, so the wrapper
+// costs one closure per cache miss.
+func traceCompute(tr *obs.Trace, parent obs.SpanRef, compute func() (interface{}, error)) func() (interface{}, error) {
+	return func() (interface{}, error) {
+		sp := tr.Span("compute", parent)
+		defer sp.End()
+		return compute()
+	}
 }
 
 // decodeCached is the wire face: the same decoders over the same

@@ -50,7 +50,6 @@ import (
 	"log"
 	"net/http"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -60,6 +59,7 @@ import (
 	"repro/internal/feed"
 	"repro/internal/inc"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/wire"
 )
@@ -84,6 +84,14 @@ type Config struct {
 	Workers int
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...interface{})
+	// Registry receives the server's metric families (default: a fresh
+	// obs.NewRegistry with runtime gauges). Share one registry between
+	// the server and its ingest pipeline so a single /metrics.prom
+	// scrape covers the whole process.
+	Registry *obs.Registry
+	// Trace tunes the span recorder behind /debug/traces; zero values
+	// take obs defaults (sample 1/64, 250ms slow threshold).
+	Trace obs.TracerOptions
 }
 
 // graphSnap pairs the served graph with the cache revision it belongs
@@ -153,6 +161,16 @@ type Server struct {
 	wireQueries atomic.Int64
 	wireIngest  atomic.Int64
 	wireEvents  atomic.Int64
+
+	// Observability (internal/obs, DESIGN.md §16): the metric registry
+	// rendering /metrics.prom, the serve-latency histogram family
+	// (endpoint × cache outcome × transport), the feed delivery-lag
+	// histogram, and the trace recorder behind /debug/traces.
+	reg          *obs.Registry
+	serveLat     *obs.HistogramVec
+	feedLag      *obs.Histogram
+	tracer       *obs.Tracer
+	ingestObsOne sync.Once
 }
 
 // era is the pin domain of one graph generation: every in-flight
@@ -180,6 +198,10 @@ func New(g *egraph.IntEvolvingGraph, cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    qcache.New(qcache.Options{Capacity: cfg.CacheCapacity, Shards: cfg.CacheShards}),
@@ -187,10 +209,13 @@ func New(g *egraph.IntEvolvingGraph, cfg Config) *Server {
 		start:    time.Now(),
 		gate:     make(chan struct{}, cfg.MaxInFlight),
 		requests: make(map[string]*atomic.Int64),
+		reg:      reg,
+		tracer:   obs.NewTracer(cfg.Trace),
 	}
 	s.snap.Store(&graphSnap{g: g})
 	s.curEra.Store(&era{})
 	s.hub = feed.NewHub(feed.Options{})
+	s.registerObs()
 	for _, ep := range []struct {
 		path string
 		h    http.HandlerFunc
@@ -212,7 +237,10 @@ func New(g *egraph.IntEvolvingGraph, cfg Config) *Server {
 		{"/ingest/stats", s.ingestStats},
 		{"/ingest/checkpoint", s.ingestCheckpoint},
 		{"/healthz", s.healthz},
+		{"/readyz", s.readyz},
 		{"/metrics", s.metrics},
+		{"/metrics.prom", s.metricsProm},
+		{"/debug/traces", s.debugTraces},
 	} {
 		s.mux.HandleFunc(ep.path, ep.h)
 		s.requests[ep.path] = new(atomic.Int64)
@@ -231,14 +259,20 @@ func New(g *egraph.IntEvolvingGraph, cfg Config) *Server {
 func Handler(g *egraph.IntEvolvingGraph) http.Handler { return New(g, Config{}) }
 
 // ServeHTTP dispatches to the endpoint handlers, counting requests per
-// endpoint and responses per status class for /metrics. Every request
-// pins the current era for its whole lifetime, so any graph snapshot
-// it captures stays provably reachable until it returns.
+// endpoint and responses per status class for /metrics, and recording
+// serve latency into the endpoint × outcome × transport histogram.
+// Every request pins the current era for its whole lifetime, so any
+// graph snapshot it captures stays provably reachable until it
+// returns.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	e := s.pinEra()
 	defer s.unpinEra(e)
-	if c, ok := s.requests[r.URL.Path]; ok {
+	endpoint := r.URL.Path
+	if c, ok := s.requests[endpoint]; ok {
 		c.Add(1)
+	} else {
+		endpoint = "other" // unknown paths share one label, bounding cardinality
 	}
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	s.mux.ServeHTTP(rec, r)
@@ -250,6 +284,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.class2xx.Add(1)
 	}
+	outcome := rec.Header().Get("X-Cache")
+	if outcome == "" {
+		outcome = "none" // uncached endpoint
+	}
+	s.serveLat.With(endpoint, outcome, "http").Observe(time.Since(start).Nanoseconds())
 }
 
 // Graph returns the currently served graph snapshot — the read side of
@@ -471,22 +510,6 @@ func (s *Server) runCached(p *params, key string, compute func() (interface{}, e
 		}()
 		return compute()
 	})
-}
-
-// cached is runCached's HTTP face: the outcome surfaces in the X-Cache
-// header, the snapshot revision in X-Graph-Revision.
-func (s *Server) cached(w http.ResponseWriter, p *params, key string, compute func() (interface{}, error)) {
-	val, outcome, err := s.runCached(p, key, compute)
-	w.Header().Set("X-Cache", outcome.String())
-	// The revision the answer belongs to: responses carrying the same
-	// value are computed from the same graph snapshot, which is what
-	// the read-during-swap consistency harness asserts on.
-	w.Header().Set("X-Graph-Revision", strconv.FormatUint(p.rev, 10))
-	if err != nil {
-		s.writeError(w, errStatus(err), err.Error())
-		return
-	}
-	s.writeJSON(w, http.StatusOK, val)
 }
 
 // statusRecorder captures the response status for the class counters.

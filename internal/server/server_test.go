@@ -278,11 +278,11 @@ func TestMaintainedCarryOverAcrossSwap(t *testing.T) {
 	// closeness entry rooted at node 0 must survive the revision bump;
 	// the entry rooted in the touched component must not.
 	g = swap(t, s, m, g, []egraph.ArcDelta{{U: 3, V: 2, T: 10, W: 1}})
-	if got := xCache(t, s, "/components/weak"); got != "hit" {
-		t.Fatalf("partition-preserving swap: /components/weak X-Cache = %q, want hit", got)
+	if got := xCache(t, s, "/components/weak"); got != "carried" {
+		t.Fatalf("partition-preserving swap: /components/weak X-Cache = %q, want carried", got)
 	}
-	if got := xCache(t, s, "/closeness?node=0&stamp=0"); got != "hit" {
-		t.Fatalf("untouched component: closeness X-Cache = %q, want carried hit", got)
+	if got := xCache(t, s, "/closeness?node=0&stamp=0"); got != "carried" {
+		t.Fatalf("untouched component: closeness X-Cache = %q, want carried", got)
 	}
 	if got := xCache(t, s, "/closeness?node=2&stamp=0"); got != "miss" {
 		t.Fatalf("touched component: closeness X-Cache = %q, want miss", got)
@@ -297,8 +297,8 @@ func TestMaintainedCarryOverAcrossSwap(t *testing.T) {
 	if got := xCache(t, s, "/closeness?node=0&stamp=0"); got != "miss" {
 		t.Fatalf("touched component after epoch 2: X-Cache = %q, want miss", got)
 	}
-	if got := xCache(t, s, "/closeness?node=2&stamp=0"); got != "hit" {
-		t.Fatalf("untouched component after epoch 2: X-Cache = %q, want hit", got)
+	if got := xCache(t, s, "/closeness?node=2&stamp=0"); got != "carried" {
+		t.Fatalf("untouched component after epoch 2: X-Cache = %q, want carried", got)
 	}
 
 	// Epoch 3: merge the components. The partition changes, so nothing

@@ -243,8 +243,8 @@ func TestWireQueryAcrossSwap(t *testing.T) {
 	if !reflect.DeepEqual(b2, b3) {
 		t.Fatalf("post-swap transports disagree:\n wire: %#v\n http: %#v", b2, b3)
 	}
-	if m3.Cache != "hit" {
-		t.Fatalf("HTTP after wire recompute: X-Cache = %q, want hit", m3.Cache)
+	if m3.Cache != "carried" {
+		t.Fatalf("HTTP read of a carried-over entry: X-Cache = %q, want carried", m3.Cache)
 	}
 }
 

@@ -8,9 +8,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/feed"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/wire"
 )
@@ -110,10 +113,10 @@ func (s *Server) serveWireConn(conn net.Conn) {
 			}
 			s.wireQueries.Add(1)
 			wg.Add(1)
-			go func(id uint32) {
+			go func(id uint32, forced bool) {
 				defer wg.Done()
-				send(s.wireQuery(id, endpoint, q))
-			}(frame.ID)
+				send(s.wireQuery(id, endpoint, q, forced))
+			}(frame.ID, frame.Flags&wire.FlagTrace != 0)
 		case wire.TIngest:
 			// Ingest stays on the reader goroutine: batches from one
 			// connection must reach the WAL in the order they were sent.
@@ -161,6 +164,11 @@ func (s *Server) serveWireConn(conn net.Conn) {
 						return
 					}
 					s.wireEvents.Add(1)
+					if !ev.At.IsZero() {
+						// Publish-to-handoff delivery lag; gap events
+						// carry no source epoch and are skipped.
+						s.feedLag.Observe(time.Since(ev.At).Nanoseconds())
+					}
 				}
 			}(frame.ID)
 		default:
@@ -199,12 +207,29 @@ func (s *Server) wireWriter(ctx context.Context, cancel context.CancelFunc, conn
 }
 
 // wireQuery answers one TQuery: same decoders, same cache, same gate
-// as the HTTP path. The request pins the current era exactly like
-// ServeHTTP does, so graph snapshots it captures stay reachable.
-func (s *Server) wireQuery(id uint32, endpoint string, q map[string][]string) outFrame {
+// as the HTTP path, the same serve-latency histogram (transport
+// "wire") and the same trace spans — forced here by the FlagTrace bit
+// instead of an X-Trace header. The request pins the current era
+// exactly like ServeHTTP does, so graph snapshots it captures stay
+// reachable.
+func (s *Server) wireQuery(id uint32, endpoint string, q map[string][]string, forced bool) outFrame {
+	start := time.Now()
+	outcomeLabel := "error"
+	defer func() {
+		s.serveLat.With("/"+endpoint, outcomeLabel, "wire").Observe(time.Since(start).Nanoseconds())
+	}()
 	e := s.pinEra()
 	defer s.unpinEra(e)
+	tr := s.tracer.Start(forced)
+	defer tr.Finish()
+	root := tr.Span("serve", obs.RootSpan)
+	defer root.End()
+	root.Attr("endpoint", endpoint)
+	root.Attr("transport", "wire")
+
+	dec := tr.Span("decode", root)
 	p, key, compute, err := s.decodeCached(endpoint, q)
+	dec.End()
 	if err != nil {
 		status := http.StatusBadRequest
 		if _, known := cachedDecoders[endpoint]; !known {
@@ -212,12 +237,23 @@ func (s *Server) wireQuery(id uint32, endpoint string, q map[string][]string) ou
 		}
 		return s.wireError(id, status, err.Error())
 	}
-	val, outcome, err := s.runCached(p, key, compute)
+	dec.Attr("key", key)
+	root.Attr("revision", strconv.FormatUint(p.rev, 10))
+
+	cacheSp := tr.Span("cache", root)
+	val, outcome, err := s.runCached(p, key, traceCompute(tr, cacheSp, compute))
+	cacheSp.Attr("outcome", outcome.String())
+	cacheSp.End()
 	if err != nil {
 		return s.wireError(id, errStatus(err), err.Error())
 	}
+	outcomeLabel = outcome.String()
+
+	enc := tr.Span("encode", root)
 	body, err := json.Marshal(val)
+	enc.End()
 	if err != nil {
+		outcomeLabel = "error"
 		return s.wireError(id, http.StatusInternalServerError, err.Error())
 	}
 	return outFrame{
@@ -247,6 +283,8 @@ func cacheFlag(o qcache.Outcome) uint8 {
 		return wire.CacheHit
 	case qcache.Collapsed:
 		return wire.CacheCollapsed
+	case qcache.Carried:
+		return wire.CacheCarried
 	default:
 		return wire.CacheMiss
 	}

@@ -84,25 +84,34 @@ const (
 )
 
 // Cache outcomes carried in an RResult's flags byte (the binary form
-// of the X-Cache header).
+// of the X-Cache header). Three bits: values 5–7 are reserved.
 const (
 	CacheMiss      = 0
 	CacheHit       = 1
 	CacheCollapsed = 2
 	CacheNone      = 3 // uncached endpoint
+	CacheCarried   = 4 // carried across a revision swap by inc maintenance
 )
+
+// FlagTrace on a TQuery requests a forced trace for that query — the
+// binary twin of the HTTP X-Trace header. The server records the
+// query's span tree into its /debug/traces ring regardless of
+// sampling.
+const FlagTrace = 0x80
 
 // CacheName returns the X-Cache wire name of an RResult flags value
 // ("" for CacheNone, matching the absent header on uncached HTTP
 // endpoints).
 func CacheName(flags uint8) string {
-	switch flags & 0x3 {
+	switch flags & 0x7 {
 	case CacheHit:
 		return "hit"
 	case CacheCollapsed:
 		return "collapsed"
 	case CacheNone:
 		return ""
+	case CacheCarried:
+		return "carried"
 	default:
 		return "miss"
 	}
