@@ -1,0 +1,600 @@
+// Chaos soak (-chaos): self-serve a fully armed server — WAL, compactor,
+// checkpoints, HTTP, wire feed — with a fault-injection scenario wired
+// into every layer, hammer it with concurrent reads, writes and a
+// reconnecting feed subscriber for -duration, then prove four
+// invariants over the wreckage:
+//
+//  1. no wrong answers: every read either succeeds with a decodable
+//     body or is refused with a retriable rejection — and, when the
+//     write path survived, the served graph answers byte-identically
+//     to a fault-free oracle recovered from the WAL;
+//  2. byte-identical recovery: recovering twice — full replay vs
+//     checkpoint + tail — yields checkpoint-encoding-identical graphs;
+//  3. feed continuity: delivered revisions are strictly increasing
+//     across every reconnect, with gaps declared, never silent;
+//  4. no goroutine leaks: after the load drains and every client
+//     vanishes, the process is back to its pre-load goroutine count.
+//
+// The run emits a JSON artifact (scenario, per-site fired counts from
+// the injector, request/error tallies, one verdict per invariant) and
+// exits non-zero if any invariant fails — this is the command the CI
+// chaos matrix drives once per named scenario.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	evolving "repro"
+	"repro/egclient"
+	"repro/internal/egio"
+	"repro/internal/egraph"
+	"repro/internal/fault"
+	"repro/internal/ingest"
+	"repro/internal/server"
+)
+
+type chaosOptions struct {
+	Scenario    string
+	Out         string // JSON artifact path ("" = stdout)
+	Duration    time.Duration
+	Seed        int64
+	Nodes       int
+	Stamps      int
+	Edges       int
+	Concurrency int
+}
+
+type chaosInvariant struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+type chaosReadStats struct {
+	OK          int64 `json:"ok"`
+	Stale       int64 `json:"stale"`
+	Unavailable int64 `json:"unavailable"` // 429/503 after client retries
+	CircuitOpen int64 `json:"circuitOpen"`
+	Timeout     int64 `json:"timeout"`
+	Transport   int64 `json:"transport"`
+	Wrong       int64 `json:"wrong"` // 4xx or undecodable body: invariant violations
+}
+
+type chaosWriteStats struct {
+	Acked       int64 `json:"acked"`
+	AckedEvents int64 `json:"ackedEvents"`
+	Rejected    int64 `json:"rejected"` // 429/503 after client retries
+	CircuitOpen int64 `json:"circuitOpen"`
+	Timeout     int64 `json:"timeout"`
+	Transport   int64 `json:"transport"`
+	Wrong       int64 `json:"wrong"`
+}
+
+type chaosFeedStats struct {
+	Events      int64  `json:"events"`
+	Gaps        int64  `json:"gaps"`
+	MaxRevision uint64 `json:"maxRevision"`
+	NonMonotone int64  `json:"nonMonotone"`
+}
+
+type chaosReport struct {
+	Scenario      string           `json:"scenario"`
+	DSL           string           `json:"dsl"`
+	Seed          int64            `json:"seed"`
+	DurationMs    int64            `json:"durationMs"`
+	Reads         chaosReadStats   `json:"reads"`
+	Writes        chaosWriteStats  `json:"writes"`
+	Feed          chaosFeedStats   `json:"feed"`
+	FaultsFired   map[string]int64 `json:"faultsFired"`
+	Degraded      bool             `json:"degraded"`
+	DegradedCause string           `json:"degradedCause,omitempty"`
+	Invariants    []chaosInvariant `json:"invariants"`
+	Pass          bool             `json:"pass"`
+}
+
+// chaosSweep is the endpoint set the oracle comparison replays on both
+// servers. Parameter-deterministic, read-only, cheap enough to run on
+// the self-serve graph.
+var chaosSweep = []string{
+	"/katz?top=8",
+	"/components/weak",
+	"/components/sizes?stamp=0",
+	"/closeness?node=0&stamp=0",
+	"/closeness?node=1&stamp=0",
+}
+
+func runChaos(o chaosOptions) error {
+	text := fault.Named(o.Scenario)
+	if text == "" {
+		if strings.ContainsAny(o.Scenario, " \n=") {
+			text = o.Scenario // inline DSL
+		} else {
+			return fmt.Errorf("unknown scenario %q (named: %s; or pass inline fault DSL)",
+				o.Scenario, strings.Join(fault.Names(), ", "))
+		}
+	}
+	sc, err := fault.Parse(text)
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", o.Scenario, err)
+	}
+	inj := fault.New(sc)
+
+	dir, err := os.MkdirTemp("", "egload-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	walPath := filepath.Join(dir, "wal.log")
+	ckptPath := filepath.Join(dir, "graph.ckpt")
+	quiet := func(string, ...interface{}) {}
+
+	baseCfg := evolving.RandomConfig{
+		Nodes: o.Nodes, Stamps: o.Stamps, Edges: o.Edges, Directed: true, Seed: o.Seed,
+	}
+	wal, _, err := ingest.OpenWAL(walPath, ingest.WALOptions{Policy: ingest.SyncAlways, Faults: inj})
+	if err != nil {
+		return fmt.Errorf("open WAL: %w", err)
+	}
+	srv := server.New(evolving.Random(baseCfg), server.Config{
+		Faults:     inj,
+		ServeStale: true,
+		Logf:       quiet,
+	})
+	lg, err := ingest.New(srv, ingest.Config{
+		WAL:                wal,
+		CompactEvery:       64,
+		CompactInterval:    25 * time.Millisecond,
+		CheckpointPath:     ckptPath,
+		CheckpointEvery:    2,
+		CheckpointInterval: 50 * time.Millisecond,
+		Faults:             inj,
+		Registry:           srv.Registry(),
+		Logf:               quiet,
+	})
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	srv.AttachIngest(lg)
+
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go http.Serve(httpLn, srv) //nolint:errcheck // torn down with the process
+	go srv.ServeWire(wireLn)   //nolint:errcheck
+	baseURL := "http://" + httpLn.Addr().String()
+	wireAddr := wireLn.Addr().String()
+	fmt.Printf("chaos %s: %s (wire %s), WAL %s\n", o.Scenario, baseURL, wireAddr, walPath)
+
+	// Pre-load goroutine baseline: listeners, compactor and checkpoint
+	// timer are already running; everything the load adds must be gone
+	// after the drain. Keep-alives are off so HTTP connections die with
+	// their requests instead of idling in a pool.
+	transport := &http.Transport{DisableKeepAlives: true}
+	httpClient := &http.Client{Timeout: 10 * time.Second, Transport: transport}
+	warm, err := httpClient.Get(baseURL + "/readyz")
+	if err != nil {
+		return fmt.Errorf("readiness probe: %w", err)
+	}
+	warm.Body.Close()
+	time.Sleep(100 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	rep := &chaosReport{Scenario: o.Scenario, DSL: text, Seed: o.Seed, DurationMs: o.Duration.Milliseconds()}
+	var reads chaosReadStats
+	var writes chaosWriteStats
+	var feedStats chaosFeedStats
+
+	lctx, lcancel := context.WithTimeout(context.Background(), o.Duration)
+	policy := egclient.RetryPolicy{
+		MaxAttempts:      3,
+		BaseBackoff:      10 * time.Millisecond,
+		MaxBackoff:       200 * time.Millisecond,
+		BreakerThreshold: 8,
+		BreakerCooldown:  200 * time.Millisecond,
+		Seed:             o.Seed,
+	}
+
+	var wg sync.WaitGroup
+
+	// Feed subscriber: survives every conn flap via cursor resume; only
+	// the context ends it. Gaps are legal (declared loss), silence is not.
+	wg.Add(1)
+	var lastRev atomic.Uint64
+	go func() {
+		defer wg.Done()
+		sub := egclient.SubscribeReconnect(lctx, wireAddr,
+			egclient.FeedSpec{Kind: egclient.KindRevision, Cursor: egclient.CursorLive},
+			egclient.RetryPolicy{
+				MaxAttempts: 1 << 20, // reconnect until the soak ends
+				BaseBackoff: 5 * time.Millisecond,
+				MaxBackoff:  50 * time.Millisecond,
+				Seed:        o.Seed,
+			})
+		defer sub.Close()
+		for {
+			ev, err := sub.Next(lctx)
+			if err != nil {
+				return
+			}
+			if ev.Kind == egclient.KindGap {
+				atomic.AddInt64(&feedStats.Gaps, 1)
+				continue
+			}
+			if prev := lastRev.Load(); ev.Revision <= prev && prev != 0 {
+				atomic.AddInt64(&feedStats.NonMonotone, 1)
+			}
+			lastRev.Store(ev.Revision)
+			atomic.AddInt64(&feedStats.Events, 1)
+		}
+	}()
+
+	// One writer: arc batches at the base stamps, retried only when the
+	// server declined them (egclient never replays an ambiguous batch).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := egclient.NewHTTP(baseURL, egclient.HTTPOptions{Client: httpClient}).WithRetry(policy)
+		defer c.Close()
+		rng := rand.New(rand.NewSource(o.Seed + 1))
+		for lctx.Err() == nil {
+			batch := make([]egclient.Event, 1+rng.Intn(4))
+			for i := range batch {
+				u, v := rng.Intn(o.Nodes), rng.Intn(o.Nodes)
+				if u == v {
+					v = (v + 1) % o.Nodes
+				}
+				batch[i] = egclient.Event{Op: egclient.AddArc, U: int32(u), V: int32(v), T: int64(1 + rng.Intn(o.Stamps))}
+			}
+			ctx, cancel := context.WithTimeout(lctx, 2*time.Second)
+			_, err := c.IngestArcs(ctx, batch)
+			cancel()
+			classifyChaosErr(err, &writes.Acked, &writes.Rejected, &writes.CircuitOpen,
+				&writes.Timeout, &writes.Transport, &writes.Wrong, lctx)
+			if err == nil {
+				atomic.AddInt64(&writes.AckedEvents, int64(len(batch)))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Readers: budgeted queries across the sweep endpoints. A deadline
+	// on every request exercises X-Budget-Ms admission end to end.
+	readEndpoints := []struct {
+		endpoint string
+		params   url.Values
+	}{
+		{"katz", url.Values{"top": {"8"}}},
+		{"components/weak", nil},
+		{"components/sizes", url.Values{"stamp": {"0"}}},
+		{"closeness", url.Values{"node": {"0"}, "stamp": {"0"}}},
+	}
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := egclient.NewHTTP(baseURL, egclient.HTTPOptions{Client: httpClient}).WithRetry(policy)
+			defer c.Close()
+			rng := rand.New(rand.NewSource(o.Seed + 100 + int64(w)))
+			for lctx.Err() == nil {
+				q := readEndpoints[rng.Intn(len(readEndpoints))]
+				ctx, cancel := context.WithTimeout(lctx, 500*time.Millisecond)
+				var into interface{}
+				meta, err := c.Query(ctx, q.endpoint, q.params, &into)
+				cancel()
+				classifyChaosErr(err, &reads.OK, &reads.Unavailable, &reads.CircuitOpen,
+					&reads.Timeout, &reads.Transport, &reads.Wrong, lctx)
+				if err == nil && meta.Cache == "stale" {
+					atomic.AddInt64(&reads.Stale, 1)
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	lcancel()
+	transport.CloseIdleConnections()
+	rep.Reads, rep.Writes, rep.Feed = reads, writes, feedStats
+	rep.Feed.MaxRevision = lastRev.Load()
+	rep.Degraded, rep.DegradedCause = lg.Degraded()
+
+	addInv := func(name string, pass bool, detail string) {
+		rep.Invariants = append(rep.Invariants, chaosInvariant{Name: name, Pass: pass, Detail: detail})
+	}
+
+	// Invariant 1a: the live service degraded instead of lying — no
+	// request ever produced a wrong answer or an unexplained rejection.
+	addInv("no-wrong-answers-live", reads.Wrong == 0 && writes.Wrong == 0,
+		fmt.Sprintf("reads wrong=%d writes wrong=%d (ok=%d unavailable=%d acked=%d rejected=%d)",
+			reads.Wrong, writes.Wrong, reads.OK, reads.Unavailable, writes.Acked, writes.Rejected))
+
+	// Invariant 1b: degraded semantics — while the write path is
+	// poisoned reads must still serve and writes must be refused 503;
+	// when it is healthy a fresh write must land.
+	degPass, degDetail := chaosDegradedSemantics(rep.Degraded, baseURL, httpClient)
+	addInv("degraded-semantics", degPass, degDetail)
+
+	// Fold and sweep the live server before tearing ingest down, so the
+	// oracle comparison sees everything the service ever acked.
+	if !rep.Degraded {
+		lg.CompactNow()
+	}
+	liveBodies, liveErr := chaosSweepBodies(srv)
+	if err := lg.Close(); err != nil && !rep.Degraded {
+		addInv("clean-shutdown", false, fmt.Sprintf("ingest close: %v", err))
+	}
+
+	// Invariants 1c + 2: fault-free recovery from the surviving WAL —
+	// replay path and checkpoint path must agree byte-for-byte, and
+	// (when the write path survived) the served graph must answer
+	// exactly like the recovered oracle.
+	oracleInv, recoverInv := chaosRecoveryInvariants(dir, walPath, ckptPath, baseCfg, rep.Degraded, liveBodies, liveErr)
+	rep.Invariants = append(rep.Invariants, oracleInv, recoverInv)
+
+	// Invariant 3: feed continuity.
+	addInv("feed-monotonic", feedStats.NonMonotone == 0 && (feedStats.Events > 0 || feedStats.Gaps > 0),
+		fmt.Sprintf("events=%d gaps=%d nonMonotone=%d maxRevision=%d",
+			feedStats.Events, feedStats.Gaps, feedStats.NonMonotone, rep.Feed.MaxRevision))
+
+	// Invariant 4: every goroutine the load created is gone.
+	leakDetail := ""
+	leakPass := true
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			leakPass = false
+			leakDetail = fmt.Sprintf("goroutines: %d at baseline, %d after drain", baseline, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if leakPass {
+		leakDetail = fmt.Sprintf("back to baseline (%d)", baseline)
+	}
+	addInv("no-goroutine-leaks", leakPass, leakDetail)
+
+	rep.FaultsFired = inj.Counts()
+	rep.Pass = true
+	for _, inv := range rep.Invariants {
+		rep.Pass = rep.Pass && inv.Pass
+	}
+	if err := writeChaosReport(rep, o.Out); err != nil {
+		return err
+	}
+	for _, inv := range rep.Invariants {
+		mark := "PASS"
+		if !inv.Pass {
+			mark = "FAIL"
+		}
+		fmt.Printf("  %-24s %s  %s\n", inv.Name, mark, inv.Detail)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("scenario %s violated %d invariant(s)", o.Scenario, countFailed(rep.Invariants))
+	}
+	fmt.Printf("chaos %s: survived (%d reads ok, %d writes acked, %d feed events, faults fired: %v)\n",
+		o.Scenario, reads.OK, writes.Acked, feedStats.Events, rep.FaultsFired)
+	return nil
+}
+
+// classifyChaosErr folds one client outcome into the tally. Tolerated:
+// success, retriable rejection (429/503 after the client's own
+// retries), circuit fail-fast, deadline, transport loss. Everything
+// else — a 4xx on a well-formed request, an undecodable body — is a
+// wrong answer.
+func classifyChaosErr(err error, ok, unavailable, circuit, timeout, transport, wrong *int64, lctx context.Context) {
+	switch {
+	case err == nil:
+		atomic.AddInt64(ok, 1)
+	case errors.Is(err, egclient.ErrCircuitOpen):
+		atomic.AddInt64(circuit, 1)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		atomic.AddInt64(timeout, 1)
+	default:
+		var re *egclient.RemoteError
+		if errors.As(err, &re) {
+			switch re.Code {
+			case egclient.CodeBackpressure, egclient.CodeUnavailable:
+				atomic.AddInt64(unavailable, 1)
+			default:
+				if lctx.Err() == nil { // shutdown races are not verdicts
+					atomic.AddInt64(wrong, 1)
+				}
+			}
+			return
+		}
+		if lctx.Err() == nil {
+			atomic.AddInt64(transport, 1)
+		}
+	}
+}
+
+// chaosDegradedSemantics checks the survival contract at the end of the
+// soak: degraded keeps reads serving and writes refused; healthy still
+// accepts writes.
+func chaosDegradedSemantics(degraded bool, baseURL string, client *http.Client) (bool, string) {
+	resp, err := client.Get(baseURL + "/katz?top=3")
+	if err != nil {
+		return false, fmt.Sprintf("post-soak read: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Sprintf("post-soak read: status %d, want 200", resp.StatusCode)
+	}
+	wresp, err := client.Post(baseURL+"/ingest/arcs", "application/x-ndjson",
+		strings.NewReader(`{"op":"add","u":0,"v":1,"t":1}`))
+	if err != nil {
+		return false, fmt.Sprintf("post-soak write: %v", err)
+	}
+	wresp.Body.Close()
+	if degraded {
+		if wresp.StatusCode != http.StatusServiceUnavailable {
+			return false, fmt.Sprintf("degraded write: status %d, want 503", wresp.StatusCode)
+		}
+		if wresp.Header.Get("Retry-After") == "" {
+			return false, "degraded 503 without Retry-After"
+		}
+		return true, "degraded: reads 200, writes 503 + Retry-After"
+	}
+	if wresp.StatusCode != http.StatusAccepted {
+		return false, fmt.Sprintf("healthy write: status %d, want 202", wresp.StatusCode)
+	}
+	return true, "healthy: reads 200, writes 202"
+}
+
+// chaosRecoveryInvariants recovers the WAL fault-free through both boot
+// paths and returns the oracle-answer and byte-identical-recovery
+// verdicts.
+func chaosRecoveryInvariants(dir, walPath, ckptPath string, baseCfg evolving.RandomConfig,
+	degraded bool, liveBodies map[string][]byte, liveErr error) (oracle, identical chaosInvariant) {
+
+	oracle = chaosInvariant{Name: "no-wrong-answers-oracle"}
+	identical = chaosInvariant{Name: "byte-identical-recovery"}
+	base := func() (*egraph.IntEvolvingGraph, error) { return evolving.Random(baseCfg), nil }
+	quiet := func(string, ...interface{}) {}
+
+	// Boot 1: full replay, checkpoint ignored.
+	r1, err := ingest.Recover(ingest.RecoverConfig{WALPath: walPath, Base: base, Logf: quiet})
+	if err != nil {
+		oracle.Detail = fmt.Sprintf("replay recovery: %v", err)
+		identical.Detail = oracle.Detail
+		return
+	}
+	r1.WAL.Close()
+	// Boot 2: checkpoint + tail fold (falls back to replay when the
+	// scenario prevented any checkpoint from landing — still valid).
+	r2, err := ingest.Recover(ingest.RecoverConfig{WALPath: walPath, CheckpointPath: ckptPath, Base: base, Logf: quiet})
+	if err != nil {
+		oracle.Detail = fmt.Sprintf("checkpoint recovery: %v", err)
+		identical.Detail = oracle.Detail
+		return
+	}
+	defer r2.CloseCheckpoint()
+	r2.WAL.Close()
+
+	// Byte-identical: encode both graphs through the canonical
+	// checkpoint writer and compare files.
+	aPath, bPath := filepath.Join(dir, "cmp-a.ckpt"), filepath.Join(dir, "cmp-b.ckpt")
+	if _, err := egio.WriteCheckpoint(aPath, r1.Graph, egio.CheckpointMeta{}); err != nil {
+		identical.Detail = fmt.Sprintf("encode replay graph: %v", err)
+	} else if _, err := egio.WriteCheckpoint(bPath, r2.Graph, egio.CheckpointMeta{}); err != nil {
+		identical.Detail = fmt.Sprintf("encode checkpoint graph: %v", err)
+	} else {
+		a, _ := os.ReadFile(aPath)
+		b, _ := os.ReadFile(bPath)
+		if bytes.Equal(a, b) {
+			identical.Pass = true
+			identical.Detail = fmt.Sprintf("replay (%s) == checkpoint boot (%s), %d bytes", r1.Path, r2.Path, len(a))
+		} else {
+			identical.Detail = fmt.Sprintf("replay vs checkpoint boot differ (%d vs %d bytes)", len(a), len(b))
+		}
+	}
+
+	// Oracle answers: only meaningful when the write path survived — a
+	// poisoned WAL legitimately holds batches the server never folded.
+	if degraded {
+		oracle.Pass = true
+		oracle.Detail = "skipped: write path degraded, served graph legitimately trails the WAL"
+		return
+	}
+	if liveErr != nil {
+		oracle.Detail = fmt.Sprintf("live sweep: %v", liveErr)
+		return
+	}
+	oracleSrv := server.New(r2.Graph, server.Config{Logf: quiet})
+	want, err := chaosSweepBodies(oracleSrv)
+	if err != nil {
+		oracle.Detail = fmt.Sprintf("oracle sweep: %v", err)
+		return
+	}
+	var diffs []string
+	for _, path := range chaosSweep {
+		if !bytes.Equal(liveBodies[path], want[path]) {
+			diffs = append(diffs, path)
+		}
+	}
+	sort.Strings(diffs)
+	if len(diffs) == 0 {
+		oracle.Pass = true
+		oracle.Detail = fmt.Sprintf("%d endpoints byte-identical to the recovered oracle", len(chaosSweep))
+	} else {
+		oracle.Detail = "served answers diverge from the oracle at: " + strings.Join(diffs, ", ")
+	}
+	return
+}
+
+// chaosRecorder is a minimal in-process ResponseWriter for the sweep.
+type chaosRecorder struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (r *chaosRecorder) Header() http.Header         { return r.header }
+func (r *chaosRecorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+func (r *chaosRecorder) WriteHeader(code int)        { r.code = code }
+
+// chaosSweepBodies replays the sweep directly against a handler and
+// returns each endpoint's body bytes.
+func chaosSweepBodies(h http.Handler) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(chaosSweep))
+	for _, path := range chaosSweep {
+		req, err := http.NewRequest(http.MethodGet, "http://chaos"+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		rec := &chaosRecorder{code: http.StatusOK, header: make(http.Header)}
+		h.ServeHTTP(rec, req)
+		if rec.code != http.StatusOK {
+			return nil, fmt.Errorf("sweep %s: status %d (%s)", path, rec.code, rec.body.String())
+		}
+		out[path] = rec.body.Bytes()
+	}
+	return out, nil
+}
+
+func writeChaosReport(rep *chaosReport, out string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("chaos artifact: %s\n", out)
+	return nil
+}
+
+func countFailed(invs []chaosInvariant) int {
+	n := 0
+	for _, inv := range invs {
+		if !inv.Pass {
+			n++
+		}
+	}
+	return n
+}

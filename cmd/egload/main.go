@@ -111,6 +111,8 @@ func main() {
 		waitReady  = flag.Duration("waitReady", 0, "poll /readyz until the first 200 (at most this long) before loading; the report records restartToReadyNs")
 		jsonPath   = flag.String("json", "", "write the report to FILE as JSON")
 		lintProm   = flag.String("lintProm", "", "strict-parse this /metrics.prom URL, check the required families, and exit (CI exposition linter; no load is generated)")
+		chaos      = flag.String("chaos", "", "run a chaos soak instead of a load run: a named fault scenario (conn-flap, disk-full, fsync-stall, slow-compute) or inline fault DSL; self-serves an armed server, drives load for -duration and verifies the survival invariants")
+		chaosOut   = flag.String("chaos-out", "", "write the chaos soak's JSON artifact to FILE (default: stdout)")
 
 		compactEvery = flag.Int("compact-every", 256, "self-serve: fold the pending delta after this many events")
 		compactIval  = flag.Duration("compact-interval", 500*time.Millisecond, "self-serve: fold any pending delta at least this often")
@@ -129,6 +131,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s: exposition OK\n", *lintProm)
+		return
+	}
+
+	if *chaos != "" {
+		err := runChaos(chaosOptions{
+			Scenario:    *chaos,
+			Out:         *chaosOut,
+			Duration:    *duration,
+			Seed:        *seed,
+			Nodes:       *nodes,
+			Stamps:      *stamps,
+			Edges:       *edges,
+			Concurrency: *concurrency,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "egload: chaos: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

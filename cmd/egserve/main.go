@@ -19,6 +19,17 @@
 //	        [-checkpoint auto] [-checkpoint-every 8] [-checkpoint-interval 60s]
 //	        [-full-rebuild] [-inc=true] [-write-timeout 0] [-shutdown-timeout 10s]
 //	        [-pprof localhost:6060] [-trace-sample 64] [-trace-slow 250ms]
+//	        [-fault scenario] [-serve-stale]
+//
+// -fault arms the internal/fault injection sites (WAL append/fsync,
+// checkpoint write/fsync/rename, wire accept/read/write, query
+// compute) with a named scenario, a scenario file, or inline DSL text;
+// -serve-stale enables the degraded read mode that answers from the
+// last good cached result (X-Cache: stale) when a compute fails
+// server-side. A WAL disk-full or persistent fsync failure flips the
+// process into read-only degraded mode: ingest answers 503 with
+// Retry-After, reads keep serving, /healthz reports "degraded" and
+// eg_degraded{}=1.
 //
 // The HTTP listener opens before recovery: /healthz answers 200
 // immediately while /readyz stays 503 until the first graph installs
@@ -68,6 +79,7 @@ import (
 	"time"
 
 	evolving "repro"
+	"repro/internal/fault"
 	"repro/internal/inc"
 	"repro/internal/ingest"
 	"repro/internal/obs"
@@ -90,23 +102,9 @@ func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *swapHandler) swap(h http.Handler) { s.h.Store(&h) }
 
-// bootstrapHandler is the pre-recovery surface: liveness yes,
-// readiness no, everything else unavailable.
-func bootstrapHandler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, `{"status":"starting"}`)
-	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("Retry-After", "1")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, `{"status":"starting","error":"recovering: graph not yet installed"}`)
-	})
-	return mux
-}
+// The bootstrap surface itself lives in internal/server (Bootstrap):
+// liveness yes, readiness no, everything else 503 + Retry-After —
+// shared with the server package's Retry-After consistency tests.
 
 func main() {
 	var (
@@ -133,6 +131,8 @@ func main() {
 		checkpointIval  = flag.Duration("checkpoint-interval", 60*time.Second, "persist a checkpoint at least this often when new batches were folded")
 		ckptStallWrite  = flag.Duration("checkpoint-stall-write", 0, "fault injection: stall mid-way through the checkpoint body write (crash-test hook)")
 		ckptStallRename = flag.Duration("checkpoint-stall-rename", 0, "fault injection: stall after the checkpoint sync, before the rename (crash-test hook)")
+		faultSpec       = flag.String("fault", "", "fault-injection scenario: a named scenario (disk-full, fsync-stall, conn-flap, slow-compute), a scenario file, or inline text (internal/fault DSL); empty disables")
+		serveStale      = flag.Bool("serve-stale", false, "degraded read mode: serve the last good cached answer (X-Cache: stale) when a compute fails server-side or its deadline budget runs out")
 		fullRebuild     = flag.Bool("full-rebuild", false, "compact via the full Fold rebuild instead of the incremental Patch (the differential oracle; slower, same results)")
 		incAnalytics    = flag.Bool("inc", true, "maintain weak components and temporal Katz incrementally across compactions; /components/weak and /katz serve the maintained results")
 
@@ -150,6 +150,27 @@ func main() {
 	// all render through a single /metrics.prom scrape.
 	reg := obs.NewRegistry()
 
+	// One injector arms every site — WAL, checkpoint, wire, compute —
+	// so a single -fault scenario exercises the whole process the way
+	// the chaos soak does.
+	var faults *fault.Injector
+	if *faultSpec != "" {
+		text := fault.Named(*faultSpec)
+		if text == "" {
+			if body, err := os.ReadFile(*faultSpec); err == nil {
+				text = string(body)
+			} else {
+				text = *faultSpec // inline scenario text
+			}
+		}
+		sc, err := fault.Parse(text)
+		if err != nil {
+			log.Fatalf("egserve: -fault %q: %v", *faultSpec, err)
+		}
+		faults = fault.New(sc)
+		fmt.Printf("fault injection armed:\n%s", sc.String())
+	}
+
 	// Open the listener before recovery so restarts are observable:
 	// /healthz answers immediately while /readyz stays 503 until the
 	// first graph is installed.
@@ -158,7 +179,7 @@ func main() {
 		log.Fatalf("egserve: listen: %v", err)
 	}
 	boot := &swapHandler{}
-	boot.swap(bootstrapHandler())
+	boot.swap(server.Bootstrap())
 	srv := &http.Server{
 		Handler: boot,
 		// Slowloris protection on headers; write deadline is opt-in
@@ -244,7 +265,7 @@ func main() {
 		t0 := time.Now()
 		res, err = ingest.Recover(ingest.RecoverConfig{
 			WALPath:        *walPath,
-			WALOptions:     ingest.WALOptions{Policy: policy, Interval: *fsyncInterval},
+			WALOptions:     ingest.WALOptions{Policy: policy, Interval: *fsyncInterval, Faults: faults},
 			CheckpointPath: ckptPath,
 			Base:           base,
 			Logf: func(format string, args ...interface{}) {
@@ -276,6 +297,8 @@ func main() {
 		Workers:       *workers,
 		Registry:      reg,
 		Trace:         obs.TracerOptions{SampleEvery: *traceSample, Slow: *traceSlow},
+		Faults:        faults,
+		ServeStale:    *serveStale,
 	})
 	var lg *ingest.Log
 	if wal != nil {
@@ -286,6 +309,7 @@ func main() {
 		var err error
 		lg, err = ingest.New(handler, ingest.Config{
 			WAL:             wal,
+			Faults:          faults,
 			CompactEvery:    *compactEvery,
 			CompactInterval: *compactInterval,
 			MaxPending:      *maxPending,

@@ -96,19 +96,35 @@ type transport interface {
 }
 
 // Client is the typed query-service client. Construct with NewHTTP or
-// DialWire; methods are safe for concurrent use.
+// DialWire; methods are safe for concurrent use. WithRetry arms
+// automatic retries and a per-endpoint circuit breaker.
 type Client struct {
-	t transport
+	t     transport
+	retry *retrier // nil until WithRetry
 }
 
 // Close releases the transport (a no-op for HTTP).
 func (c *Client) Close() error { return c.t.close() }
 
+// query routes every typed method through the optional retry layer.
+func (c *Client) query(ctx context.Context, endpoint string, params url.Values, into interface{}) (Meta, error) {
+	if c.retry == nil {
+		return c.t.query(ctx, endpoint, params, into)
+	}
+	var meta Meta
+	err := c.retry.do(ctx, endpoint, true, func() error {
+		var err error
+		meta, err = c.t.query(ctx, endpoint, params, into)
+		return err
+	})
+	return meta, err
+}
+
 // Query issues one cacheable analytics query by endpoint name — the
 // escape hatch under the typed methods, and the hook the equivalence
 // suite drives both transports through.
 func (c *Client) Query(ctx context.Context, endpoint string, params url.Values, into interface{}) (Meta, error) {
-	return c.t.query(ctx, endpoint, params, into)
+	return c.query(ctx, endpoint, params, into)
 }
 
 // ComponentsQuery tunes ComponentsWeak / ComponentsSizes. Zero values
@@ -135,7 +151,7 @@ func Int(v int) *int { return &v }
 // ComponentsWeak is GET /components/weak.
 func (c *Client) ComponentsWeak(ctx context.Context, q ComponentsQuery) (*ComponentsResponse, Meta, error) {
 	var resp ComponentsResponse
-	meta, err := c.t.query(ctx, "components/weak", q.values(), &resp)
+	meta, err := c.query(ctx, "components/weak", q.values(), &resp)
 	if err != nil {
 		return nil, meta, err
 	}
@@ -158,7 +174,7 @@ func (c *Client) ComponentsStrong(ctx context.Context, q StrongQuery) (*Componen
 		v.Set("limit", strconv.Itoa(*q.Limit))
 	}
 	var resp ComponentsResponse
-	meta, err := c.t.query(ctx, "components/strong", v, &resp)
+	meta, err := c.query(ctx, "components/strong", v, &resp)
 	if err != nil {
 		return nil, meta, err
 	}
@@ -168,7 +184,7 @@ func (c *Client) ComponentsStrong(ctx context.Context, q StrongQuery) (*Componen
 // ComponentsSizes is GET /components/sizes.
 func (c *Client) ComponentsSizes(ctx context.Context, q ComponentsQuery) (*SizeDistributionResponse, Meta, error) {
 	var resp SizeDistributionResponse
-	meta, err := c.t.query(ctx, "components/sizes", q.values(), &resp)
+	meta, err := c.query(ctx, "components/sizes", q.values(), &resp)
 	if err != nil {
 		return nil, meta, err
 	}
@@ -192,7 +208,7 @@ func (c *Client) InfluenceGreedy(ctx context.Context, k int, q InfluenceQuery) (
 		v.Set("reverse", "true")
 	}
 	var resp InfluenceResponse
-	meta, err := c.t.query(ctx, "influence/greedy", v, &resp)
+	meta, err := c.query(ctx, "influence/greedy", v, &resp)
 	if err != nil {
 		return nil, meta, err
 	}
@@ -209,7 +225,7 @@ func (c *Client) Closeness(ctx context.Context, node, stamp int32, mode string) 
 		v.Set("mode", mode)
 	}
 	var resp ClosenessResponse
-	meta, err := c.t.query(ctx, "closeness", v, &resp)
+	meta, err := c.query(ctx, "closeness", v, &resp)
 	if err != nil {
 		return nil, meta, err
 	}
@@ -223,7 +239,7 @@ func (c *Client) Efficiency(ctx context.Context, mode string) (*EfficiencyRespon
 		v.Set("mode", mode)
 	}
 	var resp EfficiencyResponse
-	meta, err := c.t.query(ctx, "efficiency", v, &resp)
+	meta, err := c.query(ctx, "efficiency", v, &resp)
 	if err != nil {
 		return nil, meta, err
 	}
@@ -250,7 +266,7 @@ func (c *Client) Katz(ctx context.Context, q KatzQuery) (*KatzResponse, Meta, er
 		v.Set("top", strconv.Itoa(q.Top))
 	}
 	var resp KatzResponse
-	meta, err := c.t.query(ctx, "katz", v, &resp)
+	meta, err := c.query(ctx, "katz", v, &resp)
 	if err != nil {
 		return nil, meta, err
 	}
@@ -261,7 +277,18 @@ func (c *Client) Katz(ctx context.Context, q KatzQuery) (*KatzResponse, Meta, er
 // durable (if the server runs a WAL) and becomes visible after the
 // next epoch fold — watch Subscribe for the revision that carries it.
 func (c *Client) IngestArcs(ctx context.Context, events []Event) (*IngestAcceptedResponse, error) {
-	return c.t.ingest(ctx, events)
+	if c.retry == nil {
+		return c.t.ingest(ctx, events)
+	}
+	var acc *IngestAcceptedResponse
+	// Not idempotent: a transport error mid-batch is ambiguous, so only
+	// server-declined (429/503) batches are retried.
+	err := c.retry.do(ctx, "ingest/arcs", false, func() error {
+		var err error
+		acc, err = c.t.ingest(ctx, events)
+		return err
+	})
+	return acc, err
 }
 
 // Subscribe opens a change-feed subscription (KindRevision,

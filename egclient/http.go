@@ -59,6 +59,11 @@ func (t *httpTransport) query(ctx context.Context, endpoint string, params url.V
 	if err != nil {
 		return Meta{}, err
 	}
+	if ms := budgetMillis(ctx); ms > 0 {
+		// Propagate the caller's deadline so the server's admission
+		// control can reject work it cannot finish in time.
+		req.Header.Set("X-Budget-Ms", strconv.FormatInt(ms, 10))
+	}
 	resp, err := t.hc.Do(req)
 	if err != nil {
 		return Meta{}, err
@@ -71,7 +76,7 @@ func (t *httpTransport) query(ctx context.Context, endpoint string, params url.V
 	rev, _ := strconv.ParseUint(resp.Header.Get("X-Graph-Revision"), 10, 64)
 	meta := Meta{Revision: rev, Cache: resp.Header.Get("X-Cache")}
 	if resp.StatusCode != http.StatusOK {
-		return meta, remoteError(resp.StatusCode, body)
+		return meta, remoteError(resp.StatusCode, resp.Header, body)
 	}
 	if into != nil {
 		if err := json.Unmarshal(body, into); err != nil {
@@ -118,7 +123,7 @@ func (t *httpTransport) ingest(ctx context.Context, events []Event) (*IngestAcce
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusAccepted {
-		return nil, remoteError(resp.StatusCode, body)
+		return nil, remoteError(resp.StatusCode, resp.Header, body)
 	}
 	var acc IngestAcceptedResponse
 	if err := json.Unmarshal(body, &acc); err != nil {
@@ -209,16 +214,20 @@ type healthz struct {
 }
 
 // remoteError turns an HTTP error body (the versioned envelope) into
-// the same *RemoteError the wire transport produces.
-func remoteError(status int, body []byte) error {
+// the same *RemoteError the wire transport produces, capturing the
+// Retry-After hint retriable failures (429/503) carry.
+func remoteError(status int, header http.Header, body []byte) error {
+	re := &RemoteError{Code: wire.CodeFromStatus(status)}
+	if secs, err := strconv.Atoi(header.Get("Retry-After")); err == nil && secs > 0 {
+		re.RetryAfter = time.Duration(secs) * time.Second
+	}
 	var env ErrorResponse
 	if err := json.Unmarshal(body, &env); err != nil || env.Error == "" {
-		return &RemoteError{Code: wire.CodeFromStatus(status), Message: strings.TrimSpace(string(body))}
+		re.Message = strings.TrimSpace(string(body))
+		return re
 	}
-	return &RemoteError{
-		Code:     wire.CodeFromStatus(status),
-		Message:  env.Error,
-		Detail:   env.Detail,
-		Revision: env.Revision,
-	}
+	re.Message = env.Error
+	re.Detail = env.Detail
+	re.Revision = env.Revision
+	return re
 }

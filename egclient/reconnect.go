@@ -1,0 +1,114 @@
+package egclient
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// SubscribeReconnect opens a wire change-feed subscription that
+// survives connection loss: when the socket dies it redials addr,
+// resubscribes from the last delivered revision, and keeps streaming.
+// Missed epochs come back either replayed from the server's feed ring
+// or summarised as one KindGap event when the cursor has fallen off
+// the ring — exactly the resume contract of a manual resubscribe, just
+// automated.
+//
+// Consecutive failed reconnect cycles (no event delivered) are bounded
+// by p.MaxAttempts with the policy's backoff between dials; any
+// delivered event resets the count. The subscription terminates — Next
+// returns the error — when ctx ends, a non-retriable server error
+// arrives (e.g. a bad spec), or the attempts are exhausted.
+func SubscribeReconnect(ctx context.Context, addr string, spec FeedSpec, p RetryPolicy) *Subscription {
+	p = p.withDefaults()
+	r := &retrier{p: p, rng: newSeededRand(p.Seed)}
+	sctx, cancel := context.WithCancel(ctx)
+	events := make(chan FeedEvent, 16)
+	errc := make(chan error, 1)
+	var cursor atomic.Uint64
+	if spec.Cursor != CursorLive {
+		cursor.Store(spec.Cursor)
+	}
+
+	go func() {
+		defer close(events)
+		cur := spec.Cursor
+		dry := 0 // consecutive cycles that delivered nothing
+		fail := func(err error) {
+			errc <- err
+		}
+		for {
+			delivered, err := streamOnce(sctx, p, addr, spec, cur, &cursor, events)
+			if delivered > 0 {
+				dry = 0
+				cur = cursor.Load() // resume after the last event we handed out
+			} else {
+				dry++
+			}
+			if sctx.Err() != nil {
+				fail(sctx.Err())
+				return
+			}
+			var re *RemoteError
+			if errors.As(err, &re) {
+				switch re.Code {
+				case CodeBackpressure, CodeUnavailable:
+					// retriable: fall through to backoff
+				default:
+					fail(err) // the server rejected the spec; redialing cannot help
+					return
+				}
+			}
+			if dry >= p.MaxAttempts {
+				fail(err)
+				return
+			}
+			backoffAttempt := dry - 1
+			if backoffAttempt < 0 {
+				backoffAttempt = 0
+			}
+			if serr := p.sleep(sctx, r.backoff(backoffAttempt)); serr != nil {
+				fail(serr)
+				return
+			}
+		}
+	}()
+
+	return &Subscription{
+		events: events,
+		errc:   errc,
+		stop:   cancel,
+		cursor: cursor.Load,
+	}
+}
+
+// streamOnce runs one dial → subscribe → pump cycle and reports how
+// many events it forwarded plus the error that ended it (never nil).
+func streamOnce(ctx context.Context, p RetryPolicy, addr string, spec FeedSpec, cur uint64, cursor *atomic.Uint64, out chan<- FeedEvent) (delivered int, err error) {
+	c, err := p.dial(ctx, addr)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	spec.Cursor = cur
+	sub, err := c.Subscribe(ctx, spec)
+	if err != nil {
+		return 0, err
+	}
+	defer sub.Close()
+	for {
+		ev, err := sub.Next(ctx)
+		if err != nil {
+			return delivered, err
+		}
+		select {
+		case out <- ev:
+		case <-ctx.Done():
+			return delivered, ctx.Err()
+		}
+		// Published only after the handoff: a consumer never observes a
+		// cursor ahead of the events it has read.
+		cursor.Store(ev.Revision)
+		delivered++
+	}
+}

@@ -1,0 +1,169 @@
+package egclient
+
+import (
+	"context"
+	"errors"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/feed"
+)
+
+// scriptedSubs fabricates one Client per dial whose Subscribe delivers
+// a fixed batch of events and then dies with a connection error —
+// a deterministic stand-in for a flapping wire transport.
+type scriptedSubs struct {
+	mu      sync.Mutex
+	batches [][]FeedEvent // batches[i] = events delivered by dial i
+	specs   []FeedSpec    // cursor each dial resubscribed with
+	dials   int
+	dialErr []error // optional per-dial dial failure (nil = connect ok)
+}
+
+var errConnLost = errors.New("egclient: connection lost: scripted")
+
+func (s *scriptedSubs) dial(ctx context.Context, addr string) (*Client, error) {
+	s.mu.Lock()
+	i := s.dials
+	s.dials++
+	s.mu.Unlock()
+	if i < len(s.dialErr) && s.dialErr[i] != nil {
+		return nil, s.dialErr[i]
+	}
+	return &Client{t: &scriptedSubTransport{owner: s, dial: i}}, nil
+}
+
+type scriptedSubTransport struct {
+	owner *scriptedSubs
+	dial  int
+}
+
+func (t *scriptedSubTransport) query(ctx context.Context, endpoint string, params url.Values, into interface{}) (Meta, error) {
+	return Meta{}, errors.New("scripted: queries unsupported")
+}
+
+func (t *scriptedSubTransport) ingest(ctx context.Context, events []Event) (*IngestAcceptedResponse, error) {
+	return nil, errors.New("scripted: ingest unsupported")
+}
+
+func (t *scriptedSubTransport) close() error { return nil }
+
+func (t *scriptedSubTransport) subscribe(ctx context.Context, spec FeedSpec) (*Subscription, error) {
+	s := t.owner
+	s.mu.Lock()
+	s.specs = append(s.specs, spec)
+	var batch []FeedEvent
+	if t.dial < len(s.batches) {
+		batch = s.batches[t.dial]
+	}
+	s.mu.Unlock()
+	events := make(chan FeedEvent, len(batch)+1)
+	for _, ev := range batch {
+		events <- ev
+	}
+	close(events) // then the connection "drops"
+	errc := make(chan error, 1)
+	errc <- errConnLost
+	var cur uint64
+	if len(batch) > 0 {
+		cur = batch[len(batch)-1].Revision
+	}
+	return &Subscription{
+		events: events,
+		errc:   errc,
+		stop:   func() {},
+		cursor: func() uint64 { return cur },
+	}, nil
+}
+
+func rev(r uint64) FeedEvent { return FeedEvent{Kind: KindRevision, Revision: r} }
+
+func TestSubscribeReconnectResumesFromCursor(t *testing.T) {
+	s := &scriptedSubs{batches: [][]FeedEvent{
+		{rev(1), rev(2)}, // dial 0: two events, then the conn dies
+		{rev(3)},         // dial 1: resumed, one more
+		{},               // dial 2: connects but dies eventless
+		{},               // dial 3: same — second consecutive dry cycle
+	}}
+	rec := &sleepRecorder{}
+	sub := SubscribeReconnect(context.Background(), "scripted:0", FeedSpec{Kind: KindRevision, Cursor: CursorLive},
+		RetryPolicy{MaxAttempts: 2, sleep: rec.sleep, dial: s.dial})
+	defer sub.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for want := uint64(1); want <= 3; want++ {
+		ev, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next (want revision %d): %v", want, err)
+		}
+		if ev.Revision != want {
+			t.Fatalf("revision %d out of order, want %d", ev.Revision, want)
+		}
+	}
+	// Exhaustion: dials 2 and 3 delivered nothing, MaxAttempts=2
+	// consecutive dry cycles terminate the stream with the last error.
+	if _, err := sub.Next(ctx); !errors.Is(err, errConnLost) {
+		t.Fatalf("terminal error = %v, want the scripted connection loss", err)
+	}
+	if sub.Cursor() != 3 {
+		t.Fatalf("Cursor() = %d, want 3 (last delivered)", sub.Cursor())
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.specs) != 4 {
+		t.Fatalf("subscribes = %d, want 4", len(s.specs))
+	}
+	if s.specs[0].Cursor != CursorLive {
+		t.Fatalf("first subscribe cursor = %d, want CursorLive", s.specs[0].Cursor)
+	}
+	if s.specs[1].Cursor != 2 || s.specs[2].Cursor != 3 || s.specs[3].Cursor != 3 {
+		t.Fatalf("resume cursors = %d,%d,%d, want 2,3,3 (last delivered revision)",
+			s.specs[1].Cursor, s.specs[2].Cursor, s.specs[3].Cursor)
+	}
+}
+
+func TestSubscribeReconnectStopsOnBadSpec(t *testing.T) {
+	badSpec := &RemoteError{Code: CodeBadRequest, Message: "cannot subscribe to kind gap"}
+	s := &scriptedSubs{}
+	// Make every subscribe fail terminally by scripting the dial to
+	// produce a transport whose subscribe errors: reuse dialErr for the
+	// connect and a wrapper for the subscribe-level rejection.
+	dial := func(ctx context.Context, addr string) (*Client, error) {
+		s.mu.Lock()
+		s.dials++
+		s.mu.Unlock()
+		return &Client{t: &failingSubTransport{err: badSpec}}, nil
+	}
+	sub := SubscribeReconnect(context.Background(), "scripted:0", FeedSpec{Kind: feed.KindGap},
+		RetryPolicy{MaxAttempts: 5, sleep: (&sleepRecorder{}).sleep, dial: dial})
+	defer sub.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := sub.Next(ctx)
+	if !errors.Is(err, badSpec) {
+		t.Fatalf("terminal error = %v, want the server's rejection", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dials != 1 {
+		t.Fatalf("dials = %d, want 1: a rejected spec must not be redialed", s.dials)
+	}
+}
+
+type failingSubTransport struct{ err error }
+
+func (t *failingSubTransport) query(ctx context.Context, endpoint string, params url.Values, into interface{}) (Meta, error) {
+	return Meta{}, t.err
+}
+func (t *failingSubTransport) ingest(ctx context.Context, events []Event) (*IngestAcceptedResponse, error) {
+	return nil, t.err
+}
+func (t *failingSubTransport) close() error { return nil }
+func (t *failingSubTransport) subscribe(ctx context.Context, spec FeedSpec) (*Subscription, error) {
+	return nil, t.err
+}

@@ -1,0 +1,260 @@
+package egclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy arms a Client (via WithRetry) with automatic retries and
+// a per-endpoint circuit breaker. Zero-valued fields take the defaults
+// noted below, so RetryPolicy{} is a usable "sensible retries" choice.
+//
+// Retries fire only on failures the server declared retriable —
+// backpressure (429) and unavailable (503, which covers degraded mode,
+// budget rejection and recovery bootstrap) — plus, for idempotent
+// reads, transport-level connection failures. A Retry-After hint on
+// the failure becomes the backoff floor. Ingest batches are NOT
+// retried on transport errors: a connection that died mid-request
+// leaves the batch's fate unknown, and replaying it could double-apply
+// the mutations.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per call, first included
+	// (default 3; 1 disables retries).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff: attempt k sleeps
+	// base<<k halved-plus-jitter, capped at MaxBackoff. Defaults
+	// 50ms and 2s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// BreakerThreshold consecutive failures on one endpoint open its
+	// breaker: calls fail fast with ErrCircuitOpen until
+	// BreakerCooldown passes, then one probe is let through and its
+	// outcome closes or re-opens the circuit. Defaults 5 and 1s; a
+	// negative threshold disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Seed fixes the jitter sequence; 0 means 1. Deterministic seeds
+	// keep retry tests and chaos runs reproducible.
+	Seed int64
+
+	// Test seams: sleeping, clock, and (for SubscribeReconnect) the
+	// dialer. Nil means real time and DialWire.
+	sleep func(ctx context.Context, d time.Duration) error
+	now   func() time.Time
+	dial  func(ctx context.Context, addr string) (*Client, error)
+}
+
+// ErrCircuitOpen is returned (wrapped, with the endpoint named) when
+// an endpoint's breaker is open and the call was not attempted.
+var ErrCircuitOpen = errors.New("egclient: circuit open")
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.BreakerThreshold == 0 {
+		p.BreakerThreshold = 5
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.sleep == nil {
+		p.sleep = sleepCtx
+	}
+	if p.now == nil {
+		p.now = time.Now
+	}
+	if p.dial == nil {
+		p.dial = DialWire
+	}
+	return p
+}
+
+// WithRetry arms the client with p and returns the same client, so it
+// chains off the constructor:
+//
+//	c := egclient.NewHTTP(url, egclient.HTTPOptions{}).WithRetry(egclient.RetryPolicy{})
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	p = p.withDefaults()
+	c.retry = &retrier{
+		p:        p,
+		rng:      newSeededRand(p.Seed),
+		breakers: make(map[string]*breaker),
+	}
+	return c
+}
+
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// retrier is the armed retry state: policy, deterministic jitter
+// source, and one breaker per endpoint.
+type retrier struct {
+	p RetryPolicy
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	breakers map[string]*breaker
+}
+
+// do runs call under the policy. idempotent gates whether ambiguous
+// transport errors are retried (reads yes, ingest no).
+func (r *retrier) do(ctx context.Context, endpoint string, idempotent bool, call func() error) error {
+	br := r.breakerFor(endpoint)
+	for attempt := 0; ; attempt++ {
+		if !br.allow(r.p.now()) {
+			return fmt.Errorf("%w: %s cooling down after %d consecutive failures",
+				ErrCircuitOpen, endpoint, r.p.BreakerThreshold)
+		}
+		err := call()
+		if err == nil {
+			br.succeed()
+			return nil
+		}
+		retriable, floor := classify(err, idempotent)
+		br.fail(r.p.now())
+		if !retriable || attempt+1 >= r.p.MaxAttempts {
+			return err
+		}
+		d := r.backoff(attempt)
+		if floor > d {
+			d = floor
+		}
+		if serr := r.p.sleep(ctx, d); serr != nil {
+			return serr
+		}
+	}
+}
+
+// classify decides whether err is worth retrying and extracts the
+// server's Retry-After floor.
+func classify(err error, idempotent bool) (retriable bool, floor time.Duration) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false, 0 // the caller's deadline, not the server's state
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		switch re.Code {
+		case CodeBackpressure, CodeUnavailable:
+			return true, re.RetryAfter
+		}
+		return false, 0 // request errors: retrying the same bytes cannot help
+	}
+	// No server verdict: a transport failure. The request may or may
+	// not have been applied, so only idempotent calls retry.
+	return idempotent, 0
+}
+
+// backoff is exponential with equal jitter: half deterministic growth,
+// half seeded randomness, capped at MaxBackoff.
+func (r *retrier) backoff(attempt int) time.Duration {
+	if attempt > 20 {
+		attempt = 20 // base<<k would overflow; cap applies anyway
+	}
+	d := r.p.BaseBackoff << attempt
+	if d <= 0 || d > r.p.MaxBackoff {
+		d = r.p.MaxBackoff
+	}
+	half := d / 2
+	r.mu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(half) + 1))
+	r.mu.Unlock()
+	return half + j
+}
+
+func (r *retrier) breakerFor(endpoint string) *breaker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	br := r.breakers[endpoint]
+	if br == nil {
+		br = &breaker{threshold: r.p.BreakerThreshold, cooldown: r.p.BreakerCooldown}
+		r.breakers[endpoint] = br
+	}
+	return br
+}
+
+// breaker is one endpoint's consecutive-failure circuit. Closed until
+// threshold consecutive failures, then open for cooldown, then
+// half-open: one probe proceeds and its outcome closes or re-opens.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+func (b *breaker) allow(now time.Time) bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold {
+		return true
+	}
+	if now.Before(b.openUntil) || b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+func (b *breaker) succeed() {
+	b.mu.Lock()
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+func (b *breaker) fail(now time.Time) {
+	b.mu.Lock()
+	b.fails++
+	b.probing = false
+	if b.threshold >= 0 && b.fails >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// sleepCtx is the real-time sleep seam: context-aware, so a cancelled
+// caller never sits out a backoff.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// budgetMillis converts a context deadline into the whole-millisecond
+// budget both transports forward (X-Budget-Ms header, _budget_ms wire
+// param). 0 means no deadline — send nothing.
+func budgetMillis(ctx context.Context) int64 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(d).Milliseconds()
+	if ms < 1 {
+		ms = 1 // expired or sub-millisecond: still tell the server
+	}
+	return ms
+}

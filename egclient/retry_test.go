@@ -1,0 +1,276 @@
+package egclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// fakeTransport scripts per-call outcomes: script[i] is the error the
+// i-th call returns (nil = success); past the end the last entry
+// repeats. Queries and ingest share one counter so tests read a single
+// call total.
+type fakeTransport struct {
+	mu     sync.Mutex
+	calls  int
+	script []error
+}
+
+func (f *fakeTransport) next() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	i := f.calls
+	f.calls++
+	if len(f.script) == 0 {
+		return nil
+	}
+	if i >= len(f.script) {
+		i = len(f.script) - 1
+	}
+	return f.script[i]
+}
+
+func (f *fakeTransport) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *fakeTransport) query(ctx context.Context, endpoint string, params url.Values, into interface{}) (Meta, error) {
+	if err := f.next(); err != nil {
+		return Meta{}, err
+	}
+	return Meta{Revision: 7, Cache: "hit"}, nil
+}
+
+func (f *fakeTransport) ingest(ctx context.Context, events []Event) (*IngestAcceptedResponse, error) {
+	if err := f.next(); err != nil {
+		return nil, err
+	}
+	return &IngestAcceptedResponse{Accepted: len(events)}, nil
+}
+
+func (f *fakeTransport) subscribe(ctx context.Context, spec FeedSpec) (*Subscription, error) {
+	return nil, errors.New("fakeTransport: no subscriptions")
+}
+
+func (f *fakeTransport) close() error { return nil }
+
+// sleepRecorder replaces the real backoff sleep and logs each duration.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (s *sleepRecorder) sleep(ctx context.Context, d time.Duration) error {
+	s.mu.Lock()
+	s.sleeps = append(s.sleeps, d)
+	s.mu.Unlock()
+	return ctx.Err()
+}
+
+func retryClient(t *fakeTransport, p RetryPolicy) *Client {
+	return (&Client{t: t}).WithRetry(p)
+}
+
+func TestRetrySucceedsAfterBackpressure(t *testing.T) {
+	back := &RemoteError{Code: CodeBackpressure, Message: "pending delta full"}
+	ft := &fakeTransport{script: []error{back, back, nil}}
+	rec := &sleepRecorder{}
+	c := retryClient(ft, RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 50 * time.Millisecond,
+		Seed:        42,
+		sleep:       rec.sleep,
+	})
+	meta, err := c.Query(context.Background(), "katz", nil, nil)
+	if err != nil {
+		t.Fatalf("Query after retries: %v", err)
+	}
+	if meta.Revision != 7 {
+		t.Fatalf("meta.Revision = %d, want 7", meta.Revision)
+	}
+	if ft.count() != 3 {
+		t.Fatalf("transport calls = %d, want 3", ft.count())
+	}
+	if len(rec.sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want two backoffs", rec.sleeps)
+	}
+	// Equal jitter: attempt k sleeps in [base<<k / 2, base<<k].
+	for k, d := range rec.sleeps {
+		lo := (50 * time.Millisecond << k) / 2
+		hi := 50 * time.Millisecond << k
+		if d < lo || d > hi {
+			t.Fatalf("backoff[%d] = %v, want within [%v, %v]", k, d, lo, hi)
+		}
+	}
+}
+
+func TestRetryIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		back := &RemoteError{Code: CodeUnavailable}
+		ft := &fakeTransport{script: []error{back, back, back, nil}}
+		rec := &sleepRecorder{}
+		c := retryClient(ft, RetryPolicy{MaxAttempts: 4, Seed: seed, sleep: rec.sleep})
+		if _, err := c.Query(context.Background(), "katz", nil, nil); err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		return rec.sleeps
+	}
+	a, b := run(9), run(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRetryAfterIsBackoffFloor(t *testing.T) {
+	back := &RemoteError{Code: CodeUnavailable, RetryAfter: 700 * time.Millisecond}
+	ft := &fakeTransport{script: []error{back, nil}}
+	rec := &sleepRecorder{}
+	c := retryClient(ft, RetryPolicy{MaxAttempts: 2, BaseBackoff: 50 * time.Millisecond, sleep: rec.sleep})
+	if _, err := c.Query(context.Background(), "katz", nil, nil); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// backoff(0) ≤ 50ms, so the server's hint wins exactly.
+	if len(rec.sleeps) != 1 || rec.sleeps[0] != 700*time.Millisecond {
+		t.Fatalf("sleeps = %v, want exactly [700ms] (Retry-After floor)", rec.sleeps)
+	}
+}
+
+func TestNoRetryOnRequestErrors(t *testing.T) {
+	for _, code := range []Code{CodeBadRequest, CodeNotFound, CodeInternal} {
+		ft := &fakeTransport{script: []error{&RemoteError{Code: code}}}
+		rec := &sleepRecorder{}
+		c := retryClient(ft, RetryPolicy{MaxAttempts: 5, sleep: rec.sleep})
+		_, err := c.Query(context.Background(), "katz", nil, nil)
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != code {
+			t.Fatalf("code %v: err = %v, want the RemoteError back", code, err)
+		}
+		if ft.count() != 1 || len(rec.sleeps) != 0 {
+			t.Fatalf("code %v: calls=%d sleeps=%v, want exactly one attempt", code, ft.count(), rec.sleeps)
+		}
+	}
+}
+
+func TestIngestNotRetriedOnAmbiguousTransportError(t *testing.T) {
+	connDead := fmt.Errorf("egclient: connection lost: %w", errors.New("read: reset"))
+	ft := &fakeTransport{script: []error{connDead, nil}}
+	c := retryClient(ft, RetryPolicy{MaxAttempts: 3, sleep: (&sleepRecorder{}).sleep})
+	if _, err := c.IngestArcs(context.Background(), []Event{{Op: AddArc, U: 1, V: 2, T: 0}}); err == nil {
+		t.Fatal("ambiguous ingest failure must surface, not be replayed")
+	}
+	if ft.count() != 1 {
+		t.Fatalf("transport calls = %d, want 1 (batch must not be re-sent)", ft.count())
+	}
+	// The same failure on a read IS retried: queries are idempotent.
+	ft2 := &fakeTransport{script: []error{connDead, nil}}
+	c2 := retryClient(ft2, RetryPolicy{MaxAttempts: 3, sleep: (&sleepRecorder{}).sleep})
+	if _, err := c2.Query(context.Background(), "katz", nil, nil); err != nil {
+		t.Fatalf("idempotent read should retry past a transport error: %v", err)
+	}
+	// Server-declined ingest (429) is safe to retry: nothing was applied.
+	ft3 := &fakeTransport{script: []error{&RemoteError{Code: CodeBackpressure}, nil}}
+	c3 := retryClient(ft3, RetryPolicy{MaxAttempts: 3, sleep: (&sleepRecorder{}).sleep})
+	if _, err := c3.IngestArcs(context.Background(), []Event{{Op: AddStamp, T: 1}}); err != nil {
+		t.Fatalf("backpressured ingest should retry: %v", err)
+	}
+	if ft3.count() != 2 {
+		t.Fatalf("transport calls = %d, want 2", ft3.count())
+	}
+}
+
+func TestBreakerOpensFailsFastAndRecovers(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	back := &RemoteError{Code: CodeUnavailable}
+	ft := &fakeTransport{script: []error{back, back, nil}}
+	c := retryClient(ft, RetryPolicy{
+		MaxAttempts:      1, // isolate the breaker from the retry loop
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Second,
+		sleep:            (&sleepRecorder{}).sleep,
+		now:              clock,
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Query(ctx, "katz", nil, nil); !errors.Is(err, back) {
+			t.Fatalf("failure %d: %v", i, err)
+		}
+	}
+	// Threshold reached: open. Calls fail fast without touching the
+	// transport...
+	if _, err := c.Query(ctx, "katz", nil, nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker returned %v, want ErrCircuitOpen", err)
+	}
+	if ft.count() != 2 {
+		t.Fatalf("transport calls = %d, want 2 (fail-fast must not dial)", ft.count())
+	}
+	// ...and other endpoints are unaffected (per-endpoint circuits).
+	if _, err := c.Query(ctx, "closeness", nil, nil); err != nil {
+		t.Fatalf("other endpoint tripped by katz's breaker: %v", err)
+	}
+	// After the cooldown one probe goes through; its success closes the
+	// circuit for good.
+	now = now.Add(1100 * time.Millisecond)
+	if _, err := c.Query(ctx, "katz", nil, nil); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if _, err := c.Query(ctx, "katz", nil, nil); err != nil {
+		t.Fatalf("closed circuit: %v", err)
+	}
+}
+
+func TestBudgetHeaderPropagatesDeadline(t *testing.T) {
+	got := make(chan string, 2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got <- r.Header.Get("X-Budget-Ms")
+		w.Header().Set("X-Graph-Revision", "1")
+		fmt.Fprint(w, "{}")
+	}))
+	defer ts.Close()
+	c := NewHTTP(ts.URL, HTTPOptions{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := c.Query(ctx, "katz", nil, nil); err != nil {
+		t.Fatalf("Query with deadline: %v", err)
+	}
+	if ms := <-got; ms == "" {
+		t.Fatal("deadline context sent no X-Budget-Ms header")
+	}
+	if _, err := c.Query(context.Background(), "katz", nil, nil); err != nil {
+		t.Fatalf("Query without deadline: %v", err)
+	}
+	if ms := <-got; ms != "" {
+		t.Fatalf("deadline-free context sent X-Budget-Ms=%q, want none", ms)
+	}
+}
+
+func TestRemoteErrorCapturesRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"degraded"}`)
+	}))
+	defer ts.Close()
+	c := NewHTTP(ts.URL, HTTPOptions{})
+	_, err := c.Query(context.Background(), "katz", nil, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Code != wire.CodeUnavailable || re.RetryAfter != 3*time.Second {
+		t.Fatalf("RemoteError = %+v, want unavailable with RetryAfter=3s", re)
+	}
+}

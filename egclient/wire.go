@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/url"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -236,6 +237,17 @@ func decodeRemoteError(payload []byte) error {
 }
 
 func (t *wireTransport) query(ctx context.Context, endpoint string, params url.Values, into interface{}) (Meta, error) {
+	if ms := budgetMillis(ctx); ms > 0 {
+		// Deadline propagation: the reserved _budget_ms param rides
+		// inside the query encoding; the server strips it before
+		// decoding, so cache keys never see it.
+		clone := url.Values{}
+		for k, v := range params {
+			clone[k] = v
+		}
+		clone.Set("_budget_ms", strconv.FormatInt(ms, 10))
+		params = clone
+	}
 	frame, err := t.roundTrip(ctx, wire.TQuery, wire.AppendQuery(nil, endpoint, params))
 	if err != nil {
 		if re, ok := err.(*RemoteError); ok {

@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/ds"
 	"repro/internal/egraph"
+	"repro/internal/fault"
 )
 
 const (
@@ -115,9 +116,18 @@ type CheckpointMeta struct {
 	// StallWrite and StallRename are fault-injection hooks for crash
 	// tests: sleep mid-way through the section writes (partial temp
 	// file on disk) and after fsync but before the rename. Zero in
-	// production.
+	// production. They predate internal/fault and remain as the
+	// flag-level spelling; Faults generalises them.
 	StallWrite  time.Duration
 	StallRename time.Duration
+
+	// Faults, when non-nil, arms the checkpoint writer's injection
+	// sites: ckpt.write (mid-way through the section writes),
+	// ckpt.fsync (before the temp file's fsync) and ckpt.rename
+	// (between fsync and the atomic rename). An injected error aborts
+	// the write exactly like the real failure it models — the previous
+	// checkpoint generation stays intact.
+	Faults *fault.Injector
 }
 
 // CheckpointInfo describes a parsed checkpoint.
@@ -330,11 +340,18 @@ func WriteCheckpoint(path string, g *egraph.IntEvolvingGraph, meta CheckpointMet
 				return 0, err
 			}
 		}
-		if meta.StallWrite > 0 && i == len(secs)/2 {
-			// Crash-test hook: make sure the partial prefix is on disk,
-			// then hold the window open so a SIGKILL lands mid-write.
+		if i == len(secs)/2 && (meta.StallWrite > 0 || meta.Faults != nil) {
+			// Crash/fault window: make sure the partial prefix is on
+			// disk, then hold it open so a SIGKILL lands mid-write, or
+			// abort here when a ckpt.write rule injects an error.
 			w.Flush()
-			time.Sleep(meta.StallWrite)
+			if meta.StallWrite > 0 {
+				time.Sleep(meta.StallWrite)
+			}
+			if err := meta.Faults.Fire(fault.CkptWrite); err != nil {
+				f.Close()
+				return 0, err
+			}
 		}
 	}
 	if err := emit(footer); err != nil {
@@ -349,6 +366,10 @@ func WriteCheckpoint(path string, g *egraph.IntEvolvingGraph, meta CheckpointMet
 		f.Close()
 		return 0, fmt.Errorf("egio: checkpoint: wrote %d bytes, expected %d", written, fileSize)
 	}
+	if err := meta.Faults.Fire(fault.CkptFsync); err != nil {
+		f.Close()
+		return 0, err
+	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return 0, err
@@ -358,6 +379,9 @@ func WriteCheckpoint(path string, g *egraph.IntEvolvingGraph, meta CheckpointMet
 	}
 	if meta.StallRename > 0 {
 		time.Sleep(meta.StallRename)
+	}
+	if err := meta.Faults.Fire(fault.CkptRename); err != nil {
+		return 0, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return 0, err

@@ -1,0 +1,192 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseDirectives(t *testing.T) {
+	sc, err := Parse(`
+# comment
+seed 42
+wal.fsync error=disk-full after=3 times=2
+wire.read drop p=0.25
+query.compute delay=5ms every=4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 42 {
+		t.Fatalf("seed = %d, want 42", sc.Seed)
+	}
+	if len(sc.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(sc.Rules))
+	}
+	r := sc.Rules[0]
+	if r.Site != WALFsync || r.Err != "disk-full" || r.After != 3 || r.Times != 2 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if r2 := sc.Rules[1]; !r2.Drop || r2.P != 0.25 {
+		t.Fatalf("rule 1 = %+v", r2)
+	}
+	if r3 := sc.Rules[2]; r3.Delay != 5*time.Millisecond || r3.Every != 4 {
+		t.Fatalf("rule 2 = %+v", r3)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		text string
+		want string // substring of the error
+	}{
+		{"bogus.site error=io", "unknown site"},
+		{"wal.fsync error=enotdisk", "unknown error class"},
+		{"wal.fsync wibble=1", "unknown directive"},
+		{"wal.fsync p=2", "bad probability"},
+		{"wal.fsync p=0", "bad probability"},
+		{"wal.fsync delay=chewy", "bad duration"},
+		{"wal.fsync delay=-4ms", "bad duration"},
+		{"wal.fsync after=-1", "bad count"},
+		{"wal.fsync", "injects nothing"},
+		{"wal.fsync after=9", "injects nothing"},
+		{"wal.fsync drop error=io", "conflict"},
+		{"seed", "want 'seed N'"},
+		{"seed eleven", "bad seed"},
+		{"wal.fsync error", "bad directive"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.text); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want %q", c.text, err, c.want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	text := "seed 7\nwal.fsync error=disk-full after=2 times=1\nwire.write drop p=0.5\nquery.compute delay=1ms every=3\n"
+	sc, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.String(); got != text {
+		t.Fatalf("canonical form diverged:\n got %q\nwant %q", got, text)
+	}
+}
+
+func TestFireCountGates(t *testing.T) {
+	in := Must("wal.fsync error=io after=2 times=3")
+	var errs int
+	for i := 0; i < 10; i++ {
+		if err := in.Fire(WALFsync); err != nil {
+			if !errors.Is(err, ErrIO) {
+				t.Fatalf("wrong class: %v", err)
+			}
+			if i < 2 {
+				t.Fatalf("fired during after window at hit %d", i)
+			}
+			errs++
+		}
+	}
+	if errs != 3 {
+		t.Fatalf("fired %d times, want 3 (times=3)", errs)
+	}
+	if in.Count(WALFsync) != 3 {
+		t.Fatalf("Count = %d, want 3", in.Count(WALFsync))
+	}
+}
+
+func TestFireEvery(t *testing.T) {
+	in := Must("wal.append error=io every=3")
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, in.Fire(WALAppend) != nil)
+	}
+	want := []bool{true, false, false, true, false, false, true, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("every=3 pattern = %v, want %v", pattern, want)
+		}
+	}
+}
+
+// TestFireDeterministic pins the property the chaos oracle depends
+// on: the same scenario text produces the same injection sequence.
+func TestFireDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := Must("seed 99\nwire.read drop p=0.3")
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Fire(WireRead) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	// p=0.3 over 200 hits: expect roughly 60, sanity-check it's in a
+	// wide band (the sequence itself is pinned by the seed above).
+	if fired < 30 || fired > 100 {
+		t.Fatalf("p=0.3 fired %d/200", fired)
+	}
+}
+
+func TestFireDelay(t *testing.T) {
+	in := Must("query.compute delay=40ms times=2")
+	var slept time.Duration
+	in.sleep = func(d time.Duration) { slept += d }
+	for i := 0; i < 5; i++ {
+		if err := in.Fire(QueryCompute); err != nil {
+			t.Fatalf("delay-only rule returned error: %v", err)
+		}
+	}
+	if slept != 80*time.Millisecond {
+		t.Fatalf("slept %v, want 80ms", slept)
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if err := in.Fire(WALFsync); err != nil {
+		t.Fatal(err)
+	}
+	if in.Count(WALFsync) != 0 || in.Counts() != nil {
+		t.Fatal("nil injector reported counts")
+	}
+	if New(nil) != nil {
+		t.Fatal("New(nil) != nil")
+	}
+}
+
+func TestNamedScenariosParse(t *testing.T) {
+	for _, name := range Names() {
+		text := Named(name)
+		if text == "" {
+			t.Fatalf("Named(%q) empty", name)
+		}
+		if _, err := Parse(text); err != nil {
+			t.Fatalf("canned scenario %q does not parse: %v", name, err)
+		}
+	}
+	if Named("no-such-scenario") != "" {
+		t.Fatal("unknown name returned a scenario")
+	}
+}
+
+func TestDropClass(t *testing.T) {
+	in := Must("wire.accept drop")
+	err := in.Fire(WireAccept)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("drop err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "wire.accept") {
+		t.Fatalf("error does not name the site: %v", err)
+	}
+}

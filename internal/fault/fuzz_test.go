@@ -1,0 +1,45 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzScenarioParse feeds arbitrary bytes to the scenario decoder.
+// The invariants: Parse never panics, and any text it accepts
+// round-trips — re-encoding the parsed scenario and parsing that must
+// yield an identical Scenario. The committed corpus seeds every
+// directive, every canned chaos scenario and the error classes from
+// the unit tests; CI explores past it for 30s under -race.
+func FuzzScenarioParse(f *testing.F) {
+	f.Add("seed 7\nwal.fsync error=disk-full after=2 times=1\n")
+	f.Add("wire.read drop p=0.25\nwire.write drop p=0.25")
+	f.Add("query.compute delay=5ms every=4\n# trailing comment")
+	f.Add("seed -9223372036854775808\nckpt.rename stall=2s")
+	f.Add("wal.append error=io\nwal.append error=timeout p=0.001")
+	for _, name := range Names() {
+		f.Add(Named(name))
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		sc, err := Parse(text)
+		if err != nil {
+			return
+		}
+		again, err := Parse(sc.String())
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ntext: %q\ncanonical: %q", err, text, sc.String())
+		}
+		if !reflect.DeepEqual(sc, again) {
+			t.Fatalf("round-trip diverged:\n first %+v\nsecond %+v", sc, again)
+		}
+		// An accepted scenario must also build and fire without
+		// panicking; cap the work for pathological rule counts.
+		if in := New(sc); in != nil {
+			in.sleep = func(time.Duration) {}
+			for _, s := range Sites {
+				in.Fire(s)
+			}
+		}
+	})
+}

@@ -90,3 +90,11 @@ var ErrBackpressure = errors.New("ingest: pending delta full, compactor lagging"
 // commit failure poisoned the log: a write whose durability is unknown
 // must not be followed by more writes).
 var ErrClosed = errors.New("ingest: log closed")
+
+// ErrDegraded is returned by Log.Append once a WAL failure (disk full,
+// persistent fsync error) has poisoned the write path: the log is
+// read-only-degraded, not crashed — the served graph freezes at the
+// last published revision and reads continue. It wraps ErrClosed, so
+// errors.Is(err, ErrClosed) still holds; the HTTP layer maps it to 503
+// with Retry-After, and /healthz reports the degraded state.
+var ErrDegraded = fmt.Errorf("%w: write path degraded after WAL failure (reads continue)", ErrClosed)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/egio"
 	"repro/internal/egraph"
+	"repro/internal/fault"
 	"repro/internal/inc"
 	"repro/internal/obs"
 )
@@ -77,9 +78,16 @@ type Config struct {
 	// CheckpointStallWrite/CheckpointStallRename forward to the
 	// writer's fault-injection hooks; the CI soak SIGKILLs the server
 	// inside these windows to prove a torn checkpoint is survivable.
-	// Zero in production.
+	// Zero in production. They predate internal/fault and remain as
+	// the flag-level spelling; Faults generalises them.
 	CheckpointStallWrite  time.Duration
 	CheckpointStallRename time.Duration
+	// Faults, when non-nil, arms the checkpoint writer's injection
+	// sites (ckpt.write / ckpt.fsync / ckpt.rename). The WAL's own
+	// sites are armed through WALOptions.Faults when the WAL is
+	// opened; pass the same injector to both so one scenario drives
+	// the whole write path.
+	Faults *fault.Injector
 	// LastCheckpointSeq seeds the coverage cursor when the process
 	// booted from a checkpoint: sequences below it are already covered
 	// on disk, so the first write is deferred until coverage advances.
@@ -155,6 +163,10 @@ type Stats struct {
 	// records) or "replay" (full fold).
 	RecoverPath         string `json:"recoverPath,omitempty"`
 	TailRecordsReplayed int64  `json:"tailRecordsReplayed,omitempty"`
+	// Degraded/DegradedReason report the read-only degraded state: a
+	// WAL failure halted the write path while reads keep serving.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
 }
 
 // Log is the mutation API of the live query service: validated,
@@ -175,6 +187,7 @@ type Log struct {
 	foldNext uint64 // first sequence number the compactor may fold
 	closed   bool
 	poisoned bool
+	degraded string    // why the log poisoned itself ("" while healthy)
 	stopOnce sync.Once // stops the compactor exactly once
 
 	// foldMu serialises fold+publish between the background compactor
@@ -354,7 +367,11 @@ func (l *Log) Append(events []Event) (seq uint64, err error) {
 	}
 	l.mu.Lock()
 	if l.closed {
+		poisoned := l.poisoned
 		l.mu.Unlock()
+		if poisoned {
+			return 0, ErrDegraded
+		}
 		return 0, ErrClosed
 	}
 	if l.pendingN+len(events) > l.cfg.MaxPending {
@@ -376,8 +393,8 @@ func (l *Log) Append(events []Event) (seq uint64, err error) {
 			// The WAL is sticky-failed; accepting more writes would let
 			// the served state run ahead of the log.
 			l.mu.Unlock()
-			l.poison()
-			return 0, err
+			l.poison(err)
+			return 0, fmt.Errorf("%w: %v", ErrDegraded, err)
 		}
 	} else {
 		seq = l.seq
@@ -396,8 +413,8 @@ func (l *Log) Append(events []Event) (seq uint64, err error) {
 	// never publish a snapshot containing an unfsynced write.
 	if l.wal != nil {
 		if err := l.wal.Commit(seq); err != nil {
-			l.poison()
-			return seq, err
+			l.poison(err)
+			return seq, fmt.Errorf("%w: %v", ErrDegraded, err)
 		}
 		l.stage.With("wal").Observe(time.Since(walStart).Nanoseconds())
 	}
@@ -446,16 +463,20 @@ func (l *Log) insertPendingLocked(b pendingBatch) {
 
 // poison halts the write path after a WAL failure: the durability of
 // recent writes is unknown, so nothing further may be acknowledged or
-// published. Appends fail with ErrClosed and the compactor stops
+// published. Appends fail with ErrDegraded and the compactor stops
 // without folding the buffered delta — its batches are durable in the
 // WAL (they committed before entering pending) and will be served
 // after a restart's recovery replay, but publishing them now could
 // order them around the failed write. The served graph freezes at the
-// last published revision; reads continue.
-func (l *Log) poison() {
+// last published revision; reads continue. cause is recorded and
+// surfaces through Degraded / Stats / the eg_degraded gauge.
+func (l *Log) poison(cause error) {
 	l.mu.Lock()
 	l.closed = true
 	l.poisoned = true
+	if l.degraded == "" && cause != nil {
+		l.degraded = cause.Error()
+	}
 	l.pending = nil
 	l.pendingN = 0
 	l.mu.Unlock()
@@ -463,7 +484,17 @@ func (l *Log) poison() {
 		close(l.quit)
 		<-l.done
 	})
-	l.cfg.Logf("ingest: WAL failure poisoned the log; write path halted (reads continue on the last published snapshot)")
+	l.cfg.Logf("ingest: WAL failure poisoned the log; write path halted (reads continue on the last published snapshot): %v", cause)
+}
+
+// Degraded reports whether a WAL failure has halted the write path,
+// and why. A degraded log is read-only-degraded, not dead: the served
+// graph stays up on the last published revision, /healthz reports the
+// state, and writes are rejected with ErrDegraded (503 over HTTP).
+func (l *Log) Degraded() (bool, string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poisoned, l.degraded
 }
 
 // validateLocked checks the batch as a unit against the label/node
@@ -679,6 +710,7 @@ func (l *Log) maybeCheckpoint(epochDone, force bool) (int64, error) {
 		Labels:      labels,
 		StallWrite:  l.cfg.CheckpointStallWrite,
 		StallRename: l.cfg.CheckpointStallRename,
+		Faults:      l.cfg.Faults,
 	})
 	if err != nil {
 		l.checkpointErrs.Add(1)
@@ -744,6 +776,7 @@ func (l *Log) Close() error {
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	pending := l.pendingN
+	degraded, reason := l.poisoned, l.degraded
 	l.mu.Unlock()
 	s := Stats{
 		AppendedBatches:   l.appendedBatches.Load(),
@@ -768,6 +801,8 @@ func (l *Log) Stats() Stats {
 		CheckpointBytes:   l.checkpointBytes.Load(),
 		LastCheckpointSeq: l.lastCheckpointSeq.Load(),
 		RecoverPath:       l.cfg.RecoverPath,
+		Degraded:          degraded,
+		DegradedReason:    reason,
 	}
 	s.TailRecordsReplayed = int64(l.cfg.TailRecordsReplayed)
 	if l.cfg.Analytics != nil {

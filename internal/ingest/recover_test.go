@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/egio"
 	"repro/internal/egraph"
+	"repro/internal/fault"
 )
 
 // recoverBatches is the durable history the recovery tests replay:
@@ -669,4 +670,88 @@ func TestLogCheckpointStallHooks(t *testing.T) {
 		t.Fatal(err)
 	}
 	ck.Close()
+}
+
+// TestCheckpointFsyncFailureFallsBack (DESIGN.md §17): an injected
+// fsync failure while writing checkpoint generation 2 must abort the
+// temp-file write before the rename, leaving generation 1 intact on
+// disk; the failure is counted but never poisons the write path; and
+// recovery boots from generation 1 plus the WAL tail, bit-identical to
+// a full replay.
+func TestCheckpointFsyncFailureFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "w.wal")
+	wal, _, err := OpenWAL(walPath, WALOptions{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptPath := filepath.Join(dir, "w.ckpt")
+	cfg := ckptLogConfig(wal, ckptPath, t)
+	// after=1: generation 1 fsyncs clean, every later attempt fails.
+	cfg.Faults = fault.Must("seed 1\nckpt.fsync error=io after=1")
+	lg, err := New(newFakePub(egraph.Figure1Graph()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batches := [][]Event{
+		{{Op: AddArc, U: 2, V: 10, T: 1}},
+		{{Op: AddArc, U: 2, V: 11, T: 1}},
+		{{Op: AddArc, U: 2, V: 12, T: 1}},
+	}
+	append1 := func(b []Event) {
+		t.Helper()
+		if _, err := lg.Append(b); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		lg.CompactNow()
+	}
+
+	append1(batches[0])
+	if _, err := lg.CheckpointNow(); err != nil {
+		t.Fatalf("generation 1 checkpoint: %v", err)
+	}
+	append1(batches[1])
+	if _, err := lg.CheckpointNow(); err == nil {
+		t.Fatal("generation 2 checkpoint succeeded despite the injected fsync failure")
+	}
+	st := lg.Stats()
+	if st.Checkpoints != 1 || st.CheckpointErrors == 0 {
+		t.Fatalf("stats after failed generation 2: %+v, want 1 checkpoint and counted errors", st)
+	}
+	// Checkpoint failures never poison the pipeline: the WAL remains
+	// the source of truth and appends keep landing.
+	append1(batches[2])
+	if deg, _ := lg.Degraded(); deg {
+		t.Fatal("checkpoint failure degraded the write path; only WAL failures may")
+	}
+	lg.Close() // its final checkpoint attempt also fails; Close must still release everything
+
+	// Generation 1 is intact on disk: the aborted write never renamed.
+	ck, err := egio.OpenCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatalf("OpenCheckpoint after failed generation 2: %v", err)
+	}
+	if ck.Info.WALSeq != 1 {
+		t.Fatalf("on-disk coverage = %d, want 1 (generation 1)", ck.Info.WALSeq)
+	}
+	ck.Close()
+
+	// Recovery boots from generation 1 + the two-tail-batch replay.
+	res, err := Recover(RecoverConfig{
+		WALPath:        walPath,
+		WALOptions:     WALOptions{Policy: SyncAlways},
+		CheckpointPath: ckptPath,
+		Base:           figBase,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer res.WAL.Close()
+	defer res.CloseCheckpoint()
+	if res.Path != "checkpoint" || res.CheckpointSeq != 1 || res.TailBatches != 2 {
+		t.Fatalf("recovery path %q seq %d tail %d, want checkpoint/1/2", res.Path, res.CheckpointSeq, res.TailBatches)
+	}
+	assertGraphsIdentical(t, res.Graph, Fold(egraph.Figure1Graph(), flatten(batches)))
 }

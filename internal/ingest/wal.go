@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // WAL file format — the same length-prefix + CRC framing discipline as
@@ -97,6 +99,12 @@ type WALOptions struct {
 	Policy SyncPolicy
 	// Interval is the SyncInterval flush period (default 100ms).
 	Interval time.Duration
+	// Faults, when non-nil, arms the WAL's injection sites: wal.append
+	// (inside the buffered record write) and wal.fsync (inside the
+	// group-commit flush+fsync). An injected error is sticky, exactly
+	// like a real short write or ENOSPC — the WAL contract is that one
+	// write failure makes the file unusable.
+	Faults *fault.Injector
 }
 
 // WALStats is a point-in-time snapshot of the writer's counters.
@@ -244,6 +252,10 @@ func (w *WAL) Append(events []Event) (seq uint64, err error) {
 	if w.werr != nil {
 		return 0, fmt.Errorf("ingest: WAL unusable after write error: %w", w.werr)
 	}
+	if err := w.opts.Faults.Fire(fault.WALAppend); err != nil {
+		w.werr = err
+		return 0, fmt.Errorf("ingest: WAL append: %w", err)
+	}
 	n := int64(0)
 	if !w.headed {
 		var hdr [walHeaderLen]byte
@@ -343,6 +355,9 @@ func (w *WAL) flushSync() (uint64, error) {
 	w.mu.Lock()
 	target := w.next
 	err := w.bw.Flush()
+	if err == nil {
+		err = w.opts.Faults.Fire(fault.WALFsync)
+	}
 	if err == nil {
 		err = w.f.Sync()
 	}

@@ -1,0 +1,218 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCancelledLeaderDoesNotPoisonFollowers is the regression test for
+// the singleflight context-poisoning bug: a leader whose own context
+// is cancelled mid-compute must neither cache its context error nor
+// hand it to collapsed followers — the followers re-elect and the
+// computation succeeds under a live context.
+func TestCancelledLeaderDoesNotPoisonFollowers(t *testing.T) {
+	c := New(Options{Capacity: 16, Shards: 1})
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	var computes atomic.Int64
+
+	// Leader: enters compute, then blocks until its context dies.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderErr error
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = c.DoAtCtx(leaderCtx, 1, "k", func(ctx context.Context) (interface{}, error) {
+			computes.Add(1)
+			close(leaderIn)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+	}()
+	<-leaderIn
+
+	// Followers park on the leader's flight.
+	const followers = 8
+	results := make(chan error, followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			v, _, err := c.DoAtCtx(context.Background(), 1, "k", func(context.Context) (interface{}, error) {
+				computes.Add(1)
+				return "fresh", nil
+			})
+			if err == nil && v != "fresh" {
+				err = fmt.Errorf("got %v, want fresh", v)
+			}
+			results <- err
+		}()
+	}
+	// Give followers a moment to join the flight, then kill the leader.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+	wg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", leaderErr)
+	}
+	for i := 0; i < followers; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("follower inherited the dead leader's fate: %v", err)
+		}
+	}
+	// The abandoned flight must not have cached the context error; the
+	// re-elected leader's value must be cached.
+	v, out, err := c.DoAt(1, "k", func() (interface{}, error) {
+		return nil, errors.New("must not recompute")
+	})
+	if err != nil || v != "fresh" || (out != Hit && out != Carried) {
+		t.Fatalf("post-recovery lookup = (%v, %v, %v), want cached fresh", v, out, err)
+	}
+}
+
+// TestCancelledLeaderHammer runs the re-election machinery under load:
+// many rounds, each with a doomed leader and a pack of followers, some
+// of which are themselves cancelled mid-wait. Run with -race this
+// doubles as the synchronisation check.
+func TestCancelledLeaderHammer(t *testing.T) {
+	c := New(Options{Capacity: 64, Shards: 4})
+	for round := 0; round < 50; round++ {
+		key := fmt.Sprintf("k%d", round%8)
+		ver := uint64(round) // fresh revision each round: never a plain hit
+		leaderCtx, cancelLeader := context.WithCancel(context.Background())
+		leaderIn := make(chan struct{})
+		go func() {
+			c.DoAtCtx(leaderCtx, ver, key, func(ctx context.Context) (interface{}, error) {
+				close(leaderIn)
+				<-ctx.Done()
+				return nil, ctx.Err()
+			})
+		}()
+		<-leaderIn
+
+		const followers = 16
+		var wg sync.WaitGroup
+		errs := make(chan error, followers)
+		for i := 0; i < followers; i++ {
+			wg.Add(1)
+			doomed := i%4 == 0 // every 4th follower dies while waiting
+			go func() {
+				defer wg.Done()
+				ctx := context.Background()
+				if doomed {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithCancel(ctx)
+					defer cancel()
+					go func() {
+						time.Sleep(time.Millisecond)
+						cancel()
+					}()
+				}
+				v, _, err := c.DoAtCtx(ctx, ver, key, func(context.Context) (interface{}, error) {
+					return "ok", nil
+				})
+				switch {
+				case err == nil && v == "ok":
+				case doomed && errors.Is(err, context.Canceled):
+					// A cancelled follower failing with its own context
+					// error is correct; inheriting the leader's is not
+					// distinguishable here, but the live followers below
+					// prove no poisoning happened.
+				default:
+					errs <- fmt.Errorf("round %d: (%v, %v)", round, v, err)
+				}
+			}()
+		}
+		time.Sleep(2 * time.Millisecond)
+		cancelLeader()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWaiterContextExpiresWhileWaiting pins that a follower whose own
+// context dies stops waiting on a still-running computation.
+func TestWaiterContextExpiresWhileWaiting(t *testing.T) {
+	c := New(Options{Capacity: 16, Shards: 1})
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.DoAt(1, "k", func() (interface{}, error) {
+			close(leaderIn)
+			<-release
+			return "v", nil
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, out, err := c.DoAtCtx(ctx, 1, "k", func(context.Context) (interface{}, error) {
+		t.Error("waiter must not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) || out != Collapsed {
+		t.Fatalf("waiter = (%v, %v), want Collapsed + DeadlineExceeded", out, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("waiter stayed parked past its deadline")
+	}
+	close(release)
+}
+
+// TestDoWithDeadCtxNeverLeads pins that a request arriving with an
+// already-expired context does not take the leader slot.
+func TestDoWithDeadCtxNeverLeads(t *testing.T) {
+	c := New(Options{Capacity: 16, Shards: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.DoAtCtx(ctx, 1, "k", func(context.Context) (interface{}, error) {
+		t.Error("dead-context caller must not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestStaleFallback(t *testing.T) {
+	c := New(Options{Capacity: 16, Shards: 2})
+	if _, ok := c.Stale("k"); ok {
+		t.Fatal("stale value before any compute")
+	}
+	if _, _, err := c.DoAt(1, "k", func() (interface{}, error) { return "v1", nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A later revision misses, but the stale store still serves v1.
+	v, ok := c.Stale("k")
+	if !ok || v != "v1" {
+		t.Fatalf("Stale = (%v, %v), want v1", v, ok)
+	}
+	// A newer success replaces it.
+	if _, _, err := c.DoAt(2, "k", func() (interface{}, error) { return "v2", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Stale("k"); !ok || v != "v2" {
+		t.Fatalf("Stale after refresh = (%v, %v), want v2", v, ok)
+	}
+	// Errors never touch the stale store.
+	c.DoAt(3, "k", func() (interface{}, error) { return nil, errors.New("boom") })
+	if v, ok := c.Stale("k"); !ok || v != "v2" {
+		t.Fatalf("Stale after failed compute = (%v, %v), want v2", v, ok)
+	}
+	if st := c.Stats(); st.StaleServed == 0 {
+		t.Fatal("StaleServed counter never moved")
+	}
+	if Stale.String() != "stale" {
+		t.Fatalf("Stale outcome name = %q", Stale.String())
+	}
+}

@@ -19,11 +19,16 @@
 //     the leader's WaitGroup and share its result (Collapsed outcome).
 //
 // Errors are never cached — a failed compute is retried by the next
-// caller — but collapsed waiters do share the leader's error.
+// caller — and collapsed waiters share the leader's error only when it
+// is genuinely the computation's: a leader whose own context was
+// cancelled mid-compute abandons the flight, and its waiters elect a
+// new leader instead of inheriting the dead request's error (the
+// singleflight context-poisoning fix, DESIGN.md §17).
 package qcache
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"hash/maphash"
 	"sync"
@@ -47,6 +52,12 @@ const (
 	// swap. Operationally a hit; reported distinctly so the carry-over
 	// machinery's contribution is visible in latency histograms.
 	Carried
+	// Stale: the serving layer fell back to the last good value for
+	// this key (Cache.Stale) after a compute failure or budget
+	// exhaustion — possibly from an older revision. Never produced by
+	// Do/DoAt themselves; the degradation layer reports it when it
+	// serves the fallback.
+	Stale
 )
 
 // String returns the wire name used in X-Cache headers and load
@@ -59,6 +70,8 @@ func (o Outcome) String() string {
 		return "collapsed"
 	case Carried:
 		return "carried"
+	case Stale:
+		return "stale"
 	default:
 		return "miss"
 	}
@@ -86,6 +99,7 @@ type Cache struct {
 	evictions   atomic.Int64
 	carriedIn   atomic.Int64
 	carriedHits atomic.Int64
+	staleServed atomic.Int64
 }
 
 type shard struct {
@@ -94,6 +108,12 @@ type shard struct {
 	entries map[string]*list.Element
 	flight  map[string]*call
 	cap     int
+	// stale holds the last successfully computed value per caller key
+	// (revision stripped, sharded by the caller key alone), feeding
+	// the serve-stale degradation mode. Bounded by cap with
+	// arbitrary-entry eviction — staleness, not recency, is its
+	// nature.
+	stale map[string]interface{}
 }
 
 type entry struct {
@@ -104,10 +124,16 @@ type entry struct {
 	carried bool
 }
 
+// call is one in-flight computation. done closes when the leader
+// finishes (a channel, not a WaitGroup, so waiters can also select on
+// their own context). abandoned marks a flight whose leader's context
+// was cancelled mid-compute: its error is the dead request's, not the
+// computation's, so waiters re-elect instead of sharing it.
 type call struct {
-	wg  sync.WaitGroup
-	val interface{}
-	err error
+	done      chan struct{}
+	val       interface{}
+	err       error
+	abandoned bool
 }
 
 // New returns a Cache sized by opts.
@@ -129,6 +155,7 @@ func New(opts Options) *Cache {
 			entries: make(map[string]*list.Element),
 			flight:  make(map[string]*call),
 			cap:     per,
+			stale:   make(map[string]interface{}),
 		}
 	}
 	return c
@@ -161,57 +188,139 @@ func (c *Cache) Do(key string, compute func() (interface{}, error)) (val interfa
 // *new* revision if a Bump lands in between, and that stale entry
 // would then be served indefinitely.
 func (c *Cache) DoAt(version uint64, key string, compute func() (interface{}, error)) (val interface{}, outcome Outcome, err error) {
+	return c.DoAtCtx(context.Background(), version, key,
+		func(context.Context) (interface{}, error) { return compute() })
+}
+
+// DoAtCtx is DoAt with the caller's request context threaded through.
+// The context matters in three places:
+//
+//   - The leader runs compute with it, so a cancelled request stops
+//     computing.
+//   - A leader whose context is cancelled mid-compute *abandons* the
+//     flight: its error is the dead request's, not the computation's,
+//     so it is neither cached nor shared — the waiters elect a new
+//     leader among themselves and the computation is retried with a
+//     live context.
+//   - A waiter whose own context expires stops waiting and returns its
+//     context error instead of parking on a computation it will never
+//     consume.
+func (c *Cache) DoAtCtx(ctx context.Context, version uint64, key string, compute func(context.Context) (interface{}, error)) (val interface{}, outcome Outcome, err error) {
 	vkey := versionedKey(version, key)
 	s := &c.shards[c.shardOf(vkey)]
 
-	s.mu.Lock()
-	if el, ok := s.entries[vkey]; ok {
-		s.lru.MoveToFront(el)
-		e := el.Value.(*entry)
-		v, carried := e.val, e.carried
-		s.mu.Unlock()
-		c.hits.Add(1)
-		if carried {
-			c.carriedHits.Add(1)
-			return v, Carried, nil
-		}
-		return v, Hit, nil
-	}
-	if cl, ok := s.flight[vkey]; ok {
-		s.mu.Unlock()
-		c.collapsed.Add(1)
-		cl.wg.Wait()
-		return cl.val, Collapsed, cl.err
-	}
-	cl := &call{}
-	cl.wg.Add(1)
-	s.flight[vkey] = cl
-	s.mu.Unlock()
-	c.misses.Add(1)
-
-	// Run compute unlocked; guarantee waiters are released and the
-	// flight slot is cleared even if compute panics.
-	completed := false
-	defer func() {
-		if !completed {
-			cl.err = ErrPanic
-			s.mu.Lock()
-			delete(s.flight, vkey)
+	waited := false
+	for {
+		s.mu.Lock()
+		if el, ok := s.entries[vkey]; ok {
+			s.lru.MoveToFront(el)
+			e := el.Value.(*entry)
+			v, carried := e.val, e.carried
 			s.mu.Unlock()
-			cl.wg.Done()
+			c.hits.Add(1)
+			if carried {
+				c.carriedHits.Add(1)
+				return v, Carried, nil
+			}
+			return v, Hit, nil
 		}
-	}()
-	cl.val, cl.err = compute()
-	completed = true
+		if cl, ok := s.flight[vkey]; ok {
+			s.mu.Unlock()
+			if !waited {
+				waited = true
+				c.collapsed.Add(1)
+			}
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				return nil, Collapsed, ctx.Err()
+			}
+			if cl.abandoned {
+				// The leader died of its own context, not of the
+				// computation. Loop: re-check the cache (another
+				// re-elected leader may have finished) or take the
+				// leader slot ourselves.
+				if err := ctx.Err(); err != nil {
+					return nil, Collapsed, err
+				}
+				continue
+			}
+			return cl.val, Collapsed, cl.err
+		}
+		if err := ctx.Err(); err != nil {
+			// Don't lead with a dead context: the compute would be
+			// cancelled immediately and every follower forced through a
+			// re-election round.
+			s.mu.Unlock()
+			return nil, Miss, err
+		}
+		cl := &call{done: make(chan struct{})}
+		s.flight[vkey] = cl
+		s.mu.Unlock()
+		if !waited {
+			c.misses.Add(1)
+		}
 
-	s.mu.Lock()
-	delete(s.flight, vkey)
-	if cl.err == nil {
-		s.insert(vkey, cl.val, false, &c.evictions)
+		// Run compute unlocked; guarantee waiters are released and the
+		// flight slot is cleared even if compute panics.
+		completed := false
+		defer func() {
+			if !completed {
+				cl.err = ErrPanic
+				s.mu.Lock()
+				delete(s.flight, vkey)
+				s.mu.Unlock()
+				close(cl.done)
+			}
+		}()
+		cl.val, cl.err = compute(ctx)
+		completed = true
+
+		s.mu.Lock()
+		delete(s.flight, vkey)
+		if cl.err == nil {
+			s.insert(vkey, cl.val, false, &c.evictions)
+		} else if ctx.Err() != nil {
+			// Cancelled leader: the flight is abandoned, the error stays
+			// with this caller only.
+			cl.abandoned = true
+		}
+		s.mu.Unlock()
+		if cl.err == nil {
+			// Record the last good value for serve-stale, sharded by the
+			// caller key alone (so every revision's compute refreshes the
+			// same slot). Separate lock scope: the stale shard is not
+			// generally the flight's shard.
+			ss := &c.shards[c.shardOf(key)]
+			ss.mu.Lock()
+			ss.stale[key] = cl.val
+			for len(ss.stale) > ss.cap {
+				for k := range ss.stale {
+					delete(ss.stale, k)
+					break
+				}
+			}
+			ss.mu.Unlock()
+		}
+		close(cl.done)
+		return cl.val, Miss, cl.err
 	}
+}
+
+// Stale returns the last value a successful compute produced for key
+// under *any* revision — the serve-stale degradation fallback. The
+// caller decides when falling back is acceptable and must mark the
+// response as stale (X-Cache: stale / the wire stale outcome).
+func (c *Cache) Stale(key string) (interface{}, bool) {
+	s := &c.shards[c.shardOf(key)]
+	s.mu.Lock()
+	v, ok := s.stale[key]
 	s.mu.Unlock()
-	cl.wg.Done()
-	return cl.val, Miss, cl.err
+	if ok {
+		c.staleServed.Add(1)
+		return v, true
+	}
+	return nil, false
 }
 
 // insert adds a key to the shard's LRU, evicting from the back past
@@ -294,6 +403,7 @@ type Stats struct {
 	Evictions   int64  `json:"evictions"`
 	CarriedIn   int64  `json:"carriedIn"`
 	CarriedHits int64  `json:"carriedHits"`
+	StaleServed int64  `json:"staleServed"` // serve-stale fallbacks handed out
 	Entries     int    `json:"entries"`
 	Version     uint64 `json:"version"`
 }
@@ -318,6 +428,7 @@ func (c *Cache) Stats() Stats {
 		Evictions:   c.evictions.Load(),
 		CarriedIn:   c.carriedIn.Load(),
 		CarriedHits: c.carriedHits.Load(),
+		StaleServed: c.staleServed.Load(),
 		Version:     c.version.Load(),
 	}
 	for i := range c.shards {

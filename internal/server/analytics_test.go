@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -363,7 +364,7 @@ func TestReplaceGraphDoesNotCacheStaleCompute(t *testing.T) {
 	srv.ReplaceGraph(egraph.IntroGameGraph(false))
 
 	// The old-generation request computes after the swap.
-	_, outcome, err := srv.runCached(p, "components/weak?mode=allpairs&limit=100", func() (interface{}, error) {
+	_, outcome, err := srv.runCached(context.Background(), p, "components/weak", "components/weak?mode=allpairs&limit=100", func() (interface{}, error) {
 		return "old-graph-answer", nil
 	})
 	if err != nil {

@@ -1,0 +1,32 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Bootstrap returns the pre-recovery HTTP surface: liveness yes,
+// readiness no, everything else 503 with a Retry-After hint. egserve
+// mounts it on the listener while ingest.Recover replays the WAL and
+// swaps the real Server in once the first graph installs, so load
+// balancers and egload -waitReady measure restart-to-ready while
+// /healthz reports the process live the whole time.
+//
+// The 503 carries the same Retry-After contract as the serving-era
+// retriable failures (backpressure 429, degraded-mode 503): clients
+// treat the value as their backoff floor and retry the same request.
+func Bootstrap() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"status":"starting"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"starting","error":"recovering: graph not yet installed"}`)
+	})
+	return mux
+}

@@ -1,0 +1,326 @@
+// End-to-end fault-injection tests (DESIGN.md §17): degraded mode
+// after a WAL failure, the Retry-After contract across every retriable
+// rejection, and goroutine reclamation when wire peers vanish. Lives
+// in package server_test so it can drive the server through egclient.
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/egclient"
+	"repro/internal/fault"
+	"repro/internal/ingest"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func quiet(string, ...interface{}) {}
+
+// newDegradedCandidate builds a server whose WAL fsync fails with
+// ENOSPC on first use: the first accepted batch poisons the write
+// path.
+func newDegradedCandidate(t *testing.T) *server.Server {
+	t.Helper()
+	inj := fault.Must("seed 1\nwal.fsync error=disk-full")
+	wal, _, err := ingest.OpenWAL(filepath.Join(t.TempDir(), "wal.log"),
+		ingest.WALOptions{Policy: ingest.SyncAlways, Faults: inj})
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	srv := server.New(denseGraph(), server.Config{Logf: quiet})
+	lg, err := ingest.New(srv, ingest.Config{
+		WAL:             wal,
+		CompactEvery:    1 << 30,
+		CompactInterval: time.Hour,
+		Logf:            quiet,
+	})
+	if err != nil {
+		t.Fatalf("ingest.New: %v", err)
+	}
+	t.Cleanup(func() { lg.Close() })
+	srv.AttachIngest(lg)
+	return srv
+}
+
+func postArcs(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest/arcs", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /ingest/arcs: %v", err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestDegradedModeReadsKeepServing is the disk-full survival contract
+// end to end: the WAL's first fsync fails, the write path poisons
+// itself, ingest answers 503 + Retry-After — and reads keep serving
+// the last published snapshot while /healthz and eg_degraded report
+// the state.
+func TestDegradedModeReadsKeepServing(t *testing.T) {
+	srv := newDegradedCandidate(t)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+
+	if resp, err := http.Get(hs.URL + "/katz?top=3"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("read before fault: %v / %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// First write: the injected ENOSPC surfaces as degraded-mode 503.
+	resp := postArcs(t, hs.URL, `{"op":"add","u":0,"v":5,"t":10}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("first write after disk-full: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 must carry Retry-After")
+	}
+
+	// So does every later write: the poison is sticky.
+	if resp := postArcs(t, hs.URL, `{"op":"stamp","t":99}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second write: status %d, want 503", resp.StatusCode)
+	}
+
+	// Reads keep serving — the whole point of degrading instead of
+	// dying.
+	for _, path := range []string{"/katz?top=3", "/components/weak", "/closeness?node=0&stamp=0"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("read %s while degraded: %v / %v", path, resp, err)
+		}
+		resp.Body.Close()
+	}
+
+	// /healthz stays 200 (the process is live) but reports the state.
+	var h server.HealthResponse
+	hresp, err := http.Get(hs.URL + "/healthz")
+	if err != nil || hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %v", hresp, err)
+	}
+	decodeBody(t, hresp, &h)
+	if h.Status != "degraded" || !h.Degraded || h.DegradedCause == "" {
+		t.Fatalf("healthz = %+v, want status degraded with a cause", h)
+	}
+
+	// And the gauge the chaos soak asserts on.
+	presp, err := http.Get(hs.URL + "/metrics.prom")
+	if err != nil {
+		t.Fatalf("metrics.prom: %v", err)
+	}
+	defer presp.Body.Close()
+	prom := readAll(t, presp)
+	if !strings.Contains(prom, "eg_degraded 1") {
+		t.Fatal("metrics.prom missing eg_degraded 1 while degraded")
+	}
+}
+
+// TestRetryAfterConsistency is the satellite contract: every retriable
+// rejection — backpressure 429, degraded-mode 503, recovery-bootstrap
+// 503 — carries the same Retry-After header, so one client backoff
+// rule covers all three.
+func TestRetryAfterConsistency(t *testing.T) {
+	cases := []struct {
+		name       string
+		handler    func(t *testing.T) http.Handler
+		method     string
+		path, body string
+		wantStatus int
+	}{
+		{
+			name: "backpressure",
+			handler: func(t *testing.T) http.Handler {
+				srv := server.New(denseGraph(), server.Config{Logf: quiet})
+				lg, err := ingest.New(srv, ingest.Config{
+					MaxPending:      1,
+					CompactEvery:    1 << 30,
+					CompactInterval: time.Hour,
+					Logf:            quiet,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { lg.Close() })
+				srv.AttachIngest(lg)
+				// Fill the pending delta so the measured POST is refused.
+				if _, err := lg.Append([]ingest.Event{{Op: ingest.AddArc, U: 0, V: 1, T: 10}}); err != nil {
+					t.Fatalf("priming append: %v", err)
+				}
+				return srv
+			},
+			method:     http.MethodPost,
+			path:       "/ingest/arcs",
+			body:       `{"op":"add","u":1,"v":2,"t":10}`,
+			wantStatus: http.StatusTooManyRequests,
+		},
+		{
+			name: "degraded",
+			handler: func(t *testing.T) http.Handler {
+				srv := newDegradedCandidate(t)
+				hs := httptest.NewServer(srv)
+				t.Cleanup(hs.Close)
+				postArcs(t, hs.URL, `{"op":"add","u":0,"v":5,"t":10}`) // trip the poison
+				return srv
+			},
+			method:     http.MethodPost,
+			path:       "/ingest/arcs",
+			body:       `{"op":"stamp","t":42}`,
+			wantStatus: http.StatusServiceUnavailable,
+		},
+		{
+			name:       "bootstrap",
+			handler:    func(t *testing.T) http.Handler { return server.Bootstrap() },
+			method:     http.MethodGet,
+			path:       "/katz?top=3",
+			wantStatus: http.StatusServiceUnavailable,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := tc.handler(t)
+			req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			if got := rec.Header().Get("Retry-After"); got != "1" {
+				t.Fatalf("Retry-After = %q, want %q on every retriable rejection", got, "1")
+			}
+		})
+	}
+}
+
+// leakCheck snapshots the goroutine count; the returned func asserts
+// the count returns to the snapshot (with settling time) — the
+// teardown invariant every wire test should hold after its peers
+// vanish.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > base {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d at baseline, %d after teardown\n%s",
+					base, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestWireTeardownReclaimsGoroutines kills wire peers every rude way a
+// network can — mid-frame, mid-subscription, with events queued and
+// unread — and asserts the server reclaims every per-connection
+// goroutine and subscription registration.
+func TestWireTeardownReclaimsGoroutines(t *testing.T) {
+	srv := server.New(denseGraph(), server.Config{Logf: quiet})
+	addr := wireAddr(t, srv)
+
+	// Let the accept loop settle before taking the baseline.
+	probe, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("probe dial: %v", err)
+	}
+	probe.Close()
+	time.Sleep(50 * time.Millisecond)
+	check := leakCheck(t)
+
+	// Round 1: clients with live subscriptions whose sockets vanish
+	// without unsubscribing.
+	for i := 0; i < 4; i++ {
+		ctx, cancel := testCtx(t)
+		c, err := egclient.DialWire(ctx, addr)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		sub, err := c.Subscribe(ctx, egclient.FeedSpec{Kind: egclient.KindRevision, Cursor: egclient.CursorLive})
+		if err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+		srv.ReplaceGraph(denseGraph()) // push one event through the pump
+		if _, err := sub.Next(ctx); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		// Abrupt close: no sub.Close, no graceful goodbye.
+		c.Close()
+		cancel()
+	}
+
+	// Round 2: a peer that dies mid-frame — hello, half a header, RST.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	if err := wire.WriteHello(raw); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if err := wire.ReadHello(raw); err != nil {
+		t.Fatalf("hello ack: %v", err)
+	}
+	raw.Write([]byte{0x02, 0x00, 0x00, 0x00, 0x01}) // 5 bytes of a 14-byte header
+	raw.Close()
+
+	// Round 3: a subscriber that never reads its events, then vanishes
+	// — the server's writer must not stay parked on the dead socket.
+	ctx, cancel := testCtx(t)
+	c, err := egclient.DialWire(ctx, addr)
+	if err != nil {
+		t.Fatalf("dial lazy: %v", err)
+	}
+	if _, err := c.Subscribe(ctx, egclient.FeedSpec{Kind: egclient.KindRevision, Cursor: egclient.CursorLive}); err != nil {
+		t.Fatalf("subscribe lazy: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		srv.ReplaceGraph(denseGraph())
+	}
+	c.Close()
+	cancel()
+
+	// Every subscription registration must drain...
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.FeedHub().Stats().Active > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("feed subscriptions leaked: %d still active", srv.FeedHub().Stats().Active)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// ...and every per-connection goroutine (reader, writer, pumps).
+	check()
+}
+
+func testCtx(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 10*time.Second)
+}
+
+func decodeBody(t *testing.T, resp *http.Response, into interface{}) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return string(b)
+}

@@ -128,10 +128,7 @@ func (s *Server) ingestArcs(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, status, msg := s.acceptBatch(events)
 	if status != http.StatusAccepted {
-		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-		}
-		s.writeError(w, status, msg)
+		s.writeError(w, status, msg) // 429/503 carry Retry-After via the envelope writer
 		return
 	}
 	s.writeJSON(w, http.StatusAccepted, resp)
@@ -160,6 +157,11 @@ func (s *Server) acceptBatch(events []ingest.Event) (IngestAcceptedResponse, int
 	case err == nil:
 	case errors.Is(err, ingest.ErrBackpressure):
 		return IngestAcceptedResponse{}, http.StatusTooManyRequests, "write path saturated: compactor lagging, retry the batch"
+	case errors.Is(err, ingest.ErrDegraded):
+		// Checked before ErrClosed: ErrDegraded wraps it. Reads keep
+		// serving the last published revision; only writes 503.
+		return IngestAcceptedResponse{}, http.StatusServiceUnavailable,
+			"write path degraded after WAL failure: reads continue, writes rejected"
 	case errors.Is(err, ingest.ErrClosed):
 		return IngestAcceptedResponse{}, http.StatusServiceUnavailable, "write path closed"
 	default:

@@ -11,7 +11,9 @@ import (
 
 // HealthResponse is the wire form of /healthz: liveness plus enough
 // shape information for a load balancer or operator to sanity-check
-// which graph revision this instance is serving.
+// which graph revision this instance is serving. Status is "ok", or
+// "degraded" when a WAL failure poisoned the write path — the process
+// stays live (200) because reads keep serving; only ingest 503s.
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
@@ -19,18 +21,28 @@ type HealthResponse struct {
 	Nodes         int     `json:"nodes"`
 	Stamps        int     `json:"stamps"`
 	ActiveNodes   int     `json:"activeTemporalNodes"`
+	Degraded      bool    `json:"degraded,omitempty"`
+	DegradedCause string  `json:"degradedCause,omitempty"`
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	g := s.Graph()
-	s.writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		GraphRevision: s.snap.Load().rev,
 		Nodes:         g.NumNodes(),
 		Stamps:        g.NumStamps(),
 		ActiveNodes:   g.NumActiveNodes(),
-	})
+	}
+	if lg := s.ing.Load(); lg != nil {
+		if deg, cause := lg.Degraded(); deg {
+			resp.Status = "degraded"
+			resp.Degraded = true
+			resp.DegradedCause = cause
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // MetricsResponse is the wire form of /metrics: request counts per
@@ -48,6 +60,7 @@ type MetricsResponse struct {
 	Cache            qcache.Stats     `json:"cache"`
 	CacheHitRate     float64          `json:"cacheHitRate"`
 	CacheCarried     int64            `json:"cacheCarried"`
+	StaleServed      int64            `json:"staleServed,omitempty"`
 	InFlight         int64            `json:"inFlight"`
 	MaxInFlight      int              `json:"maxInFlight"`
 	Ingest           *ingest.Stats    `json:"ingest,omitempty"`
@@ -87,6 +100,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		Cache:        st,
 		CacheHitRate: st.HitRate(),
 		CacheCarried: s.carried.Load(),
+		StaleServed:  s.staleServed.Load(),
 		InFlight:     s.inflight.Load(),
 		MaxInFlight:  cap(s.gate),
 		Wire: WireStats{

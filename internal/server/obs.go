@@ -19,8 +19,11 @@ import (
 func (s *Server) registerObs() {
 	r := s.reg
 	s.serveLat = r.Histogram("eg_serve_latency_seconds",
-		"Request serve latency by endpoint, cache outcome (miss/hit/collapsed/carried; none for uncached endpoints, error for failed wire decodes) and transport (http/wire).",
+		"Request serve latency by endpoint, cache outcome (miss/hit/collapsed/carried/stale; none for uncached endpoints, error for failed wire decodes) and transport (http/wire).",
 		"endpoint", "outcome", "transport")
+	s.computeLat = r.Histogram("eg_compute_latency_seconds",
+		"Successful analytics compute latency by endpoint — the distribution deadline-aware admission control compares remaining request budgets against (p99).",
+		"endpoint")
 	s.feedLag = r.Histogram("eg_feed_lag_seconds",
 		"Change-feed delivery lag: epoch publish to event handoff into a subscriber's write queue.").With()
 
@@ -67,6 +70,7 @@ func (s *Server) registerObs() {
 				{LabelValues: []string{"eviction"}, Value: float64(st.Evictions)},
 				{LabelValues: []string{"carried_in"}, Value: float64(st.CarriedIn)},
 				{LabelValues: []string{"carried_hit"}, Value: float64(st.CarriedHits)},
+				{LabelValues: []string{"stale_served"}, Value: float64(s.staleServed.Load())},
 			}
 		})
 	r.Gauge("eg_cache_entries", "Entries resident in the result cache.", func() float64 {
@@ -149,6 +153,14 @@ func (s *Server) registerIngestObs() {
 	})
 	s.reg.Counter("eg_ingest_checkpoint_errors_total", "Checkpoint writes that failed.", func() float64 {
 		return float64(stats().CheckpointErrors)
+	})
+	s.reg.Gauge("eg_degraded", "1 when the write path is read-only-degraded after a WAL failure (reads continue; ingest answers 503).", func() float64 {
+		if lg := s.ing.Load(); lg != nil {
+			if deg, _ := lg.Degraded(); deg {
+				return 1
+			}
+		}
+		return 0
 	})
 }
 

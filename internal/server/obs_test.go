@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -331,7 +332,7 @@ func TestWireTraceFlag(t *testing.T) {
 	srv := New(egraph.Figure1Graph(), Config{
 		Trace: obs.TracerOptions{SampleEvery: -1},
 	})
-	f := srv.wireQuery(1, "katz", map[string][]string{"top": {"3"}}, true)
+	f := srv.wireQuery(context.Background(), 1, "katz", map[string][]string{"top": {"3"}}, true)
 	if f.typ != wire.RResult {
 		t.Fatalf("frame type = %d, want RResult", f.typ)
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/egraph"
+	"repro/internal/fault"
 	"repro/internal/inc"
 	"repro/internal/qcache"
 )
@@ -205,7 +207,10 @@ func modeName(mode egraph.CausalMode) string {
 
 // errStatus maps a computation error to its HTTP status: an inactive
 // root is 404 (the temporal node does not exist in the served graph),
-// a panicked computation is an internal 500, anything else is a
+// a panicked computation is an internal 500, a budget rejection or an
+// expired/cancelled request context is 503 unavailable (retriable —
+// the answer exists, this attempt ran out of time), an injected fault
+// is the 503 the real failure it models would be, anything else is a
 // 400-class request problem (parameter combinations the computation
 // itself rejects, e.g. a diverging Katz alpha).
 func errStatus(err error) int {
@@ -214,6 +219,11 @@ func errStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, qcache.ErrPanic):
 		return http.StatusInternalServerError
+	case errors.Is(err, errBudget),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled),
+		fault.IsFault(err):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}

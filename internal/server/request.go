@@ -38,12 +38,19 @@ var cachedDecoders = map[string]decoder{
 // carrying an X-Trace header (any value) forces a trace; otherwise the
 // tracer's sampler decides. Traced requests record decode → cache →
 // compute → encode spans into the /debug/traces ring; untraced ones
-// pay only a handful of nil-receiver calls.
+// pay only a handful of nil-receiver calls. An X-Budget-Ms header
+// declares the client's remaining deadline budget: the request context
+// expires with it, and admission control may answer 503 unavailable
+// up front when the endpoint's observed p99 no longer fits.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string) {
 	tr := s.tracer.Start(r.Header.Get("X-Trace") != "")
 	root := tr.Span("serve", obs.RootSpan)
 	root.Attr("endpoint", endpoint)
 	root.Attr("transport", "http")
+
+	budget, _ := strconv.ParseInt(r.Header.Get("X-Budget-Ms"), 10, 64)
+	ctx, cancel := withBudget(r.Context(), budget)
+	defer cancel()
 
 	dec := tr.Span("decode", root)
 	p := s.params(r)
@@ -58,7 +65,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	root.Attr("revision", strconv.FormatUint(p.rev, 10))
 
 	cacheSp := tr.Span("cache", root)
-	val, outcome, err := s.runCached(p, key, traceCompute(tr, cacheSp, compute))
+	val, outcome, err := s.runCached(ctx, p, endpoint, key, traceCompute(tr, cacheSp, compute))
 	cacheSp.Attr("outcome", outcome.String())
 	cacheSp.End()
 

@@ -45,7 +45,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -56,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/egraph"
+	"repro/internal/fault"
 	"repro/internal/feed"
 	"repro/internal/inc"
 	"repro/internal/ingest"
@@ -84,6 +87,18 @@ type Config struct {
 	Workers int
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...interface{})
+	// Faults arms the serving-layer fault-injection sites (internal/
+	// fault): wire.accept / wire.read / wire.write on the EGWP
+	// listener and query.compute in the cached-query core. nil (the
+	// default) injects nothing and costs one nil check per site.
+	Faults *fault.Injector
+	// ServeStale enables the degraded read mode: when a cached
+	// endpoint's compute fails server-side (injected fault, panic) or
+	// its deadline budget runs out, the last good answer for the same
+	// query is served instead, marked X-Cache: stale (wire flag
+	// CacheStale). Stale answers may lag the served revision; the
+	// X-Graph-Revision header still names the current snapshot.
+	ServeStale bool
 	// Registry receives the server's metric families (default: a fresh
 	// obs.NewRegistry with runtime gauges). Share one registry between
 	// the server and its ingest pipeline so a single /metrics.prom
@@ -168,9 +183,14 @@ type Server struct {
 	// histogram, and the trace recorder behind /debug/traces.
 	reg          *obs.Registry
 	serveLat     *obs.HistogramVec
+	computeLat   *obs.HistogramVec
 	feedLag      *obs.Histogram
 	tracer       *obs.Tracer
 	ingestObsOne sync.Once
+
+	// staleServed counts degraded-mode answers served from the stale
+	// store (Config.ServeStale).
+	staleServed atomic.Int64
 }
 
 // era is the pin domain of one graph generation: every in-flight
@@ -493,6 +513,17 @@ func carryKeep(res *inc.Results) func(key string) bool {
 	}
 }
 
+// admitMinSamples is how many successful computes an endpoint needs
+// before its p99 is trusted for admission control — below it every
+// budgeted request is admitted (cold estimates reject wrongly).
+const admitMinSamples = 8
+
+// errBudget rejects a compute whose remaining deadline budget is below
+// the endpoint's observed p99 compute latency: starting it would burn
+// a gate slot on an answer the client will not wait for. Maps to 503
+// unavailable (retriable) unless serve-stale has a fallback.
+var errBudget = errors.New("server: remaining deadline budget below the endpoint's p99 compute latency")
+
 // runCached executes one cacheable query through the versioned cache
 // at the revision captured in p — the revision the request's graph
 // snapshot belongs to — computing at most once across concurrent
@@ -500,16 +531,83 @@ func carryKeep(res *inc.Results) func(key string) bool {
 // in-flight gate. It is the transport-neutral core under both the HTTP
 // handlers and the wire loop: both form identical keys (request.go), so
 // both transports share every cache entry.
-func (s *Server) runCached(p *params, key string, compute func() (interface{}, error)) (interface{}, qcache.Outcome, error) {
-	return s.cache.DoAt(p.rev, key, func() (interface{}, error) {
-		s.gate <- struct{}{}
+//
+// ctx carries the request's deadline budget (X-Budget-Ms / _budget_ms,
+// see withBudget): waiting for the gate and for a singleflight leader
+// both respect it, and admission control rejects a compute that cannot
+// finish inside it. A leader whose own context dies mid-compute
+// abandons the flight without poisoning followers (qcache.DoAtCtx).
+// With Config.ServeStale, a server-side compute failure or budget
+// rejection falls back to the last good answer for the same query.
+func (s *Server) runCached(ctx context.Context, p *params, endpoint, key string, compute func() (interface{}, error)) (interface{}, qcache.Outcome, error) {
+	val, outcome, err := s.cache.DoAtCtx(ctx, p.rev, key, func(ctx context.Context) (interface{}, error) {
+		select {
+		case s.gate <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		s.inflight.Add(1)
 		defer func() {
 			s.inflight.Add(-1)
 			<-s.gate
 		}()
-		return compute()
+		if err := s.admit(ctx, endpoint); err != nil {
+			return nil, err
+		}
+		if err := s.cfg.Faults.Fire(fault.QueryCompute); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		v, err := compute()
+		if err == nil {
+			s.computeLat.With(endpoint).Observe(time.Since(start).Nanoseconds())
+		}
+		return v, err
 	})
+	if err != nil && s.cfg.ServeStale && staleEligible(err) {
+		if v, ok := s.cache.Stale(key); ok {
+			s.staleServed.Add(1)
+			return v, qcache.Stale, nil
+		}
+	}
+	return val, outcome, err
+}
+
+// admit is the deadline-aware admission check: with a budget attached
+// and enough history, a compute whose endpoint p99 exceeds the
+// remaining budget is rejected up front with errBudget instead of
+// being started and abandoned.
+func (s *Server) admit(ctx context.Context, endpoint string) error {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	snap := s.computeLat.With(endpoint).Snapshot()
+	if snap.Count < admitMinSamples {
+		return nil
+	}
+	if p99 := time.Duration(snap.Quantile(0.99)); time.Until(d) < p99 {
+		return fmt.Errorf("%w (endpoint %s, p99 %s)", errBudget, endpoint, p99.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// staleEligible reports whether a failure may be papered over with the
+// last good answer: server-side conditions only (budget exhaustion,
+// injected faults, panicked computes). Request problems — bad params,
+// inactive roots — are deterministic answers and never go stale.
+func staleEligible(err error) bool {
+	return errors.Is(err, errBudget) || errors.Is(err, qcache.ErrPanic) || fault.IsFault(err)
+}
+
+// withBudget derives the request context carrying the client's
+// declared deadline budget: ms milliseconds from now, when positive.
+// The returned cancel must run when the request finishes.
+func withBudget(ctx context.Context, ms int64) (context.Context, context.CancelFunc) {
+	if ms <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
 }
 
 // statusRecorder captures the response status for the class counters.
@@ -557,6 +655,13 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 }
 
 func (s *Server) writeErrorDetail(w http.ResponseWriter, status int, msg, detail string) {
+	// Every retriable failure carries the same retry hint: 429
+	// (backpressure) and 503 (degraded write path, budget rejection,
+	// bootstrap) all mean "same request, later". egclient treats the
+	// value as its backoff floor.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	s.writeJSON(w, status, ErrorResponse{
 		Code:     wire.CodeFromStatus(status).String(),
 		Error:    msg,

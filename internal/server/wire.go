@@ -8,10 +8,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/feed"
 	"repro/internal/obs"
 	"repro/internal/qcache"
@@ -48,19 +50,54 @@ type outFrame struct {
 // ServeWire accepts and serves EGWP connections on l until l is
 // closed, blocking like http.Server.Serve. Connections drain on their
 // own when the listener closes; close the feed hub to stop
-// subscription pumps.
+// subscription pumps. With Config.Faults armed, the wire.accept site
+// drops fresh connections and wire.read / wire.write inject slow or
+// dropped socket operations per connection.
 func (s *Server) ServeWire(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
+		if err := s.cfg.Faults.Fire(fault.WireAccept); err != nil {
+			conn.Close()
+			continue
+		}
 		go s.serveWireConn(conn)
 	}
 }
 
+// faultConn injects at the socket boundary: a wire.read or wire.write
+// fault closes the underlying connection mid-operation — exactly the
+// half-written frame a vanishing peer leaves behind — and delay-only
+// rules model a slow peer. The zero-delay happy path is one nil check
+// per Read/Write.
+type faultConn struct {
+	net.Conn
+	f *fault.Injector
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	if err := fc.f.Fire(fault.WireRead); err != nil {
+		fc.Conn.Close()
+		return 0, err
+	}
+	return fc.Conn.Read(p)
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	if err := fc.f.Fire(fault.WireWrite); err != nil {
+		fc.Conn.Close()
+		return 0, err
+	}
+	return fc.Conn.Write(p)
+}
+
 func (s *Server) serveWireConn(conn net.Conn) {
 	defer conn.Close()
+	if s.cfg.Faults != nil {
+		conn = &faultConn{Conn: conn, f: s.cfg.Faults}
+	}
 	s.wireConns.Add(1)
 	defer s.wireConns.Add(-1)
 	if err := wire.WriteHello(conn); err != nil {
@@ -72,6 +109,14 @@ func (s *Server) serveWireConn(conn net.Conn) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// Teardown must not depend on the peer: once anything cancels the
+	// connection context (writer error, listener shutdown), closing the
+	// socket unblocks a reader parked in ReadFrame on a half-open peer
+	// and a writer parked in a full TCP window — otherwise those
+	// goroutines (and the subscription registry entries their wg holds)
+	// leak until the kernel times the connection out.
+	stopClose := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stopClose()
 	out := make(chan outFrame, wireOutQueue)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -115,7 +160,7 @@ func (s *Server) serveWireConn(conn net.Conn) {
 			wg.Add(1)
 			go func(id uint32, forced bool) {
 				defer wg.Done()
-				send(s.wireQuery(id, endpoint, q, forced))
+				send(s.wireQuery(ctx, id, endpoint, q, forced))
 			}(frame.ID, frame.Flags&wire.FlagTrace != 0)
 		case wire.TIngest:
 			// Ingest stays on the reader goroutine: batches from one
@@ -206,13 +251,22 @@ func (s *Server) wireWriter(ctx context.Context, cancel context.CancelFunc, conn
 	}
 }
 
+// budgetParam is the reserved TQuery parameter carrying the client's
+// remaining deadline budget in milliseconds — the wire spelling of the
+// X-Budget-Ms header. It rides inside the existing query encoding (no
+// frame change), is stripped before decoding, and never reaches cache
+// keys.
+const budgetParam = "_budget_ms"
+
 // wireQuery answers one TQuery: same decoders, same cache, same gate
 // as the HTTP path, the same serve-latency histogram (transport
 // "wire") and the same trace spans — forced here by the FlagTrace bit
 // instead of an X-Trace header. The request pins the current era
 // exactly like ServeHTTP does, so graph snapshots it captures stay
-// reachable.
-func (s *Server) wireQuery(id uint32, endpoint string, q map[string][]string, forced bool) outFrame {
+// reachable. ctx is the connection context plus the query's declared
+// budget (budgetParam), so a torn-down connection or an exhausted
+// budget abandons the compute without poisoning collapsed followers.
+func (s *Server) wireQuery(ctx context.Context, id uint32, endpoint string, q map[string][]string, forced bool) outFrame {
 	start := time.Now()
 	outcomeLabel := "error"
 	defer func() {
@@ -226,6 +280,14 @@ func (s *Server) wireQuery(id uint32, endpoint string, q map[string][]string, fo
 	defer root.End()
 	root.Attr("endpoint", endpoint)
 	root.Attr("transport", "wire")
+
+	if raw := url.Values(q).Get(budgetParam); raw != "" {
+		ms, _ := strconv.ParseInt(raw, 10, 64)
+		delete(q, budgetParam)
+		var cancel context.CancelFunc
+		ctx, cancel = withBudget(ctx, ms)
+		defer cancel()
+	}
 
 	dec := tr.Span("decode", root)
 	p, key, compute, err := s.decodeCached(endpoint, q)
@@ -241,7 +303,7 @@ func (s *Server) wireQuery(id uint32, endpoint string, q map[string][]string, fo
 	root.Attr("revision", strconv.FormatUint(p.rev, 10))
 
 	cacheSp := tr.Span("cache", root)
-	val, outcome, err := s.runCached(p, key, traceCompute(tr, cacheSp, compute))
+	val, outcome, err := s.runCached(ctx, p, endpoint, key, traceCompute(tr, cacheSp, compute))
 	cacheSp.Attr("outcome", outcome.String())
 	cacheSp.End()
 	if err != nil {
@@ -285,6 +347,8 @@ func cacheFlag(o qcache.Outcome) uint8 {
 		return wire.CacheCollapsed
 	case qcache.Carried:
 		return wire.CacheCarried
+	case qcache.Stale:
+		return wire.CacheStale
 	default:
 		return wire.CacheMiss
 	}

@@ -49,6 +49,7 @@ import (
 	"io"
 	"net/url"
 	"sort"
+	"time"
 )
 
 // Protocol identity.
@@ -84,13 +85,14 @@ const (
 )
 
 // Cache outcomes carried in an RResult's flags byte (the binary form
-// of the X-Cache header). Three bits: values 5–7 are reserved.
+// of the X-Cache header). Three bits: values 6–7 are reserved.
 const (
 	CacheMiss      = 0
 	CacheHit       = 1
 	CacheCollapsed = 2
 	CacheNone      = 3 // uncached endpoint
 	CacheCarried   = 4 // carried across a revision swap by inc maintenance
+	CacheStale     = 5 // serve-stale fallback: last good answer, compute failed or budget ran out
 )
 
 // FlagTrace on a TQuery requests a forced trace for that query — the
@@ -112,6 +114,8 @@ func CacheName(flags uint8) string {
 		return ""
 	case CacheCarried:
 		return "carried"
+	case CacheStale:
+		return "stale"
 	default:
 		return "miss"
 	}
@@ -441,6 +445,10 @@ type RemoteError struct {
 	Message  string
 	Detail   string
 	Revision uint64
+	// RetryAfter is the server's Retry-After hint on retriable
+	// failures (429/503 over HTTP; zero when the transport carries
+	// none). Retrying clients treat it as their backoff floor.
+	RetryAfter time.Duration
 }
 
 func (e *RemoteError) Error() string {
